@@ -1,0 +1,30 @@
+//! Bench: the §IV correlation exploration over runs since 2021.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::explore;
+use spec_bench::comparable;
+
+fn bench(c: &mut Criterion) {
+    let runs = comparable();
+    let report = explore(runs, 2021);
+    eprintln!(
+        "[corr] {} runs since 2021; conclusive at |r|>=0.6: {}",
+        report.n_runs,
+        report.is_conclusive(0.6)
+    );
+    for s in &report.vendor_stats {
+        eprintln!(
+            "[corr] {}: mean cores {:.1} (paper AMD 85.8 / Intel 39.5), GHz {:.2}±{:.2}",
+            s.vendor, s.mean_cores, s.mean_ghz, s.std_ghz
+        );
+    }
+    for (f, r) in report.idle_correlations().iter().take(4) {
+        eprintln!("[corr] idle_fraction vs {f}: r={r:+.3}");
+    }
+    c.bench_function("correlation_explore", |b| {
+        b.iter(|| explore(std::hint::black_box(runs), 2021))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

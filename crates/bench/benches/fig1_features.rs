@@ -1,0 +1,31 @@
+//! Bench: Figure 1 — feature shares on the unfiltered dataset.
+//!
+//! Prints the reproduced share shifts (§II) once, then measures the cost of
+//! the share computation over the 960-run set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::figures::fig1;
+use spec_bench::valid;
+
+fn bench(c: &mut Criterion) {
+    let runs = valid();
+    let fig = fig1::compute(runs);
+    eprintln!(
+        "[fig1] runs/year 2005-2023: {:.1} (paper 44.2); dip 2013-2017: {:.1} (paper 15.2)",
+        fig.mean_per_year_2005_2023, fig.mean_per_year_2013_2017
+    );
+    eprintln!(
+        "[fig1] Linux share {:.1}% -> {:.1}% (paper 2.2 -> 36.3); AMD {:.1}% -> {:.1}% (paper 13.0 -> 31.3)",
+        100.0 * fig.linux_share_pre2018,
+        100.0 * fig.linux_share_post2018,
+        100.0 * fig.amd_share_pre2018,
+        100.0 * fig.amd_share_post2018
+    );
+    c.bench_function("fig1_compute", |b| b.iter(|| fig1::compute(std::hint::black_box(runs))));
+    c.bench_function("fig1_render_svg", |b| {
+        b.iter(|| fig.share_chart().to_svg(860, 520))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: Figure 2 — per-socket full-load power trend and the §III era
+//! ratios (119.0 W → 303.3 W ≈ 2.5×; 1.8× at 20 %, 2.2× at 70 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::figures::fig2;
+use spec_bench::comparable;
+
+fn bench(c: &mut Criterion) {
+    let runs = comparable();
+    let fig = fig2::compute(runs);
+    let g = &fig.per_socket_growth;
+    eprintln!(
+        "[fig2] W/socket {:.1} -> {:.1}, ratio {:.2} (paper 119.0 -> 303.3, ~2.5x)",
+        g.mean_pre2010_w, g.mean_post2022_w, g.ratio
+    );
+    for lg in &fig.level_growth {
+        eprintln!("[fig2] power growth at {:>3}%: {:.2}x", lg.percent, lg.ratio);
+    }
+    c.bench_function("fig2_compute", |b| b.iter(|| fig2::compute(std::hint::black_box(runs))));
+    c.bench_function("fig2_render_svg", |b| b.iter(|| fig.chart().to_svg(860, 520)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: Figure 3 — overall efficiency trend and the top-100 census
+//! (paper: 98 of the 100 most efficient runs use AMD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::figures::fig3;
+use spec_bench::comparable;
+
+fn bench(c: &mut Criterion) {
+    let runs = comparable();
+    let fig = fig3::compute(runs);
+    eprintln!(
+        "[fig3] AMD in top-100: {} (paper 98); Intel: {}",
+        fig.amd_in_top100, fig.intel_in_top100
+    );
+    for (vendor, best) in &fig.best {
+        eprintln!("[fig3] best {} overall ssj_ops/W: {:.0}", vendor, best);
+    }
+    c.bench_function("fig3_compute", |b| b.iter(|| fig3::compute(std::hint::black_box(runs))));
+    c.bench_function("fig3_render_svg", |b| b.iter(|| fig.chart().to_svg(860, 520)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

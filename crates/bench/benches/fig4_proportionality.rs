@@ -1,0 +1,25 @@
+//! Bench: Figure 4 — relative-efficiency distributions at 60–90 % load,
+//! binned by year and vendor (energy proportionality).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::figures::fig4;
+use spec_bench::comparable;
+use spec_model::CpuVendor;
+
+fn bench(c: &mut Criterion) {
+    let runs = comparable();
+    let fig = fig4::compute(runs);
+    eprintln!("[fig4] {} (year, vendor, load) bins", fig.cells.len());
+    for (era, lo, hi) in [("2006-2010", 2006, 2010), ("2013-2016", 2013, 2016), ("2021-2024", 2021, 2024)] {
+        eprintln!(
+            "[fig4] mean median rel-eff@70% {era}: Intel {:.3}, AMD {:.3}",
+            fig.mean_median(70, CpuVendor::Intel, lo, hi),
+            fig.mean_median(70, CpuVendor::Amd, lo, hi)
+        );
+    }
+    c.bench_function("fig4_compute", |b| b.iter(|| fig4::compute(std::hint::black_box(runs))));
+    c.bench_function("fig4_render_svg", |b| b.iter(|| fig.chart(70).to_svg(860, 520)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: Figure 5 — the idle-fraction trend (70.1 % → 15.7 % → 25.7 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::figures::fig5;
+use spec_bench::comparable;
+
+fn bench(c: &mut Criterion) {
+    let runs = comparable();
+    let fig = fig5::compute(runs);
+    eprintln!(
+        "[fig5] idle fraction earliest {:?} (paper 2006: 0.701), min {:?} (paper 2017: 0.157), latest {:?} (paper 2024: 0.257)",
+        fig.earliest, fig.minimum, fig.latest
+    );
+    for (vendor, slope) in &fig.recent_slope {
+        eprintln!("[fig5] {} yearly-mean slope since 2017: {:+.4}/yr", vendor, slope);
+    }
+    c.bench_function("fig5_compute", |b| b.iter(|| fig5::compute(std::hint::black_box(runs))));
+    c.bench_function("fig5_render_svg", |b| b.iter(|| fig.chart().to_svg(860, 520)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

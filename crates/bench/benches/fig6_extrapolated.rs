@@ -1,0 +1,25 @@
+//! Bench: Figure 6 — the extrapolated-idle quotient trend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::figures::fig6;
+use spec_bench::comparable;
+
+fn bench(c: &mut Criterion) {
+    let runs = comparable();
+    let fig = fig6::compute(runs);
+    if let Some(fit) = fig.trend {
+        eprintln!(
+            "[fig6] OLS quotient trend: {:+.4}/yr, R2 {:.3} (paper: upward trend)",
+            fit.slope, fit.r2
+        );
+    }
+    eprintln!(
+        "[fig6] quotient spread by era (std): <=2012 {:.2}, 2013-2018 {:.2}, >=2019 {:.2}",
+        fig.spread_by_era[0], fig.spread_by_era[1], fig.spread_by_era[2]
+    );
+    c.bench_function("fig6_compute", |b| b.iter(|| fig6::compute(std::hint::black_box(runs))));
+    c.bench_function("fig6_render_svg", |b| b.iter(|| fig.chart().to_svg(860, 520)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

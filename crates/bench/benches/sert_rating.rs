@@ -1,0 +1,59 @@
+//! Bench: the SERT-lite rating (extension) — rates the Table-I systems and
+//! measures the cost of a full multi-worklet rating pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::{sr645_v3, sr650_v3};
+use spec_sert::rate;
+use spec_synth::lineup::{AMD_GENERATIONS, INTEL_GENERATIONS};
+use spec_synth::params::nominal_sut_model;
+
+fn bench(c: &mut Criterion) {
+    let intel_gen = INTEL_GENERATIONS
+        .iter()
+        .find(|g| g.key == "intel-sapphire")
+        .expect("lineup");
+    let intel_sku = intel_gen
+        .skus
+        .iter()
+        .find(|s| s.name == "Intel Xeon Platinum 8490H")
+        .expect("sku");
+    let amd_gen = AMD_GENERATIONS
+        .iter()
+        .find(|g| g.key == "amd-bergamo")
+        .expect("lineup");
+    let amd_sku = amd_gen
+        .skus
+        .iter()
+        .find(|s| s.name == "AMD EPYC 9754")
+        .expect("sku");
+
+    let intel_system = sr650_v3();
+    let intel_model = nominal_sut_model(intel_gen, intel_sku, 2023);
+    let amd_system = sr645_v3();
+    let amd_model = nominal_sut_model(amd_gen, amd_sku, 2023);
+
+    let intel = rate(&intel_system, &intel_model);
+    let amd = rate(&amd_system, &amd_model);
+    eprintln!(
+        "[sert] overall: Intel {:.4}, AMD {:.4}, factor {:.2} (narrower than the ssj-only ~2.1)",
+        intel.overall,
+        amd.overall,
+        amd.overall / intel.overall
+    );
+    for (res, eff) in &amd.per_resource {
+        let intel_eff = intel
+            .per_resource
+            .iter()
+            .find(|(r, _)| r == res)
+            .map(|(_, e)| *e)
+            .unwrap_or(f64::NAN);
+        eprintln!("[sert] {res:?}: AMD/Intel factor {:.2}", eff / intel_eff);
+    }
+
+    c.bench_function("sert_rate_full_suite", |b| {
+        b.iter(|| rate(std::hint::black_box(&amd_system), &amd_model))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

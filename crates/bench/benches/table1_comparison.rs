@@ -1,0 +1,26 @@
+//! Bench: Table I — the dual-socket Lenovo SR650 V3 (Intel) vs SR645 V3
+//! (AMD) comparison across SPEC Power and SPEC CPU 2017.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spec_analysis::table1;
+use spec_bench::bench_settings;
+use spec_cpu2017::{epyc_9754_duo, rate_score, xeon_8490h_duo, Suite};
+
+fn bench(c: &mut Criterion) {
+    let table = table1::compute(&bench_settings(), 42);
+    eprint!("{}", table.to_markdown());
+    c.bench_function("table1_full", |b| {
+        b.iter(|| table1::compute(std::hint::black_box(&bench_settings()), 42))
+    });
+    let intel = xeon_8490h_duo();
+    let amd = epyc_9754_duo();
+    c.bench_function("cpu2017_rate_score", |b| {
+        b.iter(|| {
+            rate_score(std::hint::black_box(&intel), Suite::IntRate)
+                + rate_score(std::hint::black_box(&amd), Suite::FpRate)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

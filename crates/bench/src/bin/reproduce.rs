@@ -1,0 +1,74 @@
+//! `reproduce` — regenerate every table and figure of the paper in one run.
+//!
+//! Generates the synthetic dataset, executes the §II filter cascade, computes
+//! Figures 1–6, Table I and the §IV correlation exploration, prints the
+//! paper-vs-measured ledger, and writes `EXPERIMENTS.md` plus the figure
+//! SVGs under `figures/` in the given output directory (default: cwd).
+//!
+//! ```text
+//! cargo run --release -p spec-bench --bin reproduce [-- OUT_DIR [SEED]]
+//! ```
+
+use std::path::PathBuf;
+
+use spec_analysis::{load_from_texts, run_study};
+use spec_ssj::Settings;
+use spec_synth::{generate_dataset, SynthConfig};
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let out_dir = args.next().map(PathBuf::from).unwrap_or_default();
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    eprintln!("[1/4] generating synthetic dataset (seed {seed})…");
+    let dataset = generate_dataset(&SynthConfig {
+        seed,
+        ..SynthConfig::default()
+    });
+    eprintln!("      {} report files", dataset.submissions.len());
+
+    eprintln!("[2/4] parsing + filter cascade…");
+    let set = load_from_texts(dataset.texts());
+    eprint!("{}", set.report.to_markdown());
+
+    eprintln!("[3/4] computing figures, Table I, correlations…");
+    let study = run_study(set, &Settings::default(), seed);
+
+    eprintln!("[4/4] writing outputs…");
+    let markdown = study.to_markdown();
+    let report_path = out_dir.join("EXPERIMENTS.md");
+    if let Some(parent) = report_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&report_path, &markdown)?;
+    let fig_dir = out_dir.join("figures");
+    let figures = study.write_figures(&fig_dir)?;
+    let data_dir = out_dir.join("data");
+    let data = study.write_data(&data_dir)?;
+    eprintln!(
+        "wrote {}, {} figure SVGs under {}, {} CSVs under {}",
+        report_path.display(),
+        figures.len(),
+        fig_dir.display(),
+        data.len(),
+        data_dir.display()
+    );
+
+    // The ledger, to stdout.
+    let comparisons = study.comparisons();
+    let ok = comparisons.iter().filter(|c| c.ok()).count();
+    println!("{:30} {:>12} {:>12}  status", "experiment", "paper", "measured");
+    for c in &comparisons {
+        println!(
+            "{:30} {:>12.4} {:>12.4}  {}",
+            c.id,
+            c.paper,
+            c.measured,
+            if c.ok() { "ok" } else { "DEVIATES" }
+        );
+    }
+    println!("\n{ok}/{} checks within tolerance", comparisons.len());
+    Ok(())
+}

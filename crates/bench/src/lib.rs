@@ -1,0 +1,61 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Every figure/table bench runs against the same cached synthetic dataset
+//! so `cargo bench` regenerates the paper's rows exactly once per process
+//! and then measures the per-figure computation cost.
+
+use std::sync::OnceLock;
+
+use spec_analysis::{load_from_texts, AnalysisSet};
+use spec_model::RunResult;
+use spec_ssj::Settings;
+use spec_synth::{generate_dataset, GeneratedDataset, SynthConfig};
+
+/// Settings used for bench datasets: short intervals keep generation quick
+/// while preserving the statistical structure.
+pub fn bench_settings() -> Settings {
+    Settings {
+        interval_seconds: 20,
+        calibration_intervals: 1,
+        ..Settings::default()
+    }
+}
+
+/// The cached generated dataset (1017 submissions, seed 3).
+pub fn dataset() -> &'static GeneratedDataset {
+    static DATASET: OnceLock<GeneratedDataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        generate_dataset(&SynthConfig {
+            seed: 3,
+            settings: bench_settings(),
+        })
+    })
+}
+
+/// The cached filter-cascade result over [`dataset`].
+pub fn analysis_set() -> &'static AnalysisSet {
+    static SET: OnceLock<AnalysisSet> = OnceLock::new();
+    SET.get_or_init(|| load_from_texts(dataset().texts()))
+}
+
+/// The comparable runs (the paper's 676-run set).
+pub fn comparable() -> &'static [RunResult] {
+    &analysis_set().comparable
+}
+
+/// The valid runs (the paper's 960-run set).
+pub fn valid() -> &'static [RunResult] {
+    &analysis_set().valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_expected_sizes() {
+        assert_eq!(dataset().submissions.len(), 1017);
+        assert_eq!(valid().len(), 960);
+        assert_eq!(comparable().len(), 676);
+    }
+}

@@ -1,0 +1,234 @@
+//! `spec-trends` — command-line front end for the SPEC Power trend study.
+//!
+//! ```text
+//! spec-trends generate --out DIR [--seed N]      write the 1017 synthetic report files
+//! spec-trends analyze [--data DIR] [--seed N]    run the full study, print the ledger
+//! spec-trends figures --out DIR [--data DIR]     render all figure SVGs
+//! spec-trends table1                             reproduce Table I
+//! spec-trends report --out FILE [--data DIR]     write the full markdown report
+//! ```
+//!
+//! Without `--data`, commands operate on the built-in synthetic dataset
+//! (deterministic in `--seed`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spec_analysis::{load_from_dir, load_from_texts, run_study, AnalysisSet, Study};
+use spec_ssj::Settings;
+use spec_synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spec-trends <generate|analyze|figures|table1|report|export|trends> [--out PATH] [--data DIR] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    out: Option<PathBuf>,
+    data: Option<PathBuf>,
+    seed: u64,
+}
+
+fn parse_args() -> Option<Args> {
+    parse_arg_list(std::env::args().skip(1))
+}
+
+fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
+    let command = args.next()?;
+    let mut out = None;
+    let mut data = None;
+    let mut seed = 3u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next()?)),
+            "--data" => data = Some(PathBuf::from(args.next()?)),
+            "--seed" => seed = args.next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some(Args {
+        command,
+        out,
+        data,
+        seed,
+    })
+}
+
+fn load_set(args: &Args) -> std::io::Result<AnalysisSet> {
+    match &args.data {
+        Some(dir) => {
+            eprintln!("loading report files from {}", dir.display());
+            load_from_dir(dir)
+        }
+        None => {
+            eprintln!("generating synthetic dataset (seed {})", args.seed);
+            let dataset = generate_dataset(&SynthConfig {
+                seed: args.seed,
+                ..SynthConfig::default()
+            });
+            Ok(load_from_texts(dataset.texts()))
+        }
+    }
+}
+
+fn build_study(args: &Args) -> std::io::Result<Study> {
+    let set = load_set(args)?;
+    Ok(run_study(set, &Settings::default(), args.seed))
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let result = match args.command.as_str() {
+        "generate" => {
+            let Some(out) = args.out.clone() else {
+                eprintln!("generate requires --out DIR");
+                return usage();
+            };
+            let dataset = generate_dataset(&SynthConfig {
+                seed: args.seed,
+                ..SynthConfig::default()
+            });
+            write_dataset_to_dir(&dataset, &out).map(|paths| {
+                println!("wrote {} report files to {}", paths.len(), out.display());
+            })
+        }
+        "analyze" => build_study(&args).map(|study| {
+            println!("{}", study.set.report.to_markdown());
+            let comparisons = study.comparisons();
+            let ok = comparisons.iter().filter(|c| c.ok()).count();
+            for c in &comparisons {
+                println!(
+                    "{:28} paper {:>10.3}  measured {:>10.3}  [{}]",
+                    c.id,
+                    c.paper,
+                    c.measured,
+                    if c.ok() { "ok" } else { "DEVIATES" }
+                );
+            }
+            println!("\n{ok}/{} checks within tolerance", comparisons.len());
+        }),
+        "figures" => {
+            let Some(out) = args.out.clone() else {
+                eprintln!("figures requires --out DIR");
+                return usage();
+            };
+            build_study(&args).and_then(|study| {
+                study.write_figures(&out).map(|paths| {
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                })
+            })
+        }
+        "table1" => {
+            let table = spec_analysis::table1::compute(&Settings::default(), args.seed);
+            println!("{}", table.to_markdown());
+            Ok(())
+        }
+        "export" => {
+            let Some(out) = args.out.clone() else {
+                eprintln!("export requires --out DIR");
+                return usage();
+            };
+            build_study(&args).and_then(|study| {
+                study.write_data(&out).map(|paths| {
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                })
+            })
+        }
+        "trends" => build_study(&args).map(|study| {
+            use tinyplot::ascii_scatter;
+            let idle: Vec<Vec<(f64, f64)>> = study
+                .fig5
+                .scatter
+                .iter()
+                .map(|(_, pts)| pts.clone())
+                .collect();
+            println!(
+                "{}",
+                ascii_scatter(
+                    "idle fraction (idle power / full-load power) by hardware year",
+                    &[("Intel", 'i', &idle[0]), ("AMD", 'a', &idle[1])],
+                    72,
+                    18,
+                )
+            );
+            let eff: Vec<Vec<(f64, f64)>> = study
+                .fig3
+                .scatter
+                .iter()
+                .map(|(_, pts)| pts.clone())
+                .collect();
+            println!(
+                "{}",
+                ascii_scatter(
+                    "overall efficiency (ssj_ops/W) by hardware year",
+                    &[("Intel", 'i', &eff[0]), ("AMD", 'a', &eff[1])],
+                    72,
+                    18,
+                )
+            );
+        }),
+        "report" => {
+            let Some(out) = args.out.clone() else {
+                eprintln!("report requires --out FILE");
+                return usage();
+            };
+            build_study(&args).and_then(|study| {
+                std::fs::write(&out, study.to_markdown()).map(|()| {
+                    println!("wrote {}", out.display());
+                })
+            })
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Option<Args> {
+        parse_arg_list(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let args = parse(&["analyze"]).unwrap();
+        assert_eq!(args.command, "analyze");
+        assert_eq!(args.seed, 3);
+        assert!(args.out.is_none());
+        assert!(args.data.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let args = parse(&["figures", "--out", "figs", "--data", "d", "--seed", "42"]).unwrap();
+        assert_eq!(args.command, "figures");
+        assert_eq!(args.out.as_deref(), Some(std::path::Path::new("figs")));
+        assert_eq!(args.data.as_deref(), Some(std::path::Path::new("d")));
+        assert_eq!(args.seed, 42);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_seed() {
+        assert!(parse(&["analyze", "--bogus"]).is_none());
+        assert!(parse(&["analyze", "--seed", "not-a-number"]).is_none());
+        assert!(parse(&["analyze", "--seed"]).is_none());
+        assert!(parse(&[]).is_none());
+    }
+}

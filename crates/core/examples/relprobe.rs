@@ -1,0 +1,35 @@
+use spec_analysis::figures::fig4;
+use spec_analysis::{explore, load_from_texts};
+use spec_model::CpuVendor;
+use spec_synth::{generate_dataset, SynthConfig};
+use spec_ssj::Settings;
+
+fn main() {
+    let ds = generate_dataset(&SynthConfig {
+        seed: 3,
+        settings: Settings { interval_seconds: 10, calibration_intervals: 1, ..Settings::default() },
+    });
+    let set = load_from_texts(ds.texts());
+    let fig = fig4::compute(&set.comparable);
+    for load in [60u8, 70, 80, 90] {
+        println!(
+            "load {load}: intel 2013-2016 {:.3}, 2021-24 {:.3}; amd 2021-24 {:.3}",
+            fig.mean_median(load, CpuVendor::Intel, 2013, 2016),
+            fig.mean_median(load, CpuVendor::Intel, 2021, 2024),
+            fig.mean_median(load, CpuVendor::Amd, 2021, 2024)
+        );
+    }
+    let report = explore(&set.comparable, 2021);
+    println!("\npooled idle correlations:");
+    for (f, r) in report.idle_correlations() {
+        println!("  {f:16} {r:+.3}");
+    }
+    for (vendor, m) in &report.per_vendor_pearson {
+        println!("{vendor:?} within-vendor vs idle_fraction:");
+        for f in spec_analysis::correlation::CORRELATED_FEATURES {
+            if f != "idle_fraction" {
+                println!("  {f:16} {:+.3}", m.get("idle_fraction", f).unwrap_or(f64::NAN));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The §IV correlation exploration.
+//!
+//! The paper attempts to explain the recent idle-fraction regression by
+//! correlating run features for submissions since 2021, and finds the
+//! analysis *inconclusive* because the vendor lineups confound everything:
+//! AMD and Intel differ strongly in core count (85.8 vs 39.5) while sharing
+//! the same mean nominal frequency (~2.3 GHz) with different spreads
+//! (σ 0.3 vs 0.5 GHz). This module reproduces that exploration.
+
+use spec_model::{CpuVendor, RunResult};
+use tinystats::{CorrelationMatrix, Summary};
+
+use crate::features::runs_to_frame;
+
+/// Features correlated against the idle fraction.
+pub const CORRELATED_FEATURES: [&str; 8] = [
+    "idle_fraction",
+    "cores_per_chip",
+    "total_threads",
+    "nominal_ghz",
+    "tdp_w",
+    "memory_gb",
+    "chips",
+    "overall_eff",
+];
+
+/// Per-vendor confounder statistics (§IV's examples).
+#[derive(Clone, Debug)]
+pub struct VendorStats {
+    /// Vendor.
+    pub vendor: CpuVendor,
+    /// Number of runs.
+    pub n: usize,
+    /// Mean cores per chip.
+    pub mean_cores: f64,
+    /// Mean nominal frequency (GHz).
+    pub mean_ghz: f64,
+    /// Sample standard deviation of the nominal frequency (GHz).
+    pub std_ghz: f64,
+    /// Mean idle fraction.
+    pub mean_idle_fraction: f64,
+}
+
+/// The exploration's outcome.
+#[derive(Clone, Debug)]
+pub struct IdleCorrelationReport {
+    /// First hardware year included (the paper uses 2021).
+    pub since_year: i32,
+    /// Number of runs examined.
+    pub n_runs: usize,
+    /// Pearson correlations over all recent runs.
+    pub pearson: CorrelationMatrix,
+    /// Spearman correlations over all recent runs.
+    pub spearman: CorrelationMatrix,
+    /// Pearson correlations within each vendor (controls the lineup
+    /// confounder).
+    pub per_vendor_pearson: Vec<(CpuVendor, CorrelationMatrix)>,
+    /// The §IV confounder examples.
+    pub vendor_stats: Vec<VendorStats>,
+}
+
+/// Run the exploration over runs with hardware available in
+/// `since_year` or later.
+pub fn explore(comparable: &[RunResult], since_year: i32) -> IdleCorrelationReport {
+    let recent: Vec<RunResult> = comparable
+        .iter()
+        .filter(|r| r.hw_year() >= since_year)
+        .cloned()
+        .collect();
+    let frame = runs_to_frame(&recent);
+
+    let columns: Vec<(&str, Vec<f64>)> = CORRELATED_FEATURES
+        .iter()
+        .map(|&name| (name, frame.numeric(name).expect("feature column")))
+        .collect();
+    let column_refs: Vec<(&str, &[f64])> = columns
+        .iter()
+        .map(|(n, v)| (*n, v.as_slice()))
+        .collect();
+    let pearson = CorrelationMatrix::pearson(&column_refs);
+    let spearman = CorrelationMatrix::spearman(&column_refs);
+
+    let mut per_vendor_pearson = Vec::new();
+    let mut vendor_stats = Vec::new();
+    for vendor in [CpuVendor::Amd, CpuVendor::Intel] {
+        let subset: Vec<RunResult> = recent
+            .iter()
+            .filter(|r| r.system.cpu.vendor() == vendor)
+            .cloned()
+            .collect();
+        let sub_frame = runs_to_frame(&subset);
+        let sub_columns: Vec<(&str, Vec<f64>)> = CORRELATED_FEATURES
+            .iter()
+            .map(|&name| (name, sub_frame.numeric(name).expect("feature column")))
+            .collect();
+        let sub_refs: Vec<(&str, &[f64])> = sub_columns
+            .iter()
+            .map(|(n, v)| (*n, v.as_slice()))
+            .collect();
+        per_vendor_pearson.push((vendor, CorrelationMatrix::pearson(&sub_refs)));
+
+        let cores: Summary = subset
+            .iter()
+            .map(|r| r.system.cpu.cores_per_chip as f64)
+            .collect();
+        let ghz: Summary = subset.iter().map(|r| r.system.cpu.nominal.ghz()).collect();
+        let idle: Summary = subset.iter().filter_map(|r| r.idle_fraction()).collect();
+        vendor_stats.push(VendorStats {
+            vendor,
+            n: subset.len(),
+            mean_cores: cores.mean().unwrap_or(f64::NAN),
+            mean_ghz: ghz.mean().unwrap_or(f64::NAN),
+            std_ghz: ghz.std_dev().unwrap_or(f64::NAN),
+            mean_idle_fraction: idle.mean().unwrap_or(f64::NAN),
+        });
+    }
+
+    IdleCorrelationReport {
+        since_year,
+        n_runs: recent.len(),
+        pearson,
+        spearman,
+        per_vendor_pearson,
+        vendor_stats,
+    }
+}
+
+impl IdleCorrelationReport {
+    /// Correlations of every feature against the idle fraction, strongest
+    /// first.
+    pub fn idle_correlations(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = CORRELATED_FEATURES
+            .iter()
+            .filter(|&&f| f != "idle_fraction")
+            .filter_map(|&f| {
+                self.pearson
+                    .get("idle_fraction", f)
+                    .filter(|r| r.is_finite())
+                    .map(|r| (f.to_string(), r))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+        out
+    }
+
+    /// The paper's verdict: the exploration is *inconclusive* when no
+    /// feature correlates strongly (|r| ≥ `threshold`) with the idle
+    /// fraction consistently in the pooled data *and* within both vendors.
+    pub fn is_conclusive(&self, threshold: f64) -> bool {
+        self.idle_correlations().iter().any(|(feature, pooled)| {
+            pooled.abs() >= threshold
+                && self.per_vendor_pearson.iter().all(|(_, m)| {
+                    m.get("idle_fraction", feature)
+                        .is_some_and(|r| r.is_finite() && r.abs() >= threshold && r.signum() == pooled.signum())
+                })
+        })
+    }
+
+    /// Markdown summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Correlation exploration over {} runs since {}\n\n",
+            self.n_runs, self.since_year
+        ));
+        out.push_str("| feature | Pearson r vs idle fraction |\n|---|---|\n");
+        for (feature, r) in self.idle_correlations() {
+            out.push_str(&format!("| {feature} | {r:+.3} |\n"));
+        }
+        out.push('\n');
+        for s in &self.vendor_stats {
+            out.push_str(&format!(
+                "- {}: n={}, mean cores {:.1}, nominal {:.2}±{:.2} GHz, mean idle fraction {:.3}\n",
+                s.vendor, s.n, s.mean_cores, s.mean_ghz, s.std_ghz, s.mean_idle_fraction
+            ));
+        }
+        out.push_str(&format!(
+            "\nConclusive at |r|≥0.6: {}\n",
+            self.is_conclusive(0.6)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{linear_test_run, YearMonth};
+
+    fn recent_runs() -> Vec<RunResult> {
+        let mut runs = Vec::new();
+        for i in 0..20u32 {
+            let mut r = linear_test_run(i, 1e6 + i as f64 * 1e4, 40.0 + i as f64, 300.0);
+            r.dates.hw_available = YearMonth::new(2021 + (i % 3) as i32, 3).unwrap();
+            r.system.cpu.cores_per_chip = 16 + i;
+            if i % 2 == 0 {
+                r.system.cpu.name = "AMD EPYC 9654".into();
+                r.system.cpu.cores_per_chip = 64 + i;
+            }
+            runs.push(r);
+        }
+        runs
+    }
+
+    #[test]
+    fn report_shape() {
+        let report = explore(&recent_runs(), 2021);
+        assert_eq!(report.n_runs, 20);
+        assert_eq!(report.pearson.labels.len(), CORRELATED_FEATURES.len());
+        assert_eq!(report.per_vendor_pearson.len(), 2);
+        assert_eq!(report.vendor_stats.len(), 2);
+    }
+
+    #[test]
+    fn year_filter_applies() {
+        let report = explore(&recent_runs(), 2023);
+        assert!(report.n_runs < 20);
+        assert!(report.n_runs > 0);
+    }
+
+    #[test]
+    fn idle_correlation_detects_constructed_relationship() {
+        // Idle power grows with i while full power is fixed → idle fraction
+        // correlates with cores (both increase with i).
+        let report = explore(&recent_runs(), 2021);
+        let correlations = report.idle_correlations();
+        assert!(!correlations.is_empty());
+        let top = &correlations[0];
+        assert!(top.1.abs() > 0.5, "constructed correlation found: {top:?}");
+    }
+
+    #[test]
+    fn vendor_stats_reflect_lineups() {
+        let report = explore(&recent_runs(), 2021);
+        let amd = report
+            .vendor_stats
+            .iter()
+            .find(|s| s.vendor == CpuVendor::Amd)
+            .unwrap();
+        let intel = report
+            .vendor_stats
+            .iter()
+            .find(|s| s.vendor == CpuVendor::Intel)
+            .unwrap();
+        assert!(amd.mean_cores > intel.mean_cores);
+    }
+
+    #[test]
+    fn markdown_summarises() {
+        let md = explore(&recent_runs(), 2021).to_markdown();
+        assert!(md.contains("Pearson r"));
+        assert!(md.contains("mean cores"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Data export: the processed per-figure series as CSV files, mirroring the
+//! paper's Zenodo artifact which ships raw *and* processed data.
+
+use std::path::{Path, PathBuf};
+
+use tinyframe::{Agg, Column, Frame};
+
+use crate::features::runs_to_frame;
+use crate::report::Study;
+
+/// Build the per-year summary table (one row per year): run counts, mean
+/// per-socket power, mean idle fraction, median overall efficiency.
+pub fn yearly_summary(study: &Study) -> Frame {
+    let frame = runs_to_frame(&study.set.comparable);
+    frame
+        .group_by(&["year"])
+        .expect("year column is discrete")
+        .agg(&[
+            ("overall_eff", Agg::Count),
+            ("per_socket_w", Agg::Mean),
+            ("idle_fraction", Agg::Mean),
+            ("overall_eff", Agg::Median),
+            ("extrap_quotient", Agg::Mean),
+        ])
+        .expect("numeric aggregates")
+}
+
+/// Markdown rendering of [`yearly_summary`].
+pub fn yearly_summary_markdown(study: &Study) -> String {
+    let summary = yearly_summary(study);
+    let mut out = String::new();
+    out.push_str("| year | runs | W/socket | idle fraction | median ssj_ops/W | extrap. quotient |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    let years = summary.i64s("year").expect("key column");
+    let counts = summary.f64s("overall_eff_count").expect("agg");
+    let watts = summary.f64s("per_socket_w_mean").expect("agg");
+    let idle = summary.f64s("idle_fraction_mean").expect("agg");
+    let eff = summary.f64s("overall_eff_median").expect("agg");
+    let quot = summary.f64s("extrap_quotient_mean").expect("agg");
+    for i in 0..summary.n_rows() {
+        out.push_str(&format!(
+            "| {} | {:.0} | {:.1} | {:.3} | {:.0} | {:.2} |\n",
+            years[i], counts[i], watts[i], idle[i], eff[i], quot[i]
+        ));
+    }
+    out
+}
+
+fn series_frame(series: &[(spec_model::CpuVendor, Vec<(f64, f64)>)], y_name: &str) -> Frame {
+    let mut vendor = Vec::new();
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for (v, pts) in series {
+        for &(px, py) in pts {
+            vendor.push(v.label().to_string());
+            x.push(px);
+            y.push(py);
+        }
+    }
+    Frame::from_columns([
+        ("vendor", Column::Str(vendor)),
+        ("frac_year", Column::F64(x)),
+        (y_name, Column::F64(y)),
+    ])
+    .expect("fresh frame")
+}
+
+impl Study {
+    /// Write the processed data behind every figure as CSV files; returns
+    /// the written paths.
+    pub fn write_data(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        let mut save = |name: &str, content: String| -> std::io::Result<()> {
+            let path = dir.join(name);
+            std::fs::write(&path, content)?;
+            paths.push(path);
+            Ok(())
+        };
+
+        // Full per-run feature table (the master processed dataset).
+        save(
+            "comparable_runs.csv",
+            runs_to_frame(&self.set.comparable).to_csv(),
+        )?;
+        save("valid_runs.csv", runs_to_frame(&self.set.valid).to_csv())?;
+
+        // Figure 1: shares per year.
+        {
+            let mut frame = Frame::from_columns([(
+                "year",
+                Column::I64(self.fig1.years.iter().map(|&y| y as i64).collect()),
+            )])
+            .expect("fresh");
+            frame
+                .add_column(
+                    "runs",
+                    Column::F64(self.fig1.counts.iter().map(|&c| c as f64).collect()),
+                )
+                .expect("same length");
+            for (feature, series) in &self.fig1.shares {
+                frame
+                    .add_column(format!("share_{}", feature.replace(' ', "_")), Column::F64(series.clone()))
+                    .expect("same length");
+            }
+            save("fig1_shares.csv", frame.to_csv())?;
+        }
+
+        // Figures 2/3/5/6: scatter series.
+        save(
+            "fig2_per_socket_power.csv",
+            series_frame(&self.fig2.scatter, "w_per_socket").to_csv(),
+        )?;
+        save(
+            "fig3_overall_efficiency.csv",
+            series_frame(&self.fig3.scatter, "overall_eff").to_csv(),
+        )?;
+        save(
+            "fig5_idle_fraction.csv",
+            series_frame(&self.fig5.scatter, "idle_fraction").to_csv(),
+        )?;
+        save(
+            "fig6_extrapolated_quotient.csv",
+            series_frame(&self.fig6.scatter, "extrap_quotient").to_csv(),
+        )?;
+
+        // Figure 4: box statistics per bin.
+        {
+            let cells = &self.fig4.cells;
+            let frame = Frame::from_columns([
+                (
+                    "year",
+                    Column::I64(cells.iter().map(|c| c.year as i64).collect()),
+                ),
+                (
+                    "vendor",
+                    Column::Str(cells.iter().map(|c| c.vendor.label().to_string()).collect()),
+                ),
+                (
+                    "load_pct",
+                    Column::I64(cells.iter().map(|c| c.load as i64).collect()),
+                ),
+                (
+                    "n",
+                    Column::I64(cells.iter().map(|c| c.stats.n as i64).collect()),
+                ),
+                (
+                    "q1",
+                    Column::F64(cells.iter().map(|c| c.stats.q1).collect()),
+                ),
+                (
+                    "median",
+                    Column::F64(cells.iter().map(|c| c.stats.median).collect()),
+                ),
+                (
+                    "q3",
+                    Column::F64(cells.iter().map(|c| c.stats.q3).collect()),
+                ),
+                (
+                    "mean",
+                    Column::F64(cells.iter().map(|c| c.stats.mean).collect()),
+                ),
+            ])
+            .expect("fresh frame");
+            save("fig4_relative_efficiency.csv", frame.to_csv())?;
+        }
+
+        // Yearly summary table.
+        save("yearly_summary.csv", yearly_summary(self).to_csv())?;
+
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::load_from_texts;
+    use crate::report::run_study;
+    use spec_format::write_run;
+    use spec_model::linear_test_run;
+    use spec_ssj::Settings;
+
+    fn tiny_study() -> Study {
+        let texts: Vec<String> = (0..6)
+            .map(|i| write_run(&linear_test_run(i, 1e6, 60.0, 300.0)))
+            .collect();
+        run_study(load_from_texts(&texts), &Settings::fast(), 7)
+    }
+
+    #[test]
+    fn yearly_summary_has_one_row_per_year() {
+        let study = tiny_study();
+        let summary = yearly_summary(&study);
+        assert_eq!(summary.n_rows(), 1);
+        assert_eq!(summary.f64s("overall_eff_count").unwrap()[0], 6.0);
+        let md = yearly_summary_markdown(&study);
+        assert!(md.contains("| 2020 | 6 |"));
+    }
+
+    #[test]
+    fn write_data_emits_all_files() {
+        let dir = std::env::temp_dir().join("spec_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = tiny_study().write_data(&dir).unwrap();
+        assert_eq!(paths.len(), 9);
+        for p in &paths {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert!(text.lines().count() >= 1, "{p:?} has a header");
+            assert!(text.contains(','), "{p:?} is CSV");
+        }
+        // The master table must round-trip its header columns.
+        let master = std::fs::read_to_string(dir.join("comparable_runs.csv")).unwrap();
+        assert!(master.starts_with("id,year,frac_year,vendor"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

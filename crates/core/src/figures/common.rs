@@ -1,0 +1,114 @@
+//! Shared helpers for the figure computations.
+
+use spec_model::{CpuVendor, RunResult};
+use tinystats::mean_by_key;
+
+/// Paper-consistent colours: Intel blue, AMD vermillion.
+pub fn vendor_color(vendor: CpuVendor) -> &'static str {
+    match vendor {
+        CpuVendor::Intel => tinyplot::PALETTE[0],
+        CpuVendor::Amd => tinyplot::PALETTE[1],
+        CpuVendor::Other => tinyplot::PALETTE[6],
+    }
+}
+
+/// The two vendors the comparable dataset contains.
+pub const VENDORS: [CpuVendor; 2] = [CpuVendor::Intel, CpuVendor::Amd];
+
+/// Scatter points `(fractional hardware year, metric)` for one vendor.
+pub fn vendor_scatter<F>(runs: &[RunResult], vendor: CpuVendor, metric: F) -> Vec<(f64, f64)>
+where
+    F: Fn(&RunResult) -> Option<f64>,
+{
+    runs.iter()
+        .filter(|r| r.system.cpu.vendor() == vendor)
+        .filter_map(|r| metric(r).map(|v| (r.dates.hw_available.fractional_year(), v)))
+        .filter(|(_, v)| v.is_finite())
+        .collect()
+}
+
+/// Yearly means `(year, mean metric)` for one vendor (year centre on x).
+pub fn vendor_yearly_mean<F>(
+    runs: &[RunResult],
+    vendor: CpuVendor,
+    metric: F,
+) -> Vec<(i32, f64)>
+where
+    F: Fn(&RunResult) -> Option<f64>,
+{
+    let pairs: Vec<(i32, f64)> = runs
+        .iter()
+        .filter(|r| r.system.cpu.vendor() == vendor)
+        .filter_map(|r| metric(r).map(|v| (r.hw_year(), v)))
+        .collect();
+    mean_by_key(&pairs)
+}
+
+/// Yearly means over all runs regardless of vendor.
+pub fn yearly_mean<F>(runs: &[RunResult], metric: F) -> Vec<(i32, f64)>
+where
+    F: Fn(&RunResult) -> Option<f64>,
+{
+    let pairs: Vec<(i32, f64)> = runs
+        .iter()
+        .filter_map(|r| metric(r).map(|v| (r.hw_year(), v)))
+        .collect();
+    mean_by_key(&pairs)
+}
+
+/// Mean of a metric over runs within an inclusive hardware-year window.
+pub fn era_mean<F>(runs: &[RunResult], lo: i32, hi: i32, metric: F) -> f64
+where
+    F: Fn(&RunResult) -> Option<f64>,
+{
+    let xs: Vec<f64> = runs
+        .iter()
+        .filter(|r| (lo..=hi).contains(&r.hw_year()))
+        .filter_map(&metric)
+        .filter(|v| v.is_finite())
+        .collect();
+    tinystats::mean(&xs).unwrap_or(f64::NAN)
+}
+
+/// Year-centred line points from `(year, value)` pairs.
+pub fn year_line(points: &[(i32, f64)]) -> Vec<(f64, f64)> {
+    points.iter().map(|&(y, v)| (y as f64 + 0.5, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::linear_test_run;
+
+    #[test]
+    fn scatter_filters_vendor() {
+        let mut a = linear_test_run(1, 1e6, 60.0, 300.0);
+        a.system.cpu.name = "AMD EPYC 7742".into();
+        let b = linear_test_run(2, 1e6, 60.0, 300.0);
+        let runs = vec![a, b];
+        let amd = vendor_scatter(&runs, CpuVendor::Amd, |r| Some(r.id as f64));
+        assert_eq!(amd.len(), 1);
+        assert_eq!(amd[0].1, 1.0);
+    }
+
+    #[test]
+    fn yearly_mean_aggregates() {
+        let runs: Vec<_> = (0..4).map(|i| linear_test_run(i, 1e6, 60.0, 300.0)).collect();
+        let means = yearly_mean(&runs, |r| r.idle_fraction());
+        assert_eq!(means.len(), 1);
+        assert_eq!(means[0].0, 2020);
+        assert!((means[0].1 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn era_mean_windows() {
+        let runs: Vec<_> = (0..4).map(|i| linear_test_run(i, 1e6, 60.0, 300.0)).collect();
+        assert!((era_mean(&runs, 2019, 2021, |r| r.idle_fraction()) - 0.2).abs() < 1e-9);
+        assert!(era_mean(&runs, 1990, 1999, |r| r.idle_fraction()).is_nan());
+    }
+
+    #[test]
+    fn year_line_centers() {
+        assert_eq!(year_line(&[(2020, 1.0)]), vec![(2020.5, 1.0)]);
+    }
+}

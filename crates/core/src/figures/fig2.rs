@@ -1,0 +1,172 @@
+//! Figure 2: per-socket power consumption at full load over time, plus the
+//! §III era statistics (119.0 W → 303.3 W, ≈2.5×; ≈1.8× at 20 %, ≈2.2× at
+//! 70 %).
+
+use spec_model::{CpuVendor, LoadLevel, RunResult};
+use tinyplot::{Chart, SeriesKind};
+
+use super::common::{era_mean, vendor_color, vendor_scatter, vendor_yearly_mean, year_line, VENDORS};
+
+/// Power growth between the ≤2010 and ≥2022 eras at one load level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelGrowth {
+    /// The load level (100, 70, 20, …).
+    pub percent: u8,
+    /// Mean power over runs with hardware available up to 2010.
+    pub mean_pre2010_w: f64,
+    /// Mean power over runs with hardware available from 2022.
+    pub mean_post2022_w: f64,
+    /// `mean_post2022 / mean_pre2010`.
+    pub ratio: f64,
+}
+
+/// Figure 2 data.
+#[derive(Clone, Debug)]
+pub struct Fig2Power {
+    /// Scatter `(fractional year, W/socket)` per vendor.
+    pub scatter: Vec<(CpuVendor, Vec<(f64, f64)>)>,
+    /// Yearly mean W/socket per vendor.
+    pub yearly_means: Vec<(CpuVendor, Vec<(i32, f64)>)>,
+    /// Per-socket full-load growth (§III: 119.0 → 303.3 W).
+    pub per_socket_growth: LevelGrowth,
+    /// Whole-system power growth at selected load levels (§III: ≈1.8× at
+    /// 20 %, ≈2.2× at 70 %, plus 100 % for reference).
+    pub level_growth: Vec<LevelGrowth>,
+}
+
+fn per_socket(run: &RunResult) -> Option<f64> {
+    run.per_socket_full_load_power().map(|w| w.value())
+}
+
+/// Compute Figure 2 over the comparable dataset.
+pub fn compute(comparable: &[RunResult]) -> Fig2Power {
+    let scatter = VENDORS
+        .iter()
+        .map(|&v| (v, vendor_scatter(comparable, v, per_socket)))
+        .collect();
+    let yearly_means = VENDORS
+        .iter()
+        .map(|&v| (v, vendor_yearly_mean(comparable, v, per_socket)))
+        .collect();
+
+    let growth_at = |metric: &dyn Fn(&RunResult) -> Option<f64>, percent: u8| {
+        let pre = era_mean(comparable, i32::MIN, 2010, metric);
+        let post = era_mean(comparable, 2022, i32::MAX, metric);
+        LevelGrowth {
+            percent,
+            mean_pre2010_w: pre,
+            mean_post2022_w: post,
+            ratio: post / pre,
+        }
+    };
+
+    let per_socket_growth = growth_at(&per_socket, 100);
+    let level_growth = [100u8, 70, 20]
+        .into_iter()
+        .map(|pct| {
+            growth_at(
+                &move |r: &RunResult| r.power_at(LoadLevel::Percent(pct)).map(|w| w.value()),
+                pct,
+            )
+        })
+        .collect();
+
+    Fig2Power {
+        scatter,
+        yearly_means,
+        per_socket_growth,
+        level_growth,
+    }
+}
+
+impl Fig2Power {
+    /// Render the figure.
+    pub fn chart(&self) -> Chart {
+        let mut chart = Chart::new(
+            "Figure 2: power consumption (per socket) at full load",
+            "hardware availability year",
+            "W per socket",
+        );
+        chart.y_from_zero();
+        for (vendor, pts) in &self.scatter {
+            chart.add_colored(
+                vendor.label(),
+                SeriesKind::Scatter,
+                pts.clone(),
+                vendor_color(*vendor),
+            );
+        }
+        for (vendor, means) in &self.yearly_means {
+            chart.add_colored(
+                format!("{} yearly mean", vendor.label()),
+                SeriesKind::Line,
+                year_line(means),
+                vendor_color(*vendor),
+            );
+        }
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{linear_test_run, YearMonth};
+
+    fn eras() -> Vec<RunResult> {
+        let mut runs = Vec::new();
+        for i in 0..6u32 {
+            // Three old low-power runs, three recent high-power runs.
+            let (year, full) = if i < 3 { (2008, 240.0) } else { (2023, 700.0) };
+            let mut r = linear_test_run(i, 1e6, 0.25 * full, full);
+            r.dates.hw_available = YearMonth::new(year, 6).unwrap();
+            if i == 5 {
+                r.system.cpu.name = "AMD EPYC 9654".into();
+            }
+            runs.push(r);
+        }
+        runs
+    }
+
+    #[test]
+    fn per_socket_growth_ratio() {
+        let fig = compute(&eras());
+        let g = fig.per_socket_growth;
+        assert!((g.mean_pre2010_w - 120.0).abs() < 1e-9);
+        assert!((g.mean_post2022_w - 350.0).abs() < 1e-9);
+        assert!((g.ratio - 350.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_growth_includes_partial_loads() {
+        let fig = compute(&eras());
+        let pcts: Vec<u8> = fig.level_growth.iter().map(|g| g.percent).collect();
+        assert_eq!(pcts, vec![100, 70, 20]);
+        for g in &fig.level_growth {
+            assert!(g.ratio > 1.0, "{}% grew", g.percent);
+        }
+    }
+
+    #[test]
+    fn vendor_split() {
+        let fig = compute(&eras());
+        let intel = &fig.scatter[0];
+        let amd = &fig.scatter[1];
+        assert_eq!(intel.0, CpuVendor::Intel);
+        assert_eq!(intel.1.len(), 5);
+        assert_eq!(amd.1.len(), 1);
+    }
+
+    #[test]
+    fn chart_renders() {
+        let svg = compute(&eras()).chart().to_svg(700, 480);
+        assert!(svg.contains("Figure 2"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_input_nan_growth() {
+        let fig = compute(&[]);
+        assert!(fig.per_socket_growth.ratio.is_nan());
+    }
+}

@@ -1,0 +1,192 @@
+//! Figure 4: distributions of relative efficiency at 60–90 % load, binned
+//! by year and CPU vendor (box-and-whisker per bin).
+
+use spec_model::{CpuVendor, RunResult};
+use tinyplot::{BoxSpec, Chart, SeriesKind};
+use tinystats::BoxStats;
+
+use super::common::{vendor_color, VENDORS};
+
+/// The load levels the figure covers.
+pub const LOADS: [u8; 4] = [60, 70, 80, 90];
+
+/// One bin of the figure.
+#[derive(Clone, Debug)]
+pub struct Fig4Cell {
+    /// Hardware-availability year.
+    pub year: i32,
+    /// CPU vendor.
+    pub vendor: CpuVendor,
+    /// Load level (60/70/80/90).
+    pub load: u8,
+    /// Distribution of `eff(load)/eff(100 %)` in the bin.
+    pub stats: BoxStats,
+}
+
+/// Figure 4 data.
+#[derive(Clone, Debug)]
+pub struct Fig4Proportionality {
+    /// All non-empty bins, ordered by (load, vendor, year).
+    pub cells: Vec<Fig4Cell>,
+}
+
+/// Compute Figure 4 over the comparable dataset.
+pub fn compute(comparable: &[RunResult]) -> Fig4Proportionality {
+    let mut cells = Vec::new();
+    let years: Vec<i32> = {
+        let mut ys: Vec<i32> = comparable.iter().map(RunResult::hw_year).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        ys
+    };
+    for load in LOADS {
+        for vendor in VENDORS {
+            for &year in &years {
+                let values: Vec<f64> = comparable
+                    .iter()
+                    .filter(|r| r.hw_year() == year && r.system.cpu.vendor() == vendor)
+                    .filter_map(|r| r.relative_efficiency(load))
+                    .filter(|v| v.is_finite())
+                    .collect();
+                if let Some(stats) = BoxStats::from_slice(&values) {
+                    cells.push(Fig4Cell {
+                        year,
+                        vendor,
+                        load,
+                        stats,
+                    });
+                }
+            }
+        }
+    }
+    Fig4Proportionality { cells }
+}
+
+impl Fig4Proportionality {
+    /// Bins for one load level and vendor, ascending by year.
+    pub fn series(&self, load: u8, vendor: CpuVendor) -> Vec<&Fig4Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.load == load && c.vendor == vendor)
+            .collect()
+    }
+
+    /// Mean of the yearly medians over a year window (trend summaries used
+    /// in the §III discussion).
+    pub fn mean_median(&self, load: u8, vendor: CpuVendor, lo: i32, hi: i32) -> f64 {
+        let medians: Vec<f64> = self
+            .series(load, vendor)
+            .into_iter()
+            .filter(|c| (lo..=hi).contains(&c.year))
+            .map(|c| c.stats.median)
+            .collect();
+        tinystats::mean(&medians).unwrap_or(f64::NAN)
+    }
+
+    /// Render one load level as a box chart (the paper shows a 4×panel
+    /// grid; we emit one chart per level).
+    pub fn chart(&self, load: u8) -> Chart {
+        let mut chart = Chart::new(
+            format!("Figure 4: relative efficiency at {load}% load"),
+            "hardware availability year",
+            "efficiency relative to 100% load",
+        );
+        chart.hline(1.0);
+        for vendor in VENDORS {
+            let boxes: Vec<BoxSpec> = self
+                .series(load, vendor)
+                .into_iter()
+                .map(|c| BoxSpec {
+                    // Offset the two vendors so their boxes sit side by side.
+                    x: c.year as f64
+                        + if vendor == CpuVendor::Intel {
+                            0.3
+                        } else {
+                            0.7
+                        },
+                    whisker_lo: c.stats.whisker_lo,
+                    q1: c.stats.q1,
+                    median: c.stats.median,
+                    q3: c.stats.q3,
+                    whisker_hi: c.stats.whisker_hi,
+                    outliers: c.stats.outliers.clone(),
+                })
+                .collect();
+            chart.add_colored(
+                vendor.label(),
+                SeriesKind::Boxes(boxes),
+                Vec::new(),
+                vendor_color(vendor),
+            );
+        }
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::linear_test_run;
+
+    fn runs() -> Vec<RunResult> {
+        (0..8)
+            .map(|i| {
+                let mut r = linear_test_run(i, 1e6, 60.0, 300.0);
+                if i >= 4 {
+                    r.system.cpu.name = "AMD EPYC 7543".into();
+                }
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bins_cover_levels_and_vendors() {
+        let fig = compute(&runs());
+        assert_eq!(fig.cells.len(), LOADS.len() * 2);
+        for load in LOADS {
+            for vendor in VENDORS {
+                assert_eq!(fig.series(load, vendor).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_power_gives_sub_one_relative_efficiency() {
+        let fig = compute(&runs());
+        for cell in &fig.cells {
+            assert!(
+                cell.stats.median < 1.0,
+                "linear power curve with idle floor is not energy proportional"
+            );
+            assert!(cell.stats.median > 0.5);
+        }
+    }
+
+    #[test]
+    fn higher_load_closer_to_one() {
+        let fig = compute(&runs());
+        let m60 = fig.mean_median(60, CpuVendor::Intel, 2000, 2030);
+        let m90 = fig.mean_median(90, CpuVendor::Intel, 2000, 2030);
+        assert!(m90 > m60, "90% load is closer to full-load efficiency");
+    }
+
+    #[test]
+    fn mean_median_empty_window_nan() {
+        let fig = compute(&runs());
+        assert!(fig.mean_median(60, CpuVendor::Intel, 1990, 1995).is_nan());
+    }
+
+    #[test]
+    fn chart_renders_boxes() {
+        let fig = compute(&runs());
+        let svg = fig.chart(70).to_svg(800, 500);
+        assert!(svg.contains("Figure 4"));
+        assert!(svg.contains("stroke-dasharray"), "reference line at 1.0");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(compute(&[]).cells.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 5: active-idle power trend — the *idle fraction* (idle power over
+//! full-load power), with the §IV trajectory: 70.1 % (2006) → minimum 15.7 %
+//! (2017) → 25.7 % (2024).
+
+use spec_model::{CpuVendor, RunResult};
+use tinyplot::{Chart, SeriesKind};
+
+use super::common::{
+    vendor_color, vendor_scatter, vendor_yearly_mean, year_line, yearly_mean, VENDORS,
+};
+
+/// Figure 5 data.
+#[derive(Clone, Debug)]
+pub struct Fig5Idle {
+    /// Scatter `(fractional year, idle fraction)` per vendor.
+    pub scatter: Vec<(CpuVendor, Vec<(f64, f64)>)>,
+    /// Yearly mean idle fraction per vendor.
+    pub yearly_means: Vec<(CpuVendor, Vec<(i32, f64)>)>,
+    /// Yearly mean idle fraction over all comparable runs.
+    pub overall_yearly_mean: Vec<(i32, f64)>,
+    /// Mean idle fraction of the earliest year with data (§IV: 70.1 % in 2006).
+    pub earliest: Option<(i32, f64)>,
+    /// The minimum yearly mean (§IV: 15.7 % in 2017).
+    pub minimum: Option<(i32, f64)>,
+    /// Mean idle fraction of the latest year with data (§IV: 25.7 % in 2024).
+    pub latest: Option<(i32, f64)>,
+    /// Linear-trend slope of vendor yearly means since 2017 (§IV: Intel
+    /// rising, AMD slightly falling).
+    pub recent_slope: Vec<(CpuVendor, f64)>,
+}
+
+fn idle_fraction(run: &RunResult) -> Option<f64> {
+    run.idle_fraction().filter(|f| f.is_finite())
+}
+
+/// Compute Figure 5 over the comparable dataset.
+pub fn compute(comparable: &[RunResult]) -> Fig5Idle {
+    let scatter = VENDORS
+        .iter()
+        .map(|&v| (v, vendor_scatter(comparable, v, idle_fraction)))
+        .collect();
+    let yearly_means: Vec<(CpuVendor, Vec<(i32, f64)>)> = VENDORS
+        .iter()
+        .map(|&v| (v, vendor_yearly_mean(comparable, v, idle_fraction)))
+        .collect();
+    let overall = yearly_mean(comparable, idle_fraction);
+
+    let earliest = overall.first().copied();
+    let latest = overall.last().copied();
+    let minimum = overall
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"));
+
+    let recent_slope = yearly_means
+        .iter()
+        .map(|(vendor, means)| {
+            let recent: Vec<(f64, f64)> = means
+                .iter()
+                .filter(|(y, _)| *y >= 2017)
+                .map(|&(y, m)| (y as f64, m))
+                .collect();
+            let xs: Vec<f64> = recent.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = recent.iter().map(|p| p.1).collect();
+            let slope = tinystats::fit(&xs, &ys).map(|f| f.slope).unwrap_or(f64::NAN);
+            (*vendor, slope)
+        })
+        .collect();
+
+    Fig5Idle {
+        scatter,
+        yearly_means,
+        overall_yearly_mean: overall,
+        earliest,
+        minimum,
+        latest,
+        recent_slope,
+    }
+}
+
+impl Fig5Idle {
+    /// Render the figure.
+    pub fn chart(&self) -> Chart {
+        let mut chart = Chart::new(
+            "Figure 5: idle power consumption trend",
+            "hardware availability year",
+            "active idle power / full load power",
+        );
+        chart.y_from_zero();
+        for (vendor, pts) in &self.scatter {
+            chart.add_colored(
+                vendor.label(),
+                SeriesKind::Scatter,
+                pts.clone(),
+                vendor_color(*vendor),
+            );
+        }
+        for (vendor, means) in &self.yearly_means {
+            chart.add_colored(
+                format!("{} yearly mean", vendor.label()),
+                SeriesKind::Line,
+                year_line(means),
+                vendor_color(*vendor),
+            );
+        }
+        chart.add_colored(
+            "all yearly mean",
+            SeriesKind::Line,
+            year_line(&self.overall_yearly_mean),
+            "#444444",
+        );
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::{linear_test_run, YearMonth};
+
+    /// Idle fractions 0.7 (2006) → 0.15 (2017) → 0.26 (2024).
+    fn trajectory_runs() -> Vec<RunResult> {
+        let spec = [
+            (2006, 0.70),
+            (2006, 0.72),
+            (2017, 0.14),
+            (2017, 0.16),
+            (2024, 0.25),
+            (2024, 0.27),
+        ];
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(year, frac))| {
+                let mut r = linear_test_run(i as u32, 1e6, 300.0 * frac, 300.0);
+                r.dates.hw_available = YearMonth::new(year, 6).unwrap();
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trajectory_markers() {
+        let fig = compute(&trajectory_runs());
+        let (y0, f0) = fig.earliest.unwrap();
+        assert_eq!(y0, 2006);
+        assert!((f0 - 0.71).abs() < 1e-9);
+        let (ymin, fmin) = fig.minimum.unwrap();
+        assert_eq!(ymin, 2017);
+        assert!((fmin - 0.15).abs() < 1e-9);
+        let (ylast, flast) = fig.latest.unwrap();
+        assert_eq!(ylast, 2024);
+        assert!((flast - 0.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_slope_positive_for_regressing_vendor() {
+        let fig = compute(&trajectory_runs());
+        // All test runs are Intel; idle fraction rises 2017 → 2024.
+        let (vendor, slope) = fig.recent_slope[0];
+        assert_eq!(vendor, CpuVendor::Intel);
+        assert!(slope > 0.0);
+    }
+
+    #[test]
+    fn yearly_mean_series_sorted() {
+        let fig = compute(&trajectory_runs());
+        let years: Vec<i32> = fig.overall_yearly_mean.iter().map(|p| p.0).collect();
+        assert_eq!(years, vec![2006, 2017, 2024]);
+    }
+
+    #[test]
+    fn chart_renders() {
+        let svg = compute(&trajectory_runs()).chart().to_svg(700, 480);
+        assert!(svg.contains("Figure 5"));
+        assert!(svg.contains("all yearly mean"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let fig = compute(&[]);
+        assert!(fig.earliest.is_none());
+        assert!(fig.minimum.is_none());
+    }
+}

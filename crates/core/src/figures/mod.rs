@@ -1,0 +1,15 @@
+//! The six figure reproductions.
+//!
+//! Each submodule computes one figure's data from the filtered run sets and
+//! can render it as a `tinyplot` chart: [`fig1`] feature shares, [`fig2`]
+//! full-load power per socket, [`fig3`] overall efficiency, [`fig4`]
+//! relative-efficiency distributions, [`fig5`] the idle fraction, [`fig6`]
+//! the extrapolated idle quotient.
+
+pub mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;

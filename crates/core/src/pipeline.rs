@@ -1,0 +1,215 @@
+//! The §II data pipeline: raw report texts → validated runs → the
+//! comparable analysis set, with a per-category accounting of everything
+//! that was filtered out.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use spec_format::{comparability_issues, parse_run, validate, ComparabilityIssue, ValidityIssue};
+use spec_model::RunResult;
+
+/// Per-rule accounting of the filter cascade (the numbers §II reports).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterReport {
+    /// Raw input files.
+    pub raw: usize,
+    /// Files that were not SPEC Power reports at all.
+    pub not_reports: usize,
+    /// Stage-1 rejections by category. A run rejected for several reasons is
+    /// attributed to its *first* category in the paper's order, mirroring a
+    /// sequential filter script.
+    pub stage1: BTreeMap<ValidityIssue, usize>,
+    /// Runs surviving stage 1 (the paper's 960).
+    pub valid: usize,
+    /// Stage-2 rejections by category, attributed sequentially likewise.
+    pub stage2: BTreeMap<ComparabilityIssue, usize>,
+    /// Runs surviving both stages (the paper's 676).
+    pub comparable: usize,
+}
+
+impl FilterReport {
+    /// Total stage-1 rejections.
+    pub fn stage1_total(&self) -> usize {
+        self.stage1.values().sum()
+    }
+
+    /// Total stage-2 rejections.
+    pub fn stage2_total(&self) -> usize {
+        self.stage2.values().sum()
+    }
+
+    /// Render the cascade as the paper describes it.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("raw submissions: {}\n", self.raw));
+        if self.not_reports > 0 {
+            out.push_str(&format!("  not parseable as reports: {}\n", self.not_reports));
+        }
+        for (issue, n) in &self.stage1 {
+            out.push_str(&format!("  - {}: {}\n", issue.label(), n));
+        }
+        out.push_str(&format!("valid dataset: {}\n", self.valid));
+        for (issue, n) in &self.stage2 {
+            out.push_str(&format!("  - {}: {}\n", issue.label(), n));
+        }
+        out.push_str(&format!("comparable dataset: {}\n", self.comparable));
+        out
+    }
+}
+
+/// The outcome of loading a dataset.
+#[derive(Clone, Debug)]
+pub struct AnalysisSet {
+    /// All stage-1-valid runs (the 960-run dataset; Figure 1 uses these).
+    pub valid: Vec<RunResult>,
+    /// The comparable subset (the 676-run dataset; Figures 2–6 use these).
+    pub comparable: Vec<RunResult>,
+    /// Filter accounting.
+    pub report: FilterReport,
+}
+
+/// Run the §II cascade over report texts.
+pub fn load_from_texts<I, S>(texts: I) -> AnalysisSet
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut report = FilterReport::default();
+    let mut valid = Vec::new();
+
+    for text in texts {
+        report.raw += 1;
+        let parsed = match parse_run(text.as_ref()) {
+            Ok(p) => p,
+            Err(_) => {
+                report.not_reports += 1;
+                continue;
+            }
+        };
+        match validate(&parsed) {
+            Ok(run) => valid.push(run),
+            Err(issues) => {
+                let first = issues
+                    .first()
+                    .copied()
+                    .unwrap_or(ValidityIssue::Malformed);
+                *report.stage1.entry(first).or_insert(0) += 1;
+            }
+        }
+    }
+    report.valid = valid.len();
+
+    let mut comparable = Vec::new();
+    for run in &valid {
+        let issues = comparability_issues(run);
+        match issues.first() {
+            None => comparable.push(run.clone()),
+            Some(&first) => {
+                *report.stage2.entry(first).or_insert(0) += 1;
+            }
+        }
+    }
+    report.comparable = comparable.len();
+
+    AnalysisSet {
+        valid,
+        comparable,
+        report,
+    }
+}
+
+/// Load every `*.txt` file in a directory and run the cascade.
+pub fn load_from_dir(dir: &Path) -> std::io::Result<AnalysisSet> {
+    let mut texts = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        texts.push(std::fs::read_to_string(path)?);
+    }
+    Ok(load_from_texts(texts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_format::write_run;
+    use spec_model::{linear_test_run, RunStatus};
+
+    #[test]
+    fn clean_texts_pass_through() {
+        let texts: Vec<String> = (0..5)
+            .map(|i| write_run(&linear_test_run(i, 1e6, 60.0, 300.0)))
+            .collect();
+        let set = load_from_texts(&texts);
+        assert_eq!(set.report.raw, 5);
+        assert_eq!(set.valid.len(), 5);
+        assert_eq!(set.comparable.len(), 5);
+        assert_eq!(set.report.stage1_total(), 0);
+        assert_eq!(set.report.stage2_total(), 0);
+    }
+
+    #[test]
+    fn non_report_counted() {
+        let set = load_from_texts(["garbage data"]);
+        assert_eq!(set.report.not_reports, 1);
+        assert_eq!(set.valid.len(), 0);
+    }
+
+    #[test]
+    fn stage1_attribution() {
+        let mut run = linear_test_run(1, 1e6, 60.0, 300.0);
+        run.status = RunStatus::NotAccepted("x".into());
+        let set = load_from_texts([write_run(&run)]);
+        assert_eq!(set.report.stage1[&ValidityIssue::NotAccepted], 1);
+        assert_eq!(set.valid.len(), 0);
+    }
+
+    #[test]
+    fn stage2_attribution_order() {
+        // A multi-node non-x86 run is attributed to the vendor rule first,
+        // like the paper's sequential filters.
+        let mut run = linear_test_run(2, 1e6, 60.0, 300.0);
+        run.system.cpu.name = "SPARC T3-1".into();
+        run.system.nodes = 4;
+        let set = load_from_texts([write_run(&run)]);
+        assert_eq!(set.valid.len(), 1);
+        assert_eq!(set.comparable.len(), 0);
+        assert_eq!(set.report.stage2[&ComparabilityIssue::NonX86Vendor], 1);
+        assert!(!set
+            .report
+            .stage2
+            .contains_key(&ComparabilityIssue::ExcludedTopology));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut run = linear_test_run(3, 1e6, 60.0, 300.0);
+        run.system.chips = 4;
+        let set = load_from_texts([write_run(&run)]);
+        let md = set.report.to_markdown();
+        assert!(md.contains("raw submissions: 1"));
+        assert!(md.contains("more than one node or more than two sockets: 1"));
+        assert!(md.contains("comparable dataset: 0"));
+    }
+
+    #[test]
+    fn dir_loading_roundtrip() {
+        let dir = std::env::temp_dir().join("spec_pipeline_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..3u32 {
+            let run = linear_test_run(i, 1e6, 60.0, 300.0);
+            std::fs::write(dir.join(format!("r{i}.txt")), write_run(&run)).unwrap();
+        }
+        std::fs::write(dir.join("notes.md"), "ignore me").unwrap();
+        let set = load_from_dir(&dir).unwrap();
+        assert_eq!(set.report.raw, 3);
+        assert_eq!(set.comparable.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

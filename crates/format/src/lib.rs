@@ -1,0 +1,31 @@
+//! # spec-format
+//!
+//! Serialisation of SPECpower_ssj2008 results as SPEC-style `.txt` reports,
+//! and the paper's two-stage filter pipeline for reading them back:
+//!
+//! 1. [`parser::parse_run`] — a tolerant line-oriented parser producing a
+//!    [`ParsedRun`] of optional raw fields (real submissions are messy);
+//! 2. [`validity::validate`] — the §II consistency checks, attributing every
+//!    rejection to one of the paper's categories ([`ValidityIssue`]) and
+//!    yielding a clean [`spec_model::RunResult`];
+//! 3. [`validity::comparability_issues`] — the §II comparability filters
+//!    (x86 only, server-class CPUs only, ≤1 node, ≤2 sockets) that cut the
+//!    960-run dataset to the 676 analysed runs.
+//!
+//! [`writer::write_run`] renders the canonical report; write→parse→validate
+//! round-trips are property-tested in `tests/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod numfmt;
+pub mod parser;
+pub mod validity;
+pub mod writer;
+
+pub use numfmt::{group_thousands, parse_grouped};
+pub use parser::{parse_run, DateField, NotAReport, ParsedRun};
+pub use validity::{
+    comparability_issues, cpu_name_ambiguous, validate, ComparabilityIssue, ValidityIssue,
+};
+pub use writer::write_run;

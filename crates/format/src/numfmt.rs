@@ -1,0 +1,82 @@
+//! Number formatting/parsing in the SPEC report style (thousands separators,
+//! e.g. `10,262,499`).
+
+/// Format a non-negative value with `,` thousands separators and the given
+/// number of decimals.
+pub fn group_thousands(value: f64, decimals: usize) -> String {
+    if !value.is_finite() {
+        return "n/a".to_string();
+    }
+    let negative = value < 0.0;
+    let formatted = format!("{:.*}", decimals, value.abs());
+    let (int_part, frac_part) = match formatted.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (formatted.as_str(), None),
+    };
+    let mut grouped = String::with_capacity(int_part.len() + int_part.len() / 3 + 4);
+    let bytes = int_part.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(*b as char);
+    }
+    let mut out = String::new();
+    if negative {
+        out.push('-');
+    }
+    out.push_str(&grouped);
+    if let Some(frac) = frac_part {
+        out.push('.');
+        out.push_str(frac);
+    }
+    out
+}
+
+/// Parse a number that may contain `,` separators; returns `None` for
+/// unparsable input.
+pub fn parse_grouped(s: &str) -> Option<f64> {
+    let cleaned: String = s.trim().chars().filter(|&c| c != ',').collect();
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping() {
+        assert_eq!(group_thousands(0.0, 0), "0");
+        assert_eq!(group_thousands(999.0, 0), "999");
+        assert_eq!(group_thousands(1000.0, 0), "1,000");
+        assert_eq!(group_thousands(10_262_499.0, 0), "10,262,499");
+        assert_eq!(group_thousands(1234.5, 1), "1,234.5");
+        assert_eq!(group_thousands(-1234567.0, 0), "-1,234,567");
+    }
+
+    #[test]
+    fn non_finite() {
+        assert_eq!(group_thousands(f64::NAN, 0), "n/a");
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(parse_grouped("10,262,499"), Some(10_262_499.0));
+        assert_eq!(parse_grouped(" 1,234.5 "), Some(1234.5));
+        assert_eq!(parse_grouped("42"), Some(42.0));
+        assert_eq!(parse_grouped(""), None);
+        assert_eq!(parse_grouped("n/a"), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for v in [0.0, 1.0, 999.0, 1000.0, 123456.789, 98_765_432.1] {
+            let s = group_thousands(v, 3);
+            let back = parse_grouped(&s).unwrap();
+            assert!((back - v).abs() < 1e-6, "{v} -> {s} -> {back}");
+        }
+    }
+}

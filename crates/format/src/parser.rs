@@ -1,0 +1,352 @@
+//! Tolerant parser for SPEC-style `.txt` reports.
+//!
+//! Sixteen years of vendor-submitted files contain every imaginable
+//! irregularity, so parsing is two-staged, mirroring the paper's pipeline:
+//! this module extracts whatever it can into a [`ParsedRun`] of optional raw
+//! fields, and [`crate::validity`] decides whether that adds up to a usable
+//! [`spec_model::RunResult`] — attributing each rejection to one of the
+//! paper's filter categories.
+
+use spec_model::{LoadLevel, YearMonth};
+
+use crate::numfmt::parse_grouped;
+
+/// A date field as found in a report: cleanly parsed, present but
+/// ambiguous/unparseable, or absent.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum DateField {
+    /// Parsed successfully.
+    Parsed(YearMonth),
+    /// Present but ambiguous (two dates, "n/a", unparseable).
+    Ambiguous(String),
+    /// The line is missing entirely.
+    #[default]
+    Missing,
+}
+
+impl DateField {
+    /// The parsed date, if clean.
+    pub fn ok(&self) -> Option<YearMonth> {
+        match self {
+            DateField::Parsed(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the parser could extract from one report, all optional.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedRun {
+    /// spec.org result number.
+    pub id: Option<u32>,
+    /// Test sponsor / submitter.
+    pub submitter: Option<String>,
+    /// Raw status string (`"Accepted"` / `"Non-Compliant (…)"`).
+    pub status_raw: Option<String>,
+    /// Test date.
+    pub test_date: DateField,
+    /// Publication date.
+    pub publication: DateField,
+    /// Hardware availability date (the paper's trend axis).
+    pub hw_available: DateField,
+    /// Software availability date.
+    pub sw_available: DateField,
+    /// System manufacturer.
+    pub manufacturer: Option<String>,
+    /// System model.
+    pub model: Option<String>,
+    /// Form factor.
+    pub form_factor: Option<String>,
+    /// Node count; multi-node submissions report >1.
+    pub nodes: Option<u32>,
+    /// CPU marketing name.
+    pub cpu_name: Option<String>,
+    /// Microarchitecture from the characteristics line.
+    pub microarch: Option<String>,
+    /// SIMD width from the characteristics line.
+    pub vector_bits: Option<u32>,
+    /// TDP (per chip) from the characteristics line.
+    pub tdp_w: Option<f64>,
+    /// Max boost frequency from the characteristics line.
+    pub boost_mhz: Option<f64>,
+    /// Nominal frequency.
+    pub nominal_mhz: Option<f64>,
+    /// Total enabled cores.
+    pub total_cores: Option<u32>,
+    /// Populated chips (sockets).
+    pub chips: Option<u32>,
+    /// Cores per chip.
+    pub cores_per_chip: Option<u32>,
+    /// Total hardware threads.
+    pub total_threads: Option<u32>,
+    /// Threads per core.
+    pub threads_per_core: Option<u32>,
+    /// Installed memory (GB).
+    pub memory_gb: Option<u32>,
+    /// DIMM count.
+    pub dimm_count: Option<u32>,
+    /// PSU rating (W).
+    pub psu_rating_w: Option<f64>,
+    /// PSU count.
+    pub psu_count: Option<u32>,
+    /// Operating system name.
+    pub os_name: Option<String>,
+    /// JVM vendor.
+    pub jvm_vendor: Option<String>,
+    /// JVM version string.
+    pub jvm_version: Option<String>,
+    /// Number of JVM instances.
+    pub jvm_instances: Option<u32>,
+    /// Calibrated maximum throughput.
+    pub calibrated_max: Option<f64>,
+    /// Headline overall ssj_ops/W as printed.
+    pub reported_overall: Option<f64>,
+    /// Per-level rows: `(level, ssj_ops, watts)`.
+    pub levels: Vec<(LoadLevel, f64, f64)>,
+}
+
+/// Fatal parse failure: the text is not a SPEC Power report at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotAReport;
+
+impl std::fmt::Display for NotAReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("input is not a SPECpower_ssj2008 report")
+    }
+}
+
+impl std::error::Error for NotAReport {}
+
+fn parse_date_field(raw: &str) -> DateField {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return DateField::Missing;
+    }
+    // Two alternatives ("Jun-2014 or Jul-2014") or placeholders are ambiguous.
+    let lowered = trimmed.to_ascii_lowercase();
+    if lowered.contains(" or ") || lowered == "n/a" || lowered == "tbd" || lowered == "unknown" {
+        return DateField::Ambiguous(trimmed.to_string());
+    }
+    match YearMonth::parse(trimmed) {
+        Ok(d) => DateField::Parsed(d),
+        Err(_) => DateField::Ambiguous(trimmed.to_string()),
+    }
+}
+
+fn first_uint(s: &str) -> Option<u32> {
+    let start = s.find(|c: char| c.is_ascii_digit())?;
+    let digits: String = s[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == ',')
+        .filter(|c| *c != ',')
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parse a load-level row of the results summary.
+fn parse_level_row(line: &str) -> Option<(LoadLevel, f64, f64)> {
+    let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+    if cells.len() < 4 {
+        return None;
+    }
+    let level = if cells[0].eq_ignore_ascii_case("active idle") {
+        LoadLevel::ActiveIdle
+    } else {
+        let pct = cells[0].strip_suffix('%')?.trim().parse::<u8>().ok()?;
+        LoadLevel::Percent(pct)
+    };
+    let ops = parse_grouped(cells[2]).unwrap_or(f64::NAN);
+    let watts = parse_grouped(cells[3]).unwrap_or(f64::NAN);
+    Some((level, ops, watts))
+}
+
+/// Parse the characteristics line written by the canonical writer:
+/// `"Bergamo; SIMD 256-bit; TDP 360 W; max boost 3100 MHz"`.
+fn parse_characteristics(run: &mut ParsedRun, value: &str) {
+    for part in value.split(';').map(str::trim) {
+        let lower = part.to_ascii_lowercase();
+        if lower.starts_with("simd") {
+            run.vector_bits = first_uint(part);
+        } else if lower.starts_with("tdp") {
+            run.tdp_w = first_uint(part).map(f64::from);
+        } else if lower.starts_with("max boost") {
+            run.boost_mhz = first_uint(part).map(f64::from);
+        } else if run.microarch.is_none() && !part.is_empty() {
+            run.microarch = Some(part.to_string());
+        }
+    }
+}
+
+/// Parse one report.
+///
+/// Returns [`NotAReport`] only when the header line is absent; everything
+/// else degrades to `None`/`Missing` fields for the validity stage to judge.
+pub fn parse_run(text: &str) -> Result<ParsedRun, NotAReport> {
+    if !text.contains("SPECpower_ssj2008") {
+        return Err(NotAReport);
+    }
+    let mut run = ParsedRun::default();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        // Results-summary rows have a pipe-separated shape.
+        if line.contains('|') {
+            if let Some(row) = parse_level_row(line) {
+                run.levels.push(row);
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            // Headline metric line: "SPECpower_ssj2008 = 15,112 overall …".
+            if let Some(rest) = line.strip_prefix("SPECpower_ssj2008 =") {
+                run.reported_overall =
+                    parse_grouped(rest.split_whitespace().next().unwrap_or(""));
+            }
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "Result Number" => run.id = first_uint(value),
+            "Test Sponsor" => run.submitter = Some(value.to_string()),
+            "Status" => run.status_raw = Some(value.to_string()),
+            "Test Date" => run.test_date = parse_date_field(value),
+            "Publication" => run.publication = parse_date_field(value),
+            "Hardware Availability" => run.hw_available = parse_date_field(value),
+            "Software Availability" => run.sw_available = parse_date_field(value),
+            "Hardware Vendor" => run.manufacturer = Some(value.to_string()),
+            "Model" => run.model = Some(value.to_string()),
+            "Form Factor" => run.form_factor = Some(value.to_string()),
+            "Nodes" => run.nodes = first_uint(value),
+            "CPU Name" => run.cpu_name = Some(value.to_string()),
+            "CPU Characteristics" => parse_characteristics(&mut run, value),
+            "CPU Frequency (MHz)" => run.nominal_mhz = parse_grouped(value),
+            "CPU(s) Enabled" => {
+                // "256 cores, 2 chips, 128 cores/chip"
+                for part in value.split(',').map(str::trim) {
+                    if part.ends_with("cores/chip") {
+                        run.cores_per_chip = first_uint(part);
+                    } else if part.ends_with("chips") || part.ends_with("chip") {
+                        run.chips = first_uint(part);
+                    } else if part.ends_with("cores") || part.ends_with("core") {
+                        run.total_cores = first_uint(part);
+                    }
+                }
+            }
+            "Hardware Threads" => {
+                // "512 (2 / core)"
+                run.total_threads = first_uint(value);
+                if let Some(paren) = value.split_once('(') {
+                    run.threads_per_core = first_uint(paren.1);
+                }
+            }
+            "Memory Amount (GB)" => run.memory_gb = first_uint(value),
+            "Number of DIMMs" => run.dimm_count = first_uint(value),
+            "Power Supply Rating (W)" => run.psu_rating_w = parse_grouped(value),
+            "Number of Power Supplies" => run.psu_count = first_uint(value),
+            "Operating System" => run.os_name = Some(value.to_string()),
+            "JVM Vendor" => run.jvm_vendor = Some(value.to_string()),
+            "JVM Version" => run.jvm_version = Some(value.to_string()),
+            "JVM Instances" => run.jvm_instances = first_uint(value),
+            "Calibrated Maximum" => {
+                run.calibrated_max =
+                    parse_grouped(value.split_whitespace().next().unwrap_or(""))
+            }
+            _ => {}
+        }
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_run;
+    use spec_model::linear_test_run;
+
+    #[test]
+    fn rejects_non_reports() {
+        assert_eq!(parse_run("hello world").unwrap_err(), NotAReport);
+    }
+
+    #[test]
+    fn parses_canonical_writer_output() {
+        let run = linear_test_run(42, 1_000_000.0, 60.0, 300.0);
+        let parsed = parse_run(&write_run(&run)).unwrap();
+        assert_eq!(parsed.id, Some(42));
+        assert_eq!(parsed.submitter.as_deref(), Some("TestCorp"));
+        assert_eq!(parsed.status_raw.as_deref(), Some("Accepted"));
+        assert_eq!(parsed.cpu_name.as_deref(), Some("Intel Xeon Test 1234"));
+        assert_eq!(parsed.chips, Some(2));
+        assert_eq!(parsed.cores_per_chip, Some(16));
+        assert_eq!(parsed.total_cores, Some(32));
+        assert_eq!(parsed.total_threads, Some(64));
+        assert_eq!(parsed.threads_per_core, Some(2));
+        assert_eq!(parsed.nodes, Some(1));
+        assert_eq!(parsed.nominal_mhz, Some(2500.0));
+        assert_eq!(parsed.vector_bits, Some(256));
+        assert_eq!(parsed.tdp_w, Some(150.0));
+        assert_eq!(parsed.microarch.as_deref(), Some("TestLake"));
+        assert_eq!(parsed.memory_gb, Some(64));
+        assert_eq!(parsed.levels.len(), 11);
+        assert_eq!(
+            parsed.hw_available.ok().map(|d| d.to_string()),
+            Some("Feb-2020".to_string())
+        );
+        assert!(parsed.calibrated_max.is_some());
+        assert!(parsed.reported_overall.is_some());
+    }
+
+    #[test]
+    fn level_rows_parse_values() {
+        let run = linear_test_run(1, 1_000_000.0, 60.0, 300.0);
+        let parsed = parse_run(&write_run(&run)).unwrap();
+        let (level, ops, watts) = parsed.levels[0];
+        assert_eq!(level, LoadLevel::Percent(100));
+        assert!((ops - 1_000_000.0).abs() < 1.0);
+        assert!((watts - 300.0).abs() < 0.1);
+        let (idle, idle_ops, idle_watts) = parsed.levels[10];
+        assert_eq!(idle, LoadLevel::ActiveIdle);
+        assert_eq!(idle_ops, 0.0);
+        assert!((idle_watts - 60.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ambiguous_dates_detected() {
+        assert_eq!(
+            parse_date_field("Jun-2014 or Jul-2014"),
+            DateField::Ambiguous("Jun-2014 or Jul-2014".into())
+        );
+        assert_eq!(parse_date_field("n/a"), DateField::Ambiguous("n/a".into()));
+        assert_eq!(parse_date_field(""), DateField::Missing);
+        assert!(matches!(parse_date_field("Feb-2023"), DateField::Parsed(_)));
+        assert!(matches!(
+            parse_date_field("sometime soon"),
+            DateField::Ambiguous(_)
+        ));
+    }
+
+    #[test]
+    fn missing_lines_yield_none() {
+        let text = "SPECpower_ssj2008 Report\nCPU Name: Mystery CPU\n";
+        let parsed = parse_run(text).unwrap();
+        assert_eq!(parsed.nodes, None);
+        assert_eq!(parsed.hw_available, DateField::Missing);
+        assert!(parsed.levels.is_empty());
+    }
+
+    #[test]
+    fn garbled_numbers_become_nan_rows() {
+        let text = "SPECpower_ssj2008 Report\n100% | 99.8% | garbage | 250.0 | x\n";
+        let parsed = parse_run(text).unwrap();
+        assert_eq!(parsed.levels.len(), 1);
+        assert!(parsed.levels[0].1.is_nan());
+        assert_eq!(parsed.levels[0].2, 250.0);
+    }
+
+    #[test]
+    fn headline_metric_parsed() {
+        let text = "SPECpower_ssj2008 Report\nSPECpower_ssj2008 = 31,634 overall ssj_ops/watt\n";
+        let parsed = parse_run(text).unwrap();
+        assert_eq!(parsed.reported_overall, Some(31_634.0));
+    }
+}

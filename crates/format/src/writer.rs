@@ -1,0 +1,185 @@
+//! Render a [`RunResult`] as a SPEC-style `.txt` report.
+//!
+//! The layout follows the published SPECpower_ssj2008 text reports: a header
+//! with the headline metric, a key/value block of test metadata, the
+//! benchmark results summary table (one row per load level), and the
+//! system-under-test description. `spec-synth` writes these files;
+//! `spec-format::parser` reads them back — the round trip is property-tested.
+
+use spec_model::{LoadLevel, RunResult, RunStatus};
+
+use crate::numfmt::group_thousands;
+
+/// Render the canonical text report for a run.
+pub fn write_run(run: &RunResult) -> String {
+    let mut out = String::with_capacity(4096);
+    let sys = &run.system;
+
+    // --- Header -----------------------------------------------------------
+    out.push_str("SPECpower_ssj2008 Report\n");
+    out.push_str(&format!("{} {}\n", sys.manufacturer, sys.model));
+    out.push_str(&format!(
+        "SPECpower_ssj2008 = {} overall ssj_ops/watt\n",
+        group_thousands(run.reported_overall.value(), 0)
+    ));
+    match &run.status {
+        RunStatus::Accepted => out.push_str("Status: Accepted\n"),
+        RunStatus::NotAccepted(reason) => {
+            out.push_str(&format!("Status: Non-Compliant ({reason})\n"))
+        }
+    }
+    out.push('\n');
+
+    // --- Test metadata ------------------------------------------------------
+    out.push_str(&format!("Result Number: {}\n", run.id));
+    out.push_str(&format!("Test Sponsor: {}\n", run.submitter));
+    out.push_str(&format!("Tested By: {}\n", run.submitter));
+    out.push_str(&format!("Test Date: {}\n", run.dates.test));
+    out.push_str(&format!("Publication: {}\n", run.dates.publication));
+    out.push_str(&format!(
+        "Hardware Availability: {}\n",
+        run.dates.hw_available
+    ));
+    out.push_str(&format!(
+        "Software Availability: {}\n",
+        run.dates.sw_available
+    ));
+    out.push('\n');
+
+    // --- Benchmark results summary -----------------------------------------
+    out.push_str("Benchmark Results Summary\n");
+    out.push_str(
+        "Target Load | Actual Load | ssj_ops | Average Active Power (W) | Performance to Power Ratio\n",
+    );
+    for m in &run.levels {
+        let label = match m.level {
+            LoadLevel::Percent(p) => format!("{p}%"),
+            LoadLevel::ActiveIdle => "Active Idle".to_string(),
+        };
+        let actual_load = match m.level {
+            LoadLevel::ActiveIdle => "-".to_string(),
+            LoadLevel::Percent(_) => {
+                if run.calibrated_max.value() > 0.0 {
+                    format!(
+                        "{:.1}%",
+                        100.0 * m.actual_ops.value() / run.calibrated_max.value()
+                    )
+                } else {
+                    "-".to_string()
+                }
+            }
+        };
+        out.push_str(&format!(
+            "{} | {} | {} | {} | {}\n",
+            label,
+            actual_load,
+            group_thousands(m.actual_ops.value(), 0),
+            group_thousands(m.avg_power.value(), 1),
+            group_thousands(m.efficiency().value(), 1),
+        ));
+    }
+    out.push_str(&format!(
+        "Calibrated Maximum: {} ssj_ops\n",
+        group_thousands(run.calibrated_max.value(), 0)
+    ));
+    out.push_str(&format!(
+        "Sum of ssj_ops / Sum of power = {} overall ssj_ops/watt\n",
+        group_thousands(run.overall_efficiency().value(), 0)
+    ));
+    out.push('\n');
+
+    // --- System under test ---------------------------------------------------
+    out.push_str("System Under Test\n");
+    out.push_str(&format!("Hardware Vendor: {}\n", sys.manufacturer));
+    out.push_str(&format!("Model: {}\n", sys.model));
+    out.push_str(&format!("Form Factor: {}\n", sys.form_factor));
+    out.push_str(&format!("Nodes: {}\n", sys.nodes));
+    out.push_str(&format!("CPU Name: {}\n", sys.cpu.name));
+    out.push_str(&format!(
+        "CPU Characteristics: {}; SIMD {}-bit; TDP {} W; max boost {} MHz\n",
+        sys.cpu.microarchitecture,
+        sys.cpu.vector_bits,
+        sys.cpu.tdp.value().round() as i64,
+        sys.cpu.max_boost.value().round() as i64,
+    ));
+    out.push_str(&format!(
+        "CPU Frequency (MHz): {}\n",
+        sys.cpu.nominal.value().round() as i64
+    ));
+    out.push_str(&format!(
+        "CPU(s) Enabled: {} cores, {} chips, {} cores/chip\n",
+        sys.total_cores(),
+        sys.chips,
+        sys.cpu.cores_per_chip
+    ));
+    out.push_str(&format!(
+        "Hardware Threads: {} ({} / core)\n",
+        sys.total_threads(),
+        sys.cpu.threads_per_core
+    ));
+    out.push_str(&format!("Memory Amount (GB): {}\n", sys.memory_gb));
+    out.push_str(&format!("Number of DIMMs: {}\n", sys.dimm_count));
+    out.push_str(&format!(
+        "Power Supply Rating (W): {}\n",
+        sys.psu_rating.value().round() as i64
+    ));
+    out.push_str(&format!("Number of Power Supplies: {}\n", sys.psu_count));
+    out.push_str(&format!("Operating System: {}\n", sys.os.name));
+    out.push_str(&format!("JVM Vendor: {}\n", sys.jvm.vendor));
+    out.push_str(&format!("JVM Version: {}\n", sys.jvm.version));
+    out.push_str(&format!("JVM Instances: {}\n", sys.jvm_instances));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::linear_test_run;
+
+    #[test]
+    fn report_contains_headline_metric() {
+        let run = linear_test_run(7, 1_000_000.0, 60.0, 300.0);
+        let text = write_run(&run);
+        assert!(text.starts_with("SPECpower_ssj2008 Report\n"));
+        assert!(text.contains("overall ssj_ops/watt"));
+        assert!(text.contains("Status: Accepted"));
+        assert!(text.contains("Result Number: 7"));
+    }
+
+    #[test]
+    fn report_has_eleven_level_rows() {
+        let run = linear_test_run(1, 1_000_000.0, 60.0, 300.0);
+        let text = write_run(&run);
+        assert!(text.matches('%').count() >= 10);
+        assert!(text.contains("Active Idle | -"));
+        assert!(text.contains("100% | "));
+        assert!(text.contains("10% | "));
+    }
+
+    #[test]
+    fn report_describes_system() {
+        let run = linear_test_run(1, 1_000_000.0, 60.0, 300.0);
+        let text = write_run(&run);
+        assert!(text.contains("CPU Name: Intel Xeon Test 1234"));
+        assert!(text.contains("CPU(s) Enabled: 32 cores, 2 chips, 16 cores/chip"));
+        assert!(text.contains("Hardware Threads: 64 (2 / core)"));
+        assert!(text.contains("Nodes: 1"));
+        assert!(text.contains("Hardware Availability: Feb-2020"));
+    }
+
+    #[test]
+    fn non_compliant_status_rendered() {
+        let mut run = linear_test_run(1, 1_000_000.0, 60.0, 300.0);
+        run.status = spec_model::RunStatus::NotAccepted("review failed".into());
+        let text = write_run(&run);
+        assert!(text.contains("Status: Non-Compliant (review failed)"));
+    }
+
+    #[test]
+    fn thousands_separated_ops() {
+        let run = linear_test_run(1, 1_234_567.0, 60.0, 300.0);
+        let text = write_run(&run);
+        assert!(text.contains("1,234,567"), "calibrated max grouped");
+    }
+}

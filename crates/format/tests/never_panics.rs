@@ -1,0 +1,43 @@
+//! The parser must never panic, whatever bytes arrive — 16 years of
+//! downloads include truncated, mangled and mis-encoded files.
+
+use proptest::prelude::*;
+use spec_format::{parse_run, validate};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(s in "\\PC{0,2000}") {
+        if let Ok(parsed) = parse_run(&s) {
+            // Validation must not panic either.
+            let _ = validate(&parsed);
+        }
+    }
+
+    #[test]
+    fn parse_never_panics_on_reportlike_text(
+        lines in prop::collection::vec("[A-Za-z0-9 ():%|,./-]{0,80}", 0..60),
+    ) {
+        let mut text = String::from("SPECpower_ssj2008 Report\n");
+        text.push_str(&lines.join("\n"));
+        let parsed = parse_run(&text).expect("header present → parses");
+        let _ = validate(&parsed);
+    }
+
+    #[test]
+    fn parse_never_panics_on_mutated_canonical(
+        idx in 0usize..4000,
+        replacement in "[\\PC]{0,6}",
+    ) {
+        let run = spec_model::linear_test_run(3, 1e6, 60.0, 300.0);
+        let mut text = spec_format::write_run(&run);
+        let at = idx.min(text.len());
+        // Splice garbage at a char boundary.
+        let at = (0..=at).rev().find(|&i| text.is_char_boundary(i)).unwrap_or(0);
+        text.insert_str(at, &replacement);
+        if let Ok(parsed) = parse_run(&text) {
+            let _ = validate(&parsed);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! CSV serialisation for [`Frame`], plus a small typed reader used by the
+//! round-trip tests and the CLI's export path.
+
+use crate::column::{Column, DType, Value};
+use crate::error::{FrameError, Result};
+use crate::frame::Frame;
+
+/// Quote a CSV field when needed (RFC 4180 style).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split one CSV record, honouring quotes.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+impl Frame {
+    /// Render the frame as CSV (header + rows, `\n` line endings).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .names()
+                .iter()
+                .map(|n| escape(n))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for i in 0..self.n_rows() {
+            let row = self.row(i).expect("in range");
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => escape(s),
+                    other => other.to_string(),
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse CSV produced by [`Frame::to_csv`], with an explicit schema
+    /// (order must match the header).
+    pub fn from_csv(text: &str, schema: &[(&str, DType)]) -> Result<Frame> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| FrameError::Csv("empty input".into()))?;
+        let names = split_record(header);
+        if names.len() != schema.len() {
+            return Err(FrameError::Csv(format!(
+                "header has {} fields, schema has {}",
+                names.len(),
+                schema.len()
+            )));
+        }
+        for (name, (expected, _)) in names.iter().zip(schema) {
+            if name != expected {
+                return Err(FrameError::Csv(format!(
+                    "header field {name:?} does not match schema {expected:?}"
+                )));
+            }
+        }
+        let mut cols: Vec<Column> = schema
+            .iter()
+            .map(|(_, dt)| match dt {
+                DType::F64 => Column::F64(Vec::new()),
+                DType::I64 => Column::I64(Vec::new()),
+                DType::Str => Column::Str(Vec::new()),
+                DType::Bool => Column::Bool(Vec::new()),
+            })
+            .collect();
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields = split_record(line);
+            if fields.len() != schema.len() {
+                return Err(FrameError::Csv(format!(
+                    "line {}: {} fields, expected {}",
+                    lineno + 2,
+                    fields.len(),
+                    schema.len()
+                )));
+            }
+            for (field, col) in fields.iter().zip(cols.iter_mut()) {
+                match col {
+                    Column::F64(v) => v.push(if field.is_empty() {
+                        f64::NAN
+                    } else {
+                        field.parse().map_err(|_| {
+                            FrameError::Csv(format!("line {}: bad float {field:?}", lineno + 2))
+                        })?
+                    }),
+                    Column::I64(v) => v.push(field.parse().map_err(|_| {
+                        FrameError::Csv(format!("line {}: bad int {field:?}", lineno + 2))
+                    })?),
+                    Column::Str(v) => v.push(field.clone()),
+                    Column::Bool(v) => v.push(match field.as_str() {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(FrameError::Csv(format!(
+                                "line {}: bad bool {other:?}",
+                                lineno + 2
+                            )))
+                        }
+                    }),
+                }
+            }
+        }
+        Frame::from_columns(
+            schema
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .zip(cols)
+                .collect::<Vec<(String, Column)>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::from_columns([
+            ("year", Column::from(vec![2007i64, 2023])),
+            ("os", Column::from(vec!["Windows Server", "SUSE, Linux"])),
+            ("watts", Column::from(vec![119.5, f64::NAN])),
+            ("ok", Column::from(vec![true, false])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn writes_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "year,os,watts,ok");
+        assert_eq!(lines[1], "2007,Windows Server,119.5,true");
+        // Comma inside the field gets quoted; NaN becomes empty.
+        assert_eq!(lines[2], "2023,\"SUSE, Linux\",,false");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let csv = f.to_csv();
+        let schema = [
+            ("year", DType::I64),
+            ("os", DType::Str),
+            ("watts", DType::F64),
+            ("ok", DType::Bool),
+        ];
+        let g = Frame::from_csv(&csv, &schema).unwrap();
+        assert_eq!(g.i64s("year").unwrap(), f.i64s("year").unwrap());
+        assert_eq!(g.strs("os").unwrap(), f.strs("os").unwrap());
+        assert_eq!(g.bools("ok").unwrap(), f.bools("ok").unwrap());
+        assert_eq!(g.f64s("watts").unwrap()[0], 119.5);
+        assert!(g.f64s("watts").unwrap()[1].is_nan());
+    }
+
+    #[test]
+    fn quote_escaping() {
+        let f = Frame::from_columns([("s", Column::from(vec!["say \"hi\""]))]).unwrap();
+        let csv = f.to_csv();
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        let g = Frame::from_csv(&csv, &[("s", DType::Str)]).unwrap();
+        assert_eq!(g.strs("s").unwrap()[0], "say \"hi\"");
+    }
+
+    #[test]
+    fn schema_mismatch_errors() {
+        let csv = sample().to_csv();
+        assert!(Frame::from_csv(&csv, &[("year", DType::I64)]).is_err());
+        let wrong_name = [
+            ("jahr", DType::I64),
+            ("os", DType::Str),
+            ("watts", DType::F64),
+            ("ok", DType::Bool),
+        ];
+        assert!(Frame::from_csv(&csv, &wrong_name).is_err());
+    }
+
+    #[test]
+    fn bad_values_error_with_line_number() {
+        let text = "x\nnot_a_number\n";
+        let err = Frame::from_csv(text, &[("x", DType::F64)]).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(Frame::from_csv("", &[]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for dataframe operations.
+
+use std::fmt;
+
+/// Errors raised by [`crate::Frame`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Referenced a column name that does not exist.
+    NoSuchColumn(String),
+    /// A column of this name already exists.
+    DuplicateColumn(String),
+    /// Column lengths disagree with the frame's row count.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        got: usize,
+        /// The frame's row count.
+        expected: usize,
+    },
+    /// Requested an operation on a column of the wrong type.
+    TypeMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// What the operation needed.
+        expected: &'static str,
+        /// What the column actually is.
+        got: &'static str,
+    },
+    /// A boolean mask's length disagrees with the row count.
+    MaskLength {
+        /// Mask length.
+        got: usize,
+        /// The frame's row count.
+        expected: usize,
+    },
+    /// CSV parsing failed.
+    Csv(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NoSuchColumn(name) => write!(f, "no such column: {name:?}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            FrameError::LengthMismatch {
+                column,
+                got,
+                expected,
+            } => write!(
+                f,
+                "column {column:?} has {got} rows, frame has {expected}"
+            ),
+            FrameError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column:?} is {got}, expected {expected}"),
+            FrameError::MaskLength { got, expected } => {
+                write!(f, "mask has {got} entries, frame has {expected} rows")
+            }
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, FrameError>;

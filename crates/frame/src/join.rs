@@ -1,0 +1,270 @@
+//! Joins between frames.
+//!
+//! The analysis occasionally enriches per-run rows with per-year aggregates
+//! (e.g. attaching the yearly mean to each run to compute deviations); a
+//! hash left-join on discrete key columns covers that.
+
+use std::collections::HashMap;
+
+use crate::column::{Column, KeyValue};
+use crate::error::{FrameError, Result};
+use crate::frame::Frame;
+
+impl Frame {
+    /// Left join: every row of `self` is kept; matching rows of `right`
+    /// (by equality on the named key columns, which must exist in both
+    /// frames with discrete types) contribute their non-key columns. When
+    /// a key has no match, numeric columns get `NaN`; string columns get
+    /// `""`; boolean columns get `false`. When `right` contains several
+    /// rows for one key, the first wins.
+    ///
+    /// Non-key columns of `right` whose names collide with columns of
+    /// `self` are suffixed `_right`.
+    pub fn left_join(&self, right: &Frame, keys: &[&str]) -> Result<Frame> {
+        // Index the right frame by key.
+        let mut right_key_cols = Vec::with_capacity(keys.len());
+        for &k in keys {
+            let col = right.column(k)?;
+            if col.as_f64().is_some() {
+                return Err(FrameError::TypeMismatch {
+                    column: k.to_string(),
+                    expected: "discrete (i64/str/bool)",
+                    got: "f64",
+                });
+            }
+            right_key_cols.push(col);
+        }
+        let mut index: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+        for row in 0..right.n_rows() {
+            let key: Vec<KeyValue> = right_key_cols
+                .iter()
+                .map(|c| c.key(row).expect("discrete column"))
+                .collect();
+            index.entry(key).or_insert(row);
+        }
+
+        let mut left_key_cols = Vec::with_capacity(keys.len());
+        for &k in keys {
+            let col = self.column(k)?;
+            if col.as_f64().is_some() {
+                return Err(FrameError::TypeMismatch {
+                    column: k.to_string(),
+                    expected: "discrete (i64/str/bool)",
+                    got: "f64",
+                });
+            }
+            left_key_cols.push(col);
+        }
+
+        // Row mapping: for each left row, the matched right row (or None).
+        let matches: Vec<Option<usize>> = (0..self.n_rows())
+            .map(|row| {
+                let key: Vec<KeyValue> = left_key_cols
+                    .iter()
+                    .map(|c| c.key(row).expect("discrete column"))
+                    .collect();
+                index.get(&key).copied()
+            })
+            .collect();
+
+        let mut out = self.clone();
+        for (name, col) in right.names().iter().zip(right.columns_iter()) {
+            if keys.contains(&name.as_str()) {
+                continue;
+            }
+            let out_name = if out.names().iter().any(|n| n == name) {
+                format!("{name}_right")
+            } else {
+                name.clone()
+            };
+            let joined = match col {
+                Column::F64(v) => Column::F64(
+                    matches
+                        .iter()
+                        .map(|m| m.map_or(f64::NAN, |i| v[i]))
+                        .collect(),
+                ),
+                Column::I64(v) => Column::I64(
+                    matches.iter().map(|m| m.map_or(0, |i| v[i])).collect(),
+                ),
+                Column::Str(v) => Column::Str(
+                    matches
+                        .iter()
+                        .map(|m| m.map_or_else(String::new, |i| v[i].clone()))
+                        .collect(),
+                ),
+                Column::Bool(v) => Column::Bool(
+                    matches.iter().map(|m| m.is_some() && v[m.unwrap()]).collect(),
+                ),
+            };
+            out.add_column(out_name, joined)?;
+        }
+        Ok(out)
+    }
+
+    /// Distinct values of a discrete column, in first-appearance order, with
+    /// their counts.
+    pub fn value_counts(&self, name: &str) -> Result<Vec<(KeyValue, usize)>> {
+        let col = self.column(name)?;
+        if col.as_f64().is_some() {
+            return Err(FrameError::TypeMismatch {
+                column: name.to_string(),
+                expected: "discrete (i64/str/bool)",
+                got: "f64",
+            });
+        }
+        let mut order: Vec<KeyValue> = Vec::new();
+        let mut counts: HashMap<KeyValue, usize> = HashMap::new();
+        for row in 0..self.n_rows() {
+            let key = col.key(row).expect("discrete column");
+            if !counts.contains_key(&key) {
+                order.push(key.clone());
+            }
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Ok(order
+            .into_iter()
+            .map(|k| {
+                let c = counts[&k];
+                (k, c)
+            })
+            .collect())
+    }
+
+    /// Per-numeric-column summary statistics as a new frame with one row
+    /// per column: count/mean/std/min/median/max.
+    pub fn describe(&self) -> Frame {
+        let mut names = Vec::new();
+        let mut count = Vec::new();
+        let mut mean = Vec::new();
+        let mut std = Vec::new();
+        let mut min = Vec::new();
+        let mut median = Vec::new();
+        let mut max = Vec::new();
+        for (name, col) in self.names().iter().zip(self.columns_iter()) {
+            let Some(values) = col.to_f64_vec() else {
+                continue;
+            };
+            let summary: tinystats::Summary = values.iter().collect();
+            names.push(name.clone());
+            count.push(summary.count() as f64);
+            mean.push(summary.mean().unwrap_or(f64::NAN));
+            std.push(summary.std_dev().unwrap_or(f64::NAN));
+            min.push(summary.min().unwrap_or(f64::NAN));
+            median.push(tinystats::median(&values).unwrap_or(f64::NAN));
+            max.push(summary.max().unwrap_or(f64::NAN));
+        }
+        Frame::from_columns([
+            ("column", Column::Str(names)),
+            ("count", Column::F64(count)),
+            ("mean", Column::F64(mean)),
+            ("std", Column::F64(std)),
+            ("min", Column::F64(min)),
+            ("median", Column::F64(median)),
+            ("max", Column::F64(max)),
+        ])
+        .expect("fresh frame")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs() -> Frame {
+        Frame::from_columns([
+            ("year", Column::from(vec![2007i64, 2007, 2023, 1999])),
+            ("watts", Column::from(vec![120.0, 130.0, 700.0, 50.0])),
+        ])
+        .unwrap()
+    }
+
+    fn yearly() -> Frame {
+        Frame::from_columns([
+            ("year", Column::from(vec![2007i64, 2023])),
+            ("mean_watts", Column::from(vec![125.0, 700.0])),
+            ("era", Column::from(vec!["early", "late"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn left_join_attaches_matches() {
+        let joined = runs().left_join(&yearly(), &["year"]).unwrap();
+        assert_eq!(joined.n_rows(), 4);
+        let means = joined.f64s("mean_watts").unwrap();
+        assert_eq!(means[0], 125.0);
+        assert_eq!(means[1], 125.0);
+        assert_eq!(means[2], 700.0);
+        assert!(means[3].is_nan(), "unmatched key gets NaN");
+        let eras = joined.strs("era").unwrap();
+        assert_eq!(eras[0], "early");
+        assert_eq!(eras[3], "", "unmatched key gets empty string");
+    }
+
+    #[test]
+    fn join_name_collision_suffixed() {
+        let right = Frame::from_columns([
+            ("year", Column::from(vec![2007i64])),
+            ("watts", Column::from(vec![999.0])),
+        ])
+        .unwrap();
+        let joined = runs().left_join(&right, &["year"]).unwrap();
+        assert!(joined.column("watts_right").is_ok());
+        assert_eq!(joined.f64s("watts").unwrap()[0], 120.0, "left side intact");
+        assert_eq!(joined.f64s("watts_right").unwrap()[0], 999.0);
+    }
+
+    #[test]
+    fn join_rejects_float_keys() {
+        let result = runs().left_join(&runs(), &["watts"]);
+        assert!(matches!(result, Err(FrameError::TypeMismatch { .. })));
+        // Keys absent from one side are reported as missing columns.
+        let missing = runs().left_join(&yearly(), &["watts"]);
+        assert!(matches!(missing, Err(FrameError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn join_first_match_wins_on_duplicates() {
+        let right = Frame::from_columns([
+            ("year", Column::from(vec![2007i64, 2007])),
+            ("v", Column::from(vec![1.0, 2.0])),
+        ])
+        .unwrap();
+        let joined = runs().left_join(&right, &["year"]).unwrap();
+        assert_eq!(joined.f64s("v").unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn value_counts_in_first_appearance_order() {
+        let f = Frame::from_columns([(
+            "vendor",
+            Column::from(vec!["Intel", "AMD", "Intel", "Intel"]),
+        )])
+        .unwrap();
+        let counts = f.value_counts("vendor").unwrap();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0], (KeyValue::Str("Intel".into()), 3));
+        assert_eq!(counts[1], (KeyValue::Str("AMD".into()), 1));
+        assert!(f.value_counts("missing").is_err());
+    }
+
+    #[test]
+    fn describe_covers_numeric_columns_only() {
+        let f = Frame::from_columns([
+            ("year", Column::from(vec![2007i64, 2023])),
+            ("watts", Column::from(vec![120.0, 700.0])),
+            ("vendor", Column::from(vec!["Intel", "AMD"])),
+        ])
+        .unwrap();
+        let d = f.describe();
+        assert_eq!(d.n_rows(), 2, "year and watts only");
+        let cols = d.strs("column").unwrap();
+        assert_eq!(cols, &["year".to_string(), "watts".to_string()]);
+        let means = d.f64s("mean").unwrap();
+        assert_eq!(means[0], 2015.0);
+        assert_eq!(means[1], 410.0);
+        assert_eq!(d.f64s("min").unwrap()[1], 120.0);
+        assert_eq!(d.f64s("max").unwrap()[1], 700.0);
+    }
+}

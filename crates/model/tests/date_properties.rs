@@ -1,0 +1,62 @@
+//! Property tests on the month-granularity calendar arithmetic.
+
+use proptest::prelude::*;
+use spec_model::YearMonth;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn index_roundtrip(year in 1900i32..2100, month in 1u8..=12) {
+        let d = YearMonth::new(year, month).unwrap();
+        prop_assert_eq!(YearMonth::from_index(d.index()), d);
+    }
+
+    #[test]
+    fn add_months_is_additive(year in 1990i32..2030, month in 1u8..=12, a in -500i64..500, b in -500i64..500) {
+        let d = YearMonth::new(year, month).unwrap();
+        prop_assert_eq!(d.add_months(a).add_months(b), d.add_months(a + b));
+    }
+
+    #[test]
+    fn add_then_subtract_is_identity(year in 1990i32..2030, month in 1u8..=12, delta in -1000i64..1000) {
+        let d = YearMonth::new(year, month).unwrap();
+        prop_assert_eq!(d.add_months(delta).add_months(-delta), d);
+    }
+
+    #[test]
+    fn months_since_matches_add(year in 1990i32..2030, month in 1u8..=12, delta in -600i64..600) {
+        let d = YearMonth::new(year, month).unwrap();
+        let later = d.add_months(delta);
+        prop_assert_eq!(later.months_since(d), delta);
+    }
+
+    #[test]
+    fn ordering_agrees_with_index(y1 in 1990i32..2030, m1 in 1u8..=12, y2 in 1990i32..2030, m2 in 1u8..=12) {
+        let a = YearMonth::new(y1, m1).unwrap();
+        let b = YearMonth::new(y2, m2).unwrap();
+        prop_assert_eq!(a.cmp(&b), a.index().cmp(&b.index()));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(year in 1990i32..2100, month in 1u8..=12) {
+        let d = YearMonth::new(year, month).unwrap();
+        let text = d.to_string();
+        prop_assert_eq!(YearMonth::parse(&text).unwrap(), d);
+    }
+
+    #[test]
+    fn fractional_year_monotone(year in 1990i32..2030, month in 1u8..=12) {
+        let d = YearMonth::new(year, month).unwrap();
+        let next = d.add_months(1);
+        prop_assert!(next.fractional_year() > d.fractional_year());
+        // Fractional year stays within the calendar year.
+        prop_assert!(d.fractional_year() >= year as f64);
+        prop_assert!(d.fractional_year() < (year + 1) as f64);
+    }
+
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,24}") {
+        let _ = YearMonth::parse(&s);
+    }
+}

@@ -1,0 +1,156 @@
+//! A tiny SVG document builder.
+
+use std::fmt::Write as _;
+
+/// Escape text content for XML.
+pub fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// An SVG document under construction.
+#[derive(Clone, Debug)]
+pub struct SvgDoc {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Start a document of the given pixel size.
+    pub fn new(width: u32, height: u32) -> SvgDoc {
+        SvgDoc {
+            width,
+            height,
+            body: String::with_capacity(8192),
+        }
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Add a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}" fill-opacity="{opacity}"/>"#
+        );
+    }
+
+    /// Add a stroked (unfilled) rectangle.
+    pub fn rect_outline(&mut self, x: f64, y: f64, w: f64, h: f64, stroke: &str, stroke_width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="none" stroke="{stroke}" stroke-width="{stroke_width}"/>"#
+        );
+    }
+
+    /// Add a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" fill="{fill}" fill-opacity="{opacity}"/>"#
+        );
+    }
+
+    /// Add a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Add a dashed line segment.
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}" stroke-dasharray="4 3"/>"#
+        );
+    }
+
+    /// Add a polyline through the points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let coords: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            coords.join(" ")
+        );
+    }
+
+    /// Add text. `anchor` is `start`, `middle` or `end`.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="sans-serif" text-anchor="{anchor}" fill="{fill}">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Add rotated text (for y-axis labels).
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="sans-serif" text-anchor="middle" fill="{fill}" transform="rotate(-90 {x:.1} {y:.1})">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Finish the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n<rect width=\"{}\" height=\"{}\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_skeleton() {
+        let mut doc = SvgDoc::new(200, 100);
+        doc.circle(10.0, 10.0, 3.0, "#ff0000", 0.8);
+        doc.line(0.0, 0.0, 200.0, 100.0, "black", 1.0);
+        doc.text(100.0, 50.0, "hello & <world>", 12.0, "middle", "#333");
+        let svg = doc.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("circle"));
+        assert!(svg.contains("hello &amp; &lt;world&gt;"));
+        assert_eq!(doc.width(), 200);
+        assert_eq!(doc.height(), 100);
+    }
+
+    #[test]
+    fn empty_polyline_skipped() {
+        let mut doc = SvgDoc::new(10, 10);
+        doc.polyline(&[], "red", 1.0);
+        assert!(!doc.render().contains("polyline"));
+        doc.polyline(&[(0.0, 0.0), (5.0, 5.0)], "red", 1.0);
+        assert!(doc.render().contains("polyline"));
+    }
+
+    #[test]
+    fn escape_quotes() {
+        assert_eq!(escape("a\"b"), "a&quot;b");
+    }
+}

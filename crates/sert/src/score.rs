@@ -1,0 +1,297 @@
+//! Executing the SERT-lite suite against a `spec-ssj` behavioural model and
+//! aggregating the efficiency score.
+//!
+//! For each worklet × load level the throughput comes from a
+//! worklet-specific capacity model (the SUT's perf model re-weighted by the
+//! worklet's kernel characteristics) and the power from the same
+//! mechanistic operating-point → watts equations the SSJ simulator uses.
+//! Scores aggregate SERT-style: geometric mean of per-level efficiencies
+//! within a worklet, geometric mean across worklets within a resource, and
+//! a weighted geometric mean across resources.
+
+use spec_model::{SystemConfig, Watts};
+use spec_ssj::{wall_power_at, OperatingPoint, SutModel};
+
+use crate::worklet::{Resource, Worklet, WORKLETS};
+
+/// One measured point of the rating run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelScore {
+    /// Load fraction of the worklet's own maximum.
+    pub level: f64,
+    /// Normalised throughput.
+    pub throughput: f64,
+    /// Wall power.
+    pub power: Watts,
+    /// `throughput / power`.
+    pub efficiency: f64,
+}
+
+/// All levels of one worklet.
+#[derive(Clone, Debug)]
+pub struct WorkletScore {
+    /// The worklet.
+    pub worklet: Worklet,
+    /// Per-level measurements (in the worklet's ladder order).
+    pub levels: Vec<LevelScore>,
+    /// Geometric mean of the per-level efficiencies.
+    pub efficiency: f64,
+}
+
+/// The full rating.
+#[derive(Clone, Debug)]
+pub struct SertReport {
+    /// Per-worklet results.
+    pub worklets: Vec<WorkletScore>,
+    /// Geomean efficiency per resource.
+    pub per_resource: Vec<(Resource, f64)>,
+    /// The weighted overall score.
+    pub overall: f64,
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        if x > 0.0 && x.is_finite() {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Worklet throughput at full load on this system (arbitrary units shared
+/// across systems, so ratios are meaningful).
+fn worklet_capacity(worklet: &Worklet, system: &SystemConfig, model: &SutModel) -> f64 {
+    let cores = system.total_cores() as f64;
+    let smt = if system.cpu.threads_per_core >= 2 {
+        1.0 + model.perf.smt_yield * 0.8 // kernels gain a bit less from SMT than ssj
+    } else {
+        1.0
+    };
+    let mem = 1.0 / (1.0 + cores / worklet.mem_sat_cores);
+    // Storage worklets are bound by the I/O subsystem, not cores: cap the
+    // core contribution.
+    let effective_cores = if worklet.resource == Resource::Storage {
+        cores.min(8.0)
+    } else {
+        cores
+    };
+    worklet.per_core_ghz
+        * effective_cores
+        * system.cpu.nominal.ghz()
+        * smt
+        * mem
+        * model.perf.software_efficiency
+        * (model.perf.ops_per_core_ghz / 20_000.0) // generational IPC carried over
+}
+
+/// Power at one worklet level, via the shared operating-point model.
+fn worklet_power(
+    worklet: &Worklet,
+    level: f64,
+    system: &SystemConfig,
+    model: &SutModel,
+) -> Watts {
+    let util = worklet.cpu_util_at_full * level;
+    // DVFS governor as in the SSJ engine: frequency follows demand.
+    let freq = (util * 1.05).clamp(model.power.dvfs_floor, 1.0 + model.power.turbo_headroom);
+    let active = (util * 1.25 + 0.03).clamp(util.max(0.02), 1.0);
+    let op = OperatingPoint {
+        utilization: (util / freq).clamp(0.0, 1.0),
+        freq_frac: freq,
+        active_core_fraction: active,
+        pkg_awake_fraction: 1.0,
+    };
+    let base = wall_power_at(&model.power, system, &op);
+    Watts(base.value() + worklet.platform_extra_w * level)
+}
+
+/// Rate a system: run every worklet at every level.
+pub fn rate(system: &SystemConfig, model: &SutModel) -> SertReport {
+    let worklets: Vec<WorkletScore> = WORKLETS
+        .iter()
+        .map(|w| {
+            let capacity = worklet_capacity(w, system, model);
+            let levels: Vec<LevelScore> = w
+                .levels
+                .iter()
+                .map(|&level| {
+                    let throughput = capacity * level;
+                    let power = worklet_power(w, level, system, model);
+                    LevelScore {
+                        level,
+                        throughput,
+                        power,
+                        efficiency: throughput / power.value(),
+                    }
+                })
+                .collect();
+            let efficiency = geomean(levels.iter().map(|l| l.efficiency));
+            WorkletScore {
+                worklet: *w,
+                levels,
+                efficiency,
+            }
+        })
+        .collect();
+
+    let per_resource: Vec<(Resource, f64)> = [Resource::Cpu, Resource::Memory, Resource::Storage]
+        .into_iter()
+        .map(|res| {
+            (
+                res,
+                geomean(
+                    worklets
+                        .iter()
+                        .filter(|w| w.worklet.resource == res)
+                        .map(|w| w.efficiency),
+                ),
+            )
+        })
+        .collect();
+
+    // Weighted geometric mean across resources (SERT 2.x style).
+    let overall = per_resource
+        .iter()
+        .map(|(res, eff)| res.weight() * eff.max(f64::MIN_POSITIVE).ln())
+        .sum::<f64>()
+        .exp();
+
+    SertReport {
+        worklets,
+        per_resource,
+        overall,
+    }
+}
+
+impl SertReport {
+    /// Markdown table of the rating.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| worklet | resource | efficiency (perf/W) |\n|---|---|---|\n");
+        for w in &self.worklets {
+            out.push_str(&format!(
+                "| {} | {:?} | {:.4} |\n",
+                w.worklet.name, w.worklet.resource, w.efficiency
+            ));
+        }
+        for (res, eff) in &self.per_resource {
+            out.push_str(&format!("| **{res:?} geomean** | | {eff:.4} |\n"));
+        }
+        out.push_str(&format!("| **overall (weighted)** | | {:.4} |\n", self.overall));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_model::linear_test_run;
+    use spec_ssj::reference_sut;
+
+    fn system() -> SystemConfig {
+        linear_test_run(0, 1e6, 60.0, 300.0).system
+    }
+
+    #[test]
+    fn rating_covers_the_suite() {
+        let report = rate(&system(), &reference_sut());
+        assert_eq!(report.worklets.len(), WORKLETS.len());
+        assert_eq!(report.per_resource.len(), 3);
+        assert!(report.overall > 0.0 && report.overall.is_finite());
+        for w in &report.worklets {
+            assert!(w.efficiency > 0.0, "{}", w.worklet.name);
+            assert_eq!(w.levels.len(), w.worklet.levels.len());
+        }
+    }
+
+    #[test]
+    fn power_rises_with_level_within_worklet() {
+        let report = rate(&system(), &reference_sut());
+        for w in &report.worklets {
+            for pair in w.levels.windows(2) {
+                // Ladder descends, so power must descend too.
+                assert!(
+                    pair[1].power.value() < pair[0].power.value(),
+                    "{}",
+                    w.worklet.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storage_draws_least_power() {
+        let report = rate(&system(), &reference_sut());
+        let full_power = |name: &str| {
+            report
+                .worklets
+                .iter()
+                .find(|w| w.worklet.name == name)
+                .unwrap()
+                .levels[0]
+                .power
+                .value()
+        };
+        assert!(full_power("Storage (random+seq)") < full_power("Compress") * 0.7);
+    }
+
+    #[test]
+    fn faster_model_scores_higher() {
+        let sys = system();
+        let base = rate(&sys, &reference_sut()).overall;
+        let mut faster = reference_sut();
+        faster.perf.ops_per_core_ghz *= 2.0;
+        let better = rate(&sys, &faster).overall;
+        assert!(better > base * 1.5, "{better} vs {base}");
+    }
+
+    #[test]
+    fn memory_worklets_gain_less_from_more_cores() {
+        // Doubling cores helps CPU kernels near-linearly but memory worklets
+        // saturate — the SERT rationale for separate resources.
+        let model = reference_sut();
+        let mut small = system();
+        small.cpu.cores_per_chip = 16;
+        let mut big = system();
+        big.cpu.cores_per_chip = 64;
+        let r_small = rate(&small, &model);
+        let r_big = rate(&big, &model);
+        let gain = |r_s: &SertReport, r_b: &SertReport, name: &str| {
+            let f = |r: &SertReport| {
+                r.worklets
+                    .iter()
+                    .find(|w| w.worklet.name == name)
+                    .unwrap()
+                    .levels[0]
+                    .throughput
+            };
+            f(r_b) / f(r_s)
+        };
+        let cpu_gain = gain(&r_small, &r_big, "CryptoAES");
+        let mem_gain = gain(&r_small, &r_big, "Flood (bandwidth)");
+        assert!(cpu_gain > 2.5, "{cpu_gain}");
+        assert!(mem_gain < cpu_gain * 0.6, "{mem_gain} vs {cpu_gain}");
+    }
+
+    #[test]
+    fn markdown_lists_everything() {
+        let md = rate(&system(), &reference_sut()).to_markdown();
+        assert!(md.contains("Compress"));
+        assert!(md.contains("Cpu geomean"));
+        assert!(md.contains("overall (weighted)"));
+    }
+
+    #[test]
+    fn geomean_ignores_nonpositive() {
+        assert!((geomean([4.0, 9.0].into_iter()) - 6.0).abs() < 1e-12);
+        assert!((geomean([4.0, 0.0, 9.0].into_iter()) - 6.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
+    }
+}

@@ -1,0 +1,213 @@
+//! The SERT-lite worklet catalogue.
+//!
+//! SERT (the Server Efficiency Rating Tool, maintained by the same SPECpower
+//! committee as SPECpower_ssj2008 — paper §II) measures efficiency across
+//! *resource-targeted worklets* rather than a single transactional mix: a
+//! battery of CPU kernels, memory worklets and storage worklets, each run at
+//! graduated load levels. This module describes the worklets; `score`
+//! executes them against a `spec-ssj` behavioural model.
+
+/// The server resource a worklet stresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Resource {
+    /// Compute-bound kernels.
+    Cpu,
+    /// Memory bandwidth/capacity worklets.
+    Memory,
+    /// Storage I/O worklets.
+    Storage,
+}
+
+impl Resource {
+    /// Weight of this resource in the overall SERT-style score
+    /// (CPU 65 %, memory 30 %, storage 5 % — the SERT 2.x weighting).
+    pub fn weight(self) -> f64 {
+        match self {
+            Resource::Cpu => 0.65,
+            Resource::Memory => 0.30,
+            Resource::Storage => 0.05,
+        }
+    }
+}
+
+/// A worklet's execution characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Worklet {
+    /// SERT worklet name.
+    pub name: &'static str,
+    /// Stressed resource.
+    pub resource: Resource,
+    /// Load levels the worklet is measured at (fractions of its own max).
+    pub levels: &'static [f64],
+    /// Relative single-core throughput at 1 GHz (arbitrary units; kernels
+    /// differ in how much work one cycle buys).
+    pub per_core_ghz: f64,
+    /// How strongly throughput saturates with core count on the memory
+    /// system (effective cores divisor, like `mem_saturation_cores` but
+    /// per-worklet: small = bandwidth-bound).
+    pub mem_sat_cores: f64,
+    /// CPU utilisation the worklet produces at its own 100 % level
+    /// (storage worklets keep the CPU nearly idle).
+    pub cpu_util_at_full: f64,
+    /// Extra platform power drawn at full load (disks for storage worklets).
+    pub platform_extra_w: f64,
+}
+
+/// The standard CPU load ladder SERT uses.
+pub const CPU_LEVELS: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
+/// Memory/storage worklets measure at full and half load.
+pub const IO_LEVELS: [f64; 2] = [1.0, 0.5];
+
+/// The SERT-lite suite.
+pub const WORKLETS: [Worklet; 9] = [
+    Worklet {
+        name: "Compress",
+        resource: Resource::Cpu,
+        levels: &CPU_LEVELS,
+        per_core_ghz: 1.00,
+        mem_sat_cores: 600.0,
+        cpu_util_at_full: 1.0,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "CryptoAES",
+        resource: Resource::Cpu,
+        levels: &CPU_LEVELS,
+        per_core_ghz: 1.55,
+        mem_sat_cores: 900.0,
+        cpu_util_at_full: 1.0,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "LU",
+        resource: Resource::Cpu,
+        levels: &CPU_LEVELS,
+        per_core_ghz: 0.85,
+        mem_sat_cores: 400.0,
+        cpu_util_at_full: 1.0,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "SOR",
+        resource: Resource::Cpu,
+        levels: &CPU_LEVELS,
+        per_core_ghz: 0.90,
+        mem_sat_cores: 350.0,
+        cpu_util_at_full: 1.0,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "Sort",
+        resource: Resource::Cpu,
+        levels: &CPU_LEVELS,
+        per_core_ghz: 0.75,
+        mem_sat_cores: 300.0,
+        cpu_util_at_full: 1.0,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "SHA256",
+        resource: Resource::Cpu,
+        levels: &CPU_LEVELS,
+        per_core_ghz: 1.30,
+        mem_sat_cores: 1000.0,
+        cpu_util_at_full: 1.0,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "Flood (bandwidth)",
+        resource: Resource::Memory,
+        levels: &IO_LEVELS,
+        per_core_ghz: 0.55,
+        mem_sat_cores: 60.0,
+        cpu_util_at_full: 0.85,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "Capacity",
+        resource: Resource::Memory,
+        levels: &IO_LEVELS,
+        per_core_ghz: 0.45,
+        mem_sat_cores: 120.0,
+        cpu_util_at_full: 0.7,
+        platform_extra_w: 0.0,
+    },
+    Worklet {
+        name: "Storage (random+seq)",
+        resource: Resource::Storage,
+        levels: &IO_LEVELS,
+        per_core_ghz: 0.08,
+        mem_sat_cores: 2000.0,
+        cpu_util_at_full: 0.12,
+        platform_extra_w: 14.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total = Resource::Cpu.weight() + Resource::Memory.weight() + Resource::Storage.weight();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_composition() {
+        let cpu = WORKLETS.iter().filter(|w| w.resource == Resource::Cpu).count();
+        let mem = WORKLETS
+            .iter()
+            .filter(|w| w.resource == Resource::Memory)
+            .count();
+        let sto = WORKLETS
+            .iter()
+            .filter(|w| w.resource == Resource::Storage)
+            .count();
+        assert_eq!((cpu, mem, sto), (6, 2, 1));
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = WORKLETS.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WORKLETS.len());
+    }
+
+    #[test]
+    fn memory_worklets_are_bandwidth_bound() {
+        // Memory worklets saturate with far fewer cores than CPU kernels.
+        let min_cpu = WORKLETS
+            .iter()
+            .filter(|w| w.resource == Resource::Cpu)
+            .map(|w| w.mem_sat_cores)
+            .fold(f64::INFINITY, f64::min);
+        let max_mem = WORKLETS
+            .iter()
+            .filter(|w| w.resource == Resource::Memory)
+            .map(|w| w.mem_sat_cores)
+            .fold(0.0, f64::max);
+        assert!(max_mem < min_cpu);
+    }
+
+    #[test]
+    fn storage_keeps_cpu_idle() {
+        let storage = WORKLETS
+            .iter()
+            .find(|w| w.resource == Resource::Storage)
+            .unwrap();
+        assert!(storage.cpu_util_at_full < 0.2);
+        assert!(storage.platform_extra_w > 0.0);
+    }
+
+    #[test]
+    fn level_ladders_descend_from_full() {
+        for w in &WORKLETS {
+            assert_eq!(w.levels[0], 1.0, "{}", w.name);
+            for pair in w.levels.windows(2) {
+                assert!(pair[1] < pair[0], "{}", w.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests on the SERT-lite rating.
+
+use proptest::prelude::*;
+use spec_model::{Cpu, JvmInfo, Megahertz, OsInfo, SystemConfig, Watts};
+use spec_sert::rate;
+use spec_ssj::{reference_sut, SutModel};
+
+fn system(cores: u32, ghz: f64) -> SystemConfig {
+    SystemConfig {
+        manufacturer: "Prop".into(),
+        model: "S".into(),
+        form_factor: "2U".into(),
+        nodes: 1,
+        chips: 2,
+        cpu: Cpu {
+            name: "Intel Xeon Prop".into(),
+            microarchitecture: "PropLake".into(),
+            nominal: Megahertz::from_ghz(ghz),
+            max_boost: Megahertz::from_ghz(ghz + 0.8),
+            cores_per_chip: cores,
+            threads_per_core: 2,
+            tdp: Watts(200.0),
+            vector_bits: 256,
+        },
+        memory_gb: 128,
+        dimm_count: 8,
+        psu_rating: Watts(1600.0),
+        psu_count: 1,
+        os: OsInfo::new("Linux"),
+        jvm: JvmInfo {
+            vendor: "Oracle".into(),
+            version: "17".into(),
+        },
+        jvm_instances: 2,
+    }
+}
+
+fn model(ops: f64, sleep: f64) -> SutModel {
+    let mut m = reference_sut();
+    m.perf.ops_per_core_ghz = ops;
+    m.power.pkg_sleep_eff = sleep;
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rating_is_finite_and_positive(
+        cores in 2u32..128,
+        ghz in 1.5f64..4.0,
+        ops in 5_000.0f64..60_000.0,
+        sleep in 0.0f64..0.9,
+    ) {
+        let report = rate(&system(cores, ghz), &model(ops, sleep));
+        prop_assert!(report.overall.is_finite() && report.overall > 0.0);
+        for w in &report.worklets {
+            prop_assert!(w.efficiency.is_finite() && w.efficiency > 0.0, "{}", w.worklet.name);
+            for l in &w.levels {
+                prop_assert!(l.power.value() > 0.0);
+                prop_assert!(l.throughput >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rating_monotone_in_per_core_throughput(
+        cores in 2u32..128,
+        ghz in 1.5f64..4.0,
+        ops in 5_000.0f64..30_000.0,
+    ) {
+        let sys = system(cores, ghz);
+        let base = rate(&sys, &model(ops, 0.6)).overall;
+        let better = rate(&sys, &model(ops * 1.5, 0.6)).overall;
+        prop_assert!(better > base, "{better} vs {base}");
+    }
+
+    #[test]
+    fn overall_between_resource_extremes(
+        cores in 2u32..128,
+        ghz in 1.5f64..4.0,
+    ) {
+        // The weighted geomean must lie within the per-resource range.
+        let report = rate(&system(cores, ghz), &reference_sut());
+        let effs: Vec<f64> = report.per_resource.iter().map(|(_, e)| *e).collect();
+        let lo = effs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = effs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(report.overall >= lo * 0.999 && report.overall <= hi * 1.001,
+            "overall {} outside [{lo}, {hi}]", report.overall);
+    }
+}

@@ -1,0 +1,218 @@
+//! SPEC run-rules compliance checks.
+//!
+//! Real submissions are reviewed against the SPECpower_ssj2008 run rules
+//! before acceptance: every graduated level must hit its target throughput
+//! within tolerance, the measurement intervals must be fully sampled, and
+//! the structure must be complete. This module implements those checks for
+//! simulated runs — the `NotAccepted` anomalies in the synthetic dataset
+//! correspond to runs that would fail review.
+
+use spec_model::LoadLevel;
+
+use crate::director::SsjRun;
+
+/// Relative throughput tolerance per target level (run rules: ±2 %).
+pub const TARGET_TOLERANCE: f64 = 0.02;
+
+/// A violation of the run rules.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ComplianceIssue {
+    /// A level is missing or duplicated.
+    BadStructure {
+        /// How many levels were present.
+        levels_found: usize,
+    },
+    /// A graduated level missed its target throughput window.
+    TargetMissed {
+        /// The level in question.
+        level: LoadLevel,
+        /// Achieved/target ratio.
+        ratio: f64,
+    },
+    /// The active-idle interval recorded transactions.
+    IdleNotIdle {
+        /// Transactions seen during idle.
+        ops: f64,
+    },
+    /// A level reported non-positive average power.
+    BadPower {
+        /// The level in question.
+        level: LoadLevel,
+    },
+    /// Calibration is inconsistent with the 100 % measurement.
+    CalibrationMismatch {
+        /// 100 %-level throughput over calibrated maximum.
+        ratio: f64,
+    },
+}
+
+impl std::fmt::Display for ComplianceIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComplianceIssue::BadStructure { levels_found } => {
+                write!(f, "expected 11 unique levels, found {levels_found}")
+            }
+            ComplianceIssue::TargetMissed { level, ratio } => {
+                write!(f, "{level}: achieved {:.1}% of target", ratio * 100.0)
+            }
+            ComplianceIssue::IdleNotIdle { ops } => {
+                write!(f, "active idle recorded {ops:.0} transactions")
+            }
+            ComplianceIssue::BadPower { level } => write!(f, "{level}: non-positive power"),
+            ComplianceIssue::CalibrationMismatch { ratio } => write!(
+                f,
+                "100% level at {:.1}% of calibrated maximum",
+                ratio * 100.0
+            ),
+        }
+    }
+}
+
+/// Check a simulated run against the run rules. Empty = compliant.
+pub fn check_run(run: &SsjRun) -> Vec<ComplianceIssue> {
+    let mut issues = Vec::new();
+
+    let standard = LoadLevel::standard();
+    let unique = standard
+        .iter()
+        .filter(|lvl| run.levels.iter().filter(|m| m.level == **lvl).count() == 1)
+        .count();
+    if unique != standard.len() || run.levels.len() != standard.len() {
+        issues.push(ComplianceIssue::BadStructure {
+            levels_found: run.levels.len(),
+        });
+        return issues; // Structure is broken; per-level checks meaningless.
+    }
+
+    for m in &run.levels {
+        if m.avg_power.value() <= 0.0 {
+            issues.push(ComplianceIssue::BadPower { level: m.level });
+        }
+        match m.level {
+            LoadLevel::ActiveIdle => {
+                if m.actual_ops.value() > 0.0 {
+                    issues.push(ComplianceIssue::IdleNotIdle {
+                        ops: m.actual_ops.value(),
+                    });
+                }
+            }
+            LoadLevel::Percent(100) => {
+                // The 100 % level replays the calibrated maximum; allow a
+                // wider window since it re-measures a saturation point.
+                let ratio = m.actual_ops.value() / run.calibrated_max.value().max(1e-9);
+                if !(1.0 - 3.0 * TARGET_TOLERANCE..=1.0 + 3.0 * TARGET_TOLERANCE)
+                    .contains(&ratio)
+                {
+                    issues.push(ComplianceIssue::CalibrationMismatch { ratio });
+                }
+            }
+            LoadLevel::Percent(_) => {
+                if m.target_ops.value() > 0.0 {
+                    let ratio = m.actual_ops.value() / m.target_ops.value();
+                    if !(1.0 - TARGET_TOLERANCE..=1.0 + TARGET_TOLERANCE).contains(&ratio) {
+                        issues.push(ComplianceIssue::TargetMissed {
+                            level: m.level,
+                            ratio,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    issues
+}
+
+impl SsjRun {
+    /// True when the run satisfies the run rules.
+    pub fn is_compliant(&self) -> bool {
+        check_run(self).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{reference_sut, Settings};
+    use crate::director::simulate_run;
+    use spec_model::{linear_test_run, SsjOps, Watts};
+
+    fn simulated() -> SsjRun {
+        let system = linear_test_run(0, 1e6, 60.0, 300.0).system;
+        simulate_run(&system, &reference_sut(), &Settings::fast(), 5)
+    }
+
+    #[test]
+    fn simulated_runs_are_compliant() {
+        let run = simulated();
+        let issues = check_run(&run);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(run.is_compliant());
+    }
+
+    #[test]
+    fn missing_level_is_structural() {
+        let mut run = simulated();
+        run.levels.pop();
+        let issues = check_run(&run);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0], ComplianceIssue::BadStructure { .. }));
+    }
+
+    #[test]
+    fn target_miss_detected() {
+        let mut run = simulated();
+        // Find the 50% level and cut its throughput by 10%.
+        let m = run
+            .levels
+            .iter_mut()
+            .find(|m| m.level == LoadLevel::Percent(50))
+            .unwrap();
+        m.actual_ops = SsjOps(m.target_ops.value() * 0.9);
+        let issues = check_run(&run);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ComplianceIssue::TargetMissed { level: LoadLevel::Percent(50), .. })));
+    }
+
+    #[test]
+    fn busy_idle_detected() {
+        let mut run = simulated();
+        let m = run
+            .levels
+            .iter_mut()
+            .find(|m| m.level == LoadLevel::ActiveIdle)
+            .unwrap();
+        m.actual_ops = SsjOps(123.0);
+        assert!(check_run(&run)
+            .iter()
+            .any(|i| matches!(i, ComplianceIssue::IdleNotIdle { .. })));
+    }
+
+    #[test]
+    fn zero_power_detected() {
+        let mut run = simulated();
+        run.levels[3].avg_power = Watts(0.0);
+        assert!(check_run(&run)
+            .iter()
+            .any(|i| matches!(i, ComplianceIssue::BadPower { .. })));
+    }
+
+    #[test]
+    fn calibration_mismatch_detected() {
+        let mut run = simulated();
+        run.calibrated_max = SsjOps(run.calibrated_max.value() * 2.0);
+        assert!(check_run(&run)
+            .iter()
+            .any(|i| matches!(i, ComplianceIssue::CalibrationMismatch { .. })));
+    }
+
+    #[test]
+    fn issues_display_readably() {
+        let issue = ComplianceIssue::TargetMissed {
+            level: LoadLevel::Percent(40),
+            ratio: 0.95,
+        };
+        assert!(issue.to_string().contains("40%"));
+        assert!(issue.to_string().contains("95.0%"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # spec-ssj
+//!
+//! A simulator of SPECpower_ssj2008 benchmark runs.
+//!
+//! The paper's raw data comes from physical servers measured by accepted
+//! power analyzers. Offline, this crate substitutes a *mechanistic*
+//! simulation (see DESIGN.md §1): a discrete-time stochastic queueing engine
+//! advancing at the meter's 1 Hz sampling period, driving a bottom-up power
+//! model with the exact mechanisms the paper discusses — DVFS and turbo
+//! (frequency/voltage scaling), core C-states for parked cores, package
+//! C-states whose residency is eroded by per-thread background wakeups,
+//! platform power and PSU conversion losses.
+//!
+//! The crate separates **mechanism** (here) from **calibration**
+//! (`spec-synth` supplies per-generation parameters). Layout:
+//!
+//! * [`config`] — [`SutModel`] = [`PerfModel`] + [`PowerModel`], plus run
+//!   [`Settings`];
+//! * [`workload`] — the six weighted ssj transaction types;
+//! * [`engine`] — per-interval queueing simulation with a DVFS governor;
+//! * [`power`] — the operating-point → watts equations;
+//! * [`meter`] — accuracy-class meter noise and interval averaging;
+//! * [`director`] — calibration → 100 %…10 % → active idle orchestration,
+//!   producing [`SsjRun`];
+//! * [`compliance`] — the SPEC run-rules review (target tolerance, idle
+//!   purity, calibration consistency) that decides acceptance;
+//! * [`ptdaemon`] — analyzer range/uncertainty accounting (the 1 % rule).
+//!
+//! ```
+//! use spec_ssj::{simulate_run, reference_sut, Settings};
+//! use spec_model::linear_test_run;
+//!
+//! let system = linear_test_run(0, 1e6, 60.0, 300.0).system;
+//! let run = simulate_run(&system, &reference_sut(), &Settings::fast(), 42);
+//! assert_eq!(run.levels.len(), 11);
+//! assert!(run.overall_ops_per_watt() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compliance;
+pub mod config;
+pub mod director;
+pub mod engine;
+pub mod meter;
+pub mod power;
+pub mod ptdaemon;
+pub mod workload;
+
+pub use compliance::{check_run, ComplianceIssue, TARGET_TOLERANCE};
+pub use config::{reference_sut, PerfModel, PowerModel, Settings, SutModel};
+pub use director::{simulate_run, SsjRun};
+pub use engine::{Engine, IntervalResult, OfferedLoad};
+pub use meter::{IntervalPowerLog, PowerMeter};
+pub use power::{dc_power, wall_power, wall_power_at, OperatingPoint};
+pub use ptdaemon::{audit_interval, audit_run, AnalyzerSpec, UncertaintyReport, MAX_AVG_UNCERTAINTY};
+pub use workload::{TransactionMix, TransactionType};

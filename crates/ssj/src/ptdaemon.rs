@@ -1,0 +1,169 @@
+//! PTDaemon-style measurement uncertainty accounting.
+//!
+//! SPEC's power/temperature daemon talks to an accepted power analyzer and
+//! reports, per sample, the *measurement uncertainty* implied by the
+//! instrument's accuracy class and the configured current/voltage range.
+//! The run rules reject intervals whose average uncertainty exceeds 1 %.
+//! This module models the analyzer's range ladder and the resulting
+//! uncertainty so the simulator can (a) pick realistic ranges per load
+//! level and (b) flag ranging mistakes — a classic cause of real
+//! non-compliant submissions.
+
+use spec_model::Watts;
+
+/// The run rules' ceiling on average measurement uncertainty.
+pub const MAX_AVG_UNCERTAINTY: f64 = 0.01;
+
+/// A power analyzer's range ladder and accuracy specification.
+///
+/// Accuracy follows the usual "±(reading % + range %)" instrument form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzerSpec {
+    /// Selectable full-scale power ranges in watts, ascending.
+    pub ranges_w: Vec<f64>,
+    /// Relative error proportional to the reading.
+    pub reading_err: f64,
+    /// Relative error proportional to the selected range.
+    pub range_err: f64,
+}
+
+impl AnalyzerSpec {
+    /// A Yokogawa-WT210-like bench analyzer (the workhorse of early
+    /// submissions): 0.1 % of reading + 0.1 % of range.
+    pub fn wt210_like() -> AnalyzerSpec {
+        AnalyzerSpec {
+            ranges_w: vec![30.0, 60.0, 150.0, 300.0, 600.0, 1500.0, 3000.0, 6000.0],
+            reading_err: 0.001,
+            range_err: 0.001,
+        }
+    }
+
+    /// The smallest range that accommodates `peak` with 10 % headroom;
+    /// `None` when the signal exceeds every range.
+    pub fn pick_range(&self, peak: Watts) -> Option<f64> {
+        let needed = peak.value() * 1.1;
+        self.ranges_w.iter().copied().find(|&r| r >= needed)
+    }
+
+    /// Relative uncertainty of one reading on the given range.
+    pub fn uncertainty(&self, reading: Watts, range_w: f64) -> f64 {
+        if reading.value() <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.reading_err + self.range_err * range_w / reading.value()
+    }
+}
+
+/// Uncertainty audit of one measurement interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UncertaintyReport {
+    /// Range the analyzer was configured to (watts full-scale).
+    pub range_w: f64,
+    /// Mean relative uncertainty across the interval's samples.
+    pub avg_uncertainty: f64,
+    /// Whether the interval satisfies the 1 % rule.
+    pub compliant: bool,
+}
+
+/// Audit an interval: given its average and peak power, pick the range from
+/// the peak (as a competent operator would) and compute the uncertainty at
+/// the average reading.
+pub fn audit_interval(spec: &AnalyzerSpec, avg: Watts, peak: Watts) -> Option<UncertaintyReport> {
+    let range_w = spec.pick_range(peak)?;
+    let avg_uncertainty = spec.uncertainty(avg, range_w);
+    Some(UncertaintyReport {
+        range_w,
+        avg_uncertainty,
+        compliant: avg_uncertainty <= MAX_AVG_UNCERTAINTY,
+    })
+}
+
+/// Audit a whole simulated run: one report per level, using each level's
+/// average power and the run's full-load peak for a *single fixed range*
+/// (the common single-range setup) when `fixed_range` is true, or per-level
+/// auto-ranging otherwise.
+pub fn audit_run(
+    spec: &AnalyzerSpec,
+    levels: &[(Watts, Watts)],
+    fixed_range: bool,
+) -> Vec<Option<UncertaintyReport>> {
+    let global_peak = levels
+        .iter()
+        .map(|(_, peak)| peak.value())
+        .fold(0.0, f64::max);
+    levels
+        .iter()
+        .map(|&(avg, peak)| {
+            if fixed_range {
+                audit_interval(spec, avg, Watts(global_peak))
+            } else {
+                audit_interval(spec, avg, peak)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_ladder_selection() {
+        let spec = AnalyzerSpec::wt210_like();
+        assert_eq!(spec.pick_range(Watts(100.0)), Some(150.0));
+        assert_eq!(spec.pick_range(Watts(140.0)), Some(300.0), "10% headroom");
+        assert_eq!(spec.pick_range(Watts(5000.0)), Some(6000.0));
+        assert_eq!(spec.pick_range(Watts(9000.0)), None);
+    }
+
+    #[test]
+    fn uncertainty_grows_at_low_reading_on_big_range() {
+        let spec = AnalyzerSpec::wt210_like();
+        // Reading 30 W on a 600 W range: 0.1% + 0.1%·600/30 = 2.1%.
+        let bad = spec.uncertainty(Watts(30.0), 600.0);
+        assert!((bad - 0.021).abs() < 1e-9);
+        // Same reading on the right 60 W range: 0.1% + 0.2% = 0.3%.
+        let good = spec.uncertainty(Watts(30.0), 60.0);
+        assert!((good - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_reading_infinite_uncertainty() {
+        let spec = AnalyzerSpec::wt210_like();
+        assert!(spec.uncertainty(Watts(0.0), 60.0).is_infinite());
+    }
+
+    #[test]
+    fn fixed_range_fails_at_idle_for_big_dynamic_range() {
+        // A modern server: 800 W full load, 60 W idle. On a single 1500 W
+        // range the idle interval busts the 1% rule; auto-ranging passes.
+        let spec = AnalyzerSpec::wt210_like();
+        let levels = vec![
+            (Watts(800.0), Watts(850.0)), // 100 %
+            (Watts(60.0), Watts(75.0)),   // idle
+        ];
+        let fixed = audit_run(&spec, &levels, true);
+        assert!(fixed[0].unwrap().compliant);
+        assert!(!fixed[1].unwrap().compliant, "idle on a 1500 W range");
+
+        let auto = audit_run(&spec, &levels, false);
+        assert!(auto[1].unwrap().compliant, "auto-ranged idle is fine");
+        assert!(auto[1].unwrap().range_w < fixed[1].unwrap().range_w);
+    }
+
+    #[test]
+    fn early_low_power_servers_pass_even_fixed() {
+        // A 2007 box: 240 W full, 165 W idle. One 300 W range covers both
+        // within 1% — idle ranging only became hard once idle power fell.
+        let spec = AnalyzerSpec::wt210_like();
+        let levels = vec![(Watts(240.0), Watts(250.0)), (Watts(165.0), Watts(170.0))];
+        let fixed = audit_run(&spec, &levels, true);
+        assert!(fixed.iter().all(|r| r.unwrap().compliant));
+    }
+
+    #[test]
+    fn audit_handles_out_of_range_signal() {
+        let spec = AnalyzerSpec::wt210_like();
+        assert!(audit_interval(&spec, Watts(7000.0), Watts(7000.0)).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! # tinystats
+//!
+//! Small, dependency-free statistics toolkit backing the SPEC Power trend
+//! analysis:
+//!
+//! * [`Summary`] — one-pass Welford mean/variance/min/max with parallel
+//!   `merge`, used by every yearly aggregation;
+//! * [`quantile()`]/[`median`] — NumPy-compatible type-7 quantiles;
+//! * [`BoxStats`] — Tukey box-and-whisker statistics (Figure 4);
+//! * [`fit`]/[`LinearFit`] — ordinary least squares (trend lines and the
+//!   Figure 6 idle extrapolation);
+//! * [`pearson`]/[`spearman`]/[`kendall_tau`]/[`CorrelationMatrix`] — the
+//!   Section-IV correlation exploration;
+//! * [`Histogram`], [`mean_by_key`] — binning helpers;
+//! * [`bootstrap_ci`] — percentile-bootstrap confidence intervals with a
+//!   built-in deterministic [`SplitMix64`];
+//! * [`moving_average`]/[`ewma`] — smoothing overlays;
+//! * [`theil_sen`]/[`mann_kendall`] — outlier-robust trend estimation and
+//!   significance testing for the "X increases over the years" claims.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod boxplot;
+pub mod corr;
+pub mod describe;
+pub mod histogram;
+pub mod linreg;
+pub mod quantile;
+pub mod rolling;
+pub mod trend;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi, SplitMix64};
+pub use boxplot::BoxStats;
+pub use corr::{kendall_tau, pearson, ranks, spearman, CorrelationMatrix};
+pub use describe::{mean, std_dev, Summary};
+pub use histogram::{group_by_key, mean_by_key, Histogram};
+pub use linreg::{extrapolate_to_zero, fit, FitError, LinearFit};
+pub use quantile::{iqr, median, quantile, quantile_sorted, quantiles, sorted_finite};
+pub use rolling::{ewma, moving_average};
+pub use trend::{mann_kendall, theil_sen, MannKendall, TheilSen};

@@ -1,0 +1,110 @@
+//! Rolling-window smoothing for trend overlays in the figures.
+
+/// Centered moving average with window `2*half + 1`; edges shrink the window
+/// symmetrically so the output has the same length as the input. Non-finite
+/// inputs are excluded from their windows.
+pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let window = &xs[lo..hi];
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &x in window {
+            if x.is_finite() {
+                sum += x;
+                count += 1;
+            }
+        }
+        out.push(if count > 0 {
+            sum / count as f64
+        } else {
+            f64::NAN
+        });
+    }
+    out
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]`; NaNs propagate the previous smoothed value.
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state: Option<f64> = None;
+    for &x in xs {
+        if x.is_finite() {
+            state = Some(match state {
+                None => x,
+                Some(prev) => prev + alpha * (x - prev),
+            });
+        }
+        out.push(state.unwrap_or(f64::NAN));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_constant_series() {
+        let xs = vec![3.0; 10];
+        assert_eq!(moving_average(&xs, 2), xs);
+    }
+
+    #[test]
+    fn moving_average_window_shrinks_at_edges() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let out = moving_average(&xs, 1);
+        assert!((out[0] - 0.5).abs() < 1e-12); // mean(0,1)
+        assert!((out[2] - 2.0).abs() < 1e-12); // mean(1,2,3)
+        assert!((out[4] - 3.5).abs() < 1e-12); // mean(3,4)
+    }
+
+    #[test]
+    fn moving_average_skips_nan() {
+        let xs = [1.0, f64::NAN, 3.0];
+        let out = moving_average(&xs, 1);
+        assert!((out[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_zero_half_is_identity() {
+        let xs = [1.0, 5.0, 2.0];
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(ewma(&xs, 1.0), xs.to_vec());
+    }
+
+    #[test]
+    fn ewma_smooths_step() {
+        let xs = [0.0, 0.0, 10.0, 10.0, 10.0];
+        let out = ewma(&xs, 0.5);
+        assert_eq!(out[0], 0.0);
+        assert!((out[2] - 5.0).abs() < 1e-12);
+        assert!((out[3] - 7.5).abs() < 1e-12);
+        assert!(out[4] < 10.0 && out[4] > out[3]);
+    }
+
+    #[test]
+    fn ewma_nan_holds_previous() {
+        let xs = [2.0, f64::NAN, f64::NAN, 4.0];
+        let out = ewma(&xs, 0.5);
+        assert_eq!(out[1], 2.0);
+        assert_eq!(out[2], 2.0);
+        assert!((out[3] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        ewma(&[1.0], 0.0);
+    }
+}

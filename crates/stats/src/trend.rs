@@ -1,0 +1,240 @@
+//! Robust trend statistics: the Theil–Sen slope estimator and the
+//! Mann–Kendall trend test.
+//!
+//! The paper's §III/§IV claims are of the form "X increases over the
+//! years". OLS answers that, but is sensitive to the heavy-tailed spread
+//! the dataset exhibits in recent years; Theil–Sen and Mann–Kendall give
+//! outlier-robust confirmation, and the ablation benches compare the two.
+
+use crate::quantile::median;
+
+/// Theil–Sen estimate: the median of all pairwise slopes, with the
+/// intercept chosen as `median(y) − slope·median(x)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TheilSen {
+    /// Median pairwise slope.
+    pub slope: f64,
+    /// Intercept through the medians.
+    pub intercept: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl TheilSen {
+    /// Evaluate the robust line at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit a Theil–Sen line. Pairs with non-finite coordinates are dropped;
+/// returns `None` with fewer than two distinct-x points. O(n²) — fine for
+/// the ≤1000-run series here.
+pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Option<TheilSen> {
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let mut slopes = Vec::with_capacity(pts.len() * (pts.len() - 1) / 2);
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            let dx = pts[j].0 - pts[i].0;
+            if dx != 0.0 {
+                slopes.push((pts[j].1 - pts[i].1) / dx);
+            }
+        }
+    }
+    let slope = median(&slopes)?;
+    let mx = median(&pts.iter().map(|p| p.0).collect::<Vec<_>>())?;
+    let my = median(&pts.iter().map(|p| p.1).collect::<Vec<_>>())?;
+    Some(TheilSen {
+        slope,
+        intercept: my - slope * mx,
+        n: pts.len(),
+    })
+}
+
+/// Result of a Mann–Kendall trend test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MannKendall {
+    /// The S statistic (Σ sign of pairwise differences along time order).
+    pub s: i64,
+    /// Normal-approximation z score (tie-corrected variance).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_value: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl MannKendall {
+    /// Trend direction at the given significance level (e.g. 0.05):
+    /// `Some(true)` = increasing, `Some(false)` = decreasing, `None` = no
+    /// significant trend.
+    pub fn direction(&self, alpha: f64) -> Option<bool> {
+        if self.p_value <= alpha {
+            Some(self.s > 0)
+        } else {
+            None
+        }
+    }
+}
+
+/// Standard normal survival function via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 approximation, |error| < 1.5e-7).
+fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erfc = poly * (-x * x).exp();
+    let erfc = if x < 0.0 { 2.0 - erfc } else { erfc };
+    0.5 * erfc
+}
+
+/// Mann–Kendall test on a time-ordered series (`ys` in observation order).
+/// Non-finite values are dropped (order preserved). Returns `None` for
+/// fewer than 3 observations.
+pub fn mann_kendall(ys: &[f64]) -> Option<MannKendall> {
+    let v: Vec<f64> = ys.iter().copied().filter(|y| y.is_finite()).collect();
+    let n = v.len();
+    if n < 3 {
+        return None;
+    }
+    let mut s = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += match v[j].partial_cmp(&v[i]).expect("finite") {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+        }
+    }
+    // Tie-corrected variance.
+    let mut sorted = v.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut tie_term = 0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * (t - 1.0) * (2.0 * t + 5.0);
+        }
+        i = j + 1;
+    }
+    let nf = n as f64;
+    let var = (nf * (nf - 1.0) * (2.0 * nf + 5.0) - tie_term) / 18.0;
+    let z = if var <= 0.0 {
+        0.0
+    } else if s > 0 {
+        (s as f64 - 1.0) / var.sqrt()
+    } else if s < 0 {
+        (s as f64 + 1.0) / var.sqrt()
+    } else {
+        0.0
+    };
+    let p_value = (2.0 * normal_sf(z.abs())).min(1.0);
+    Some(MannKendall {
+        s,
+        z,
+        p_value,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theil_sen_recovers_exact_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x - 4.0).collect();
+        let fit = theil_sen(&xs, &ys).unwrap();
+        assert!((fit.slope - 1.5).abs() < 1e-12);
+        assert!((fit.intercept + 4.0).abs() < 1e-9);
+        assert!((fit.predict(10.0) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theil_sen_shrugs_off_outliers() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        // Corrupt a quarter of the points massively.
+        for i in (0..30).step_by(4) {
+            ys[i] += 1e5;
+        }
+        let robust = theil_sen(&xs, &ys).unwrap();
+        let ols = crate::linreg::fit(&xs, &ys).unwrap();
+        assert!((robust.slope - 2.0).abs() < 0.3, "robust {}", robust.slope);
+        assert!(
+            (ols.slope - 2.0).abs() > 10.0,
+            "OLS should be wrecked: {}",
+            ols.slope
+        );
+    }
+
+    #[test]
+    fn theil_sen_degenerate_inputs() {
+        assert!(theil_sen(&[1.0], &[1.0]).is_none());
+        assert!(theil_sen(&[], &[]).is_none());
+        // All same x → no defined slope.
+        assert!(theil_sen(&[2.0, 2.0], &[1.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn mann_kendall_detects_monotone_increase() {
+        let ys: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mk = mann_kendall(&ys).unwrap();
+        assert_eq!(mk.s, (30 * 29 / 2) as i64);
+        assert!(mk.p_value < 1e-6);
+        assert_eq!(mk.direction(0.05), Some(true));
+    }
+
+    #[test]
+    fn mann_kendall_detects_decrease() {
+        let ys: Vec<f64> = (0..30).map(|i| -(i as f64)).collect();
+        let mk = mann_kendall(&ys).unwrap();
+        assert!(mk.s < 0);
+        assert_eq!(mk.direction(0.05), Some(false));
+    }
+
+    #[test]
+    fn mann_kendall_no_trend_in_alternating_series() {
+        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let mk = mann_kendall(&ys).unwrap();
+        assert_eq!(mk.direction(0.05), None, "z {} p {}", mk.z, mk.p_value);
+    }
+
+    #[test]
+    fn mann_kendall_handles_ties() {
+        let ys = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0];
+        let mk = mann_kendall(&ys).unwrap();
+        assert!(mk.s > 0);
+        assert!(mk.p_value <= 1.0);
+    }
+
+    #[test]
+    fn mann_kendall_too_short() {
+        assert!(mann_kendall(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn normal_sf_sane() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_sf(1.96) < 0.026 && normal_sf(1.96) > 0.024);
+        assert!(normal_sf(-1.96) > 0.97);
+    }
+}

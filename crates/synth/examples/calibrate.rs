@@ -1,0 +1,175 @@
+//! Calibration probe: prints yearly aggregates of a generated dataset next
+//! to the paper's published numbers. Used to tune `lineup.rs` constants.
+//!
+//! Run with: `cargo run --release -p spec-synth --example calibrate`
+
+use spec_model::{CpuVendor, LoadLevel};
+use spec_synth::{generate_dataset, SynthConfig};
+
+fn main() {
+    let cfg = SynthConfig::default();
+    let dataset = generate_dataset(&cfg);
+    let comparable = dataset.comparable_truth();
+    println!("comparable runs: {}", comparable.len());
+
+    println!("\nyear  n   AMD%  W/socket  idlefrac  overall_eff(I/A)    extrapQ");
+    for year in 2005..=2024 {
+        let runs: Vec<_> = comparable.iter().filter(|r| r.hw_year() == year).collect();
+        if runs.is_empty() {
+            continue;
+        }
+        let n = runs.len();
+        let amd = runs
+            .iter()
+            .filter(|r| r.system.cpu.vendor() == CpuVendor::Amd)
+            .count();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let w: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.per_socket_full_load_power())
+            .map(|p| p.value())
+            .collect();
+        let idle: Vec<f64> = runs.iter().filter_map(|r| r.idle_fraction()).collect();
+        let eff_i: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.system.cpu.vendor() == CpuVendor::Intel)
+            .map(|r| r.overall_efficiency().value())
+            .collect();
+        let eff_a: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.system.cpu.vendor() == CpuVendor::Amd)
+            .map(|r| r.overall_efficiency().value())
+            .collect();
+        let quot: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.extrapolated_idle_quotient())
+            .collect();
+        println!(
+            "{year}  {n:3}  {:4.1}  {:8.1}  {:8.3}  {:8.0} / {:8.0}  {:6.2}",
+            100.0 * amd as f64 / n as f64,
+            mean(&w),
+            mean(&idle),
+            mean(&eff_i),
+            mean(&eff_a),
+            mean(&quot),
+        );
+    }
+
+    // Era aggregates from the paper.
+    let pre2010: Vec<f64> = comparable
+        .iter()
+        .filter(|r| r.hw_year() <= 2010)
+        .filter_map(|r| r.per_socket_full_load_power())
+        .map(|p| p.value())
+        .collect();
+    let post2022: Vec<f64> = comparable
+        .iter()
+        .filter(|r| r.hw_year() >= 2022)
+        .filter_map(|r| r.per_socket_full_load_power())
+        .map(|p| p.value())
+        .collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    println!(
+        "\nW/socket <=2010: {:.1} (paper 119.0); >=2022: {:.1} (paper 303.3); ratio {:.2} (paper ~2.5)",
+        mean(&pre2010),
+        mean(&post2022),
+        mean(&post2022) / mean(&pre2010)
+    );
+
+    for (pct, paper) in [(20u8, 1.8), (70u8, 2.2)] {
+        let ratio_at = |lo: i32, hi: i32| {
+            let xs: Vec<f64> = comparable
+                .iter()
+                .filter(|r| (lo..=hi).contains(&r.hw_year()))
+                .filter_map(|r| r.power_at(LoadLevel::Percent(pct)))
+                .map(|p| p.value())
+                .collect();
+            mean(&xs)
+        };
+        println!(
+            "P({pct}%) ratio: {:.2} (paper ~{paper})",
+            ratio_at(2022, 2024) / ratio_at(2005, 2010)
+        );
+    }
+
+    // Idle-fraction trajectory.
+    for (year, paper) in [(2006, 0.701), (2017, 0.157), (2024, 0.257)] {
+        let xs: Vec<f64> = comparable
+            .iter()
+            .filter(|r| r.hw_year() == year)
+            .filter_map(|r| r.idle_fraction())
+            .collect();
+        println!("idle fraction {year}: {:.3} (paper {paper})", mean(&xs));
+    }
+
+    // Vendor share before/after 2018 (paper: 13.0 % -> 31.3 %).
+    let share = |lo: i32, hi: i32| {
+        let set: Vec<_> = comparable
+            .iter()
+            .filter(|r| (lo..=hi).contains(&r.hw_year()))
+            .collect();
+        set.iter()
+            .filter(|r| r.system.cpu.vendor() == CpuVendor::Amd)
+            .count() as f64
+            / set.len().max(1) as f64
+    };
+    println!(
+        "AMD share pre-2018: {:.1}% (paper 13.0); 2018+: {:.1}% (paper 31.3)",
+        100.0 * share(2005, 2017),
+        100.0 * share(2018, 2024)
+    );
+
+    // Top-100 vendor census.
+    let mut effs: Vec<(f64, CpuVendor)> = comparable
+        .iter()
+        .map(|r| (r.overall_efficiency().value(), r.system.cpu.vendor()))
+        .collect();
+    effs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let amd_top = effs
+        .iter()
+        .take(100)
+        .filter(|(_, v)| *v == CpuVendor::Amd)
+        .count();
+    println!("AMD among top-100 efficient: {amd_top} (paper 98)");
+
+    // Since-2021 feature stats.
+    let recent: Vec<_> = comparable.iter().filter(|r| r.hw_year() >= 2021).collect();
+    for vendor in [CpuVendor::Amd, CpuVendor::Intel] {
+        let cores: Vec<f64> = recent
+            .iter()
+            .filter(|r| r.system.cpu.vendor() == vendor)
+            .map(|r| r.system.cpu.cores_per_chip as f64)
+            .collect();
+        let ghz: Vec<f64> = recent
+            .iter()
+            .filter(|r| r.system.cpu.vendor() == vendor)
+            .map(|r| r.system.cpu.nominal.ghz())
+            .collect();
+        let m = mean(&ghz);
+        let sd = (ghz.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / ghz.len() as f64).sqrt();
+        println!(
+            "{vendor:?} since 2021: cores/chip mean {:.1}, freq mean {:.2} GHz sd {:.2}",
+            mean(&cores),
+            m,
+            sd
+        );
+    }
+
+    // Relative-efficiency snapshot.
+    println!("\nrelative efficiency at 70% (yearly mean, Intel | AMD):");
+    for year in [2007, 2010, 2013, 2015, 2018, 2021, 2023] {
+        let rel = |vendor: CpuVendor| {
+            let xs: Vec<f64> = comparable
+                .iter()
+                .filter(|r| r.hw_year() == year && r.system.cpu.vendor() == vendor)
+                .filter_map(|r| r.relative_efficiency(70))
+                .collect();
+            mean(&xs)
+        };
+        println!(
+            "{year}: {:.3} | {:.3}",
+            rel(CpuVendor::Intel),
+            rel(CpuVendor::Amd)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Statistical snapshot of the generated dataset: physical and market
+//! invariants that must hold for every seed, beyond the paper's headline
+//! numbers (those live in the workspace-level `paper_ledger` test).
+
+use std::sync::OnceLock;
+
+use spec_model::{CpuVendor, LoadLevel, RunResult, ServerBrand};
+use spec_ssj::Settings;
+use spec_synth::{generate_dataset, Category, GeneratedDataset, SynthConfig};
+
+fn dataset() -> &'static GeneratedDataset {
+    static DS: OnceLock<GeneratedDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        generate_dataset(&SynthConfig {
+            seed: 17,
+            settings: Settings {
+                interval_seconds: 8,
+                calibration_intervals: 1,
+                ..Settings::default()
+            },
+        })
+    })
+}
+
+fn valid_runs() -> Vec<&'static RunResult> {
+    dataset()
+        .submissions
+        .iter()
+        .filter_map(|s| s.truth.as_ref())
+        .collect()
+}
+
+#[test]
+fn every_valid_run_is_well_formed() {
+    for run in valid_runs() {
+        assert!(run.is_well_formed(), "run {}", run.id);
+        assert!(run.dates.is_plausible(), "run {}", run.id);
+    }
+}
+
+#[test]
+fn psu_rating_covers_measured_peak() {
+    for run in valid_runs() {
+        let peak = run.power_at(LoadLevel::Percent(100)).unwrap().value();
+        let rating =
+            run.system.psu_rating.value() * run.system.nodes.max(1) as f64;
+        assert!(
+            rating >= peak,
+            "run {}: PSU {} W below measured peak {peak:.0} W",
+            run.id,
+            rating
+        );
+    }
+}
+
+#[test]
+fn power_curves_are_monotone_in_load() {
+    // Adjacent levels may wobble (per-interval JVM jitter changes the
+    // capacity the governor sees — real curves wobble too), but never by
+    // much, and the overall descent must be strict.
+    for run in valid_runs() {
+        let mut last = f64::INFINITY;
+        for m in &run.levels {
+            assert!(
+                m.avg_power.value() <= last * 1.12,
+                "run {}: power jumps down the ladder at {:?}",
+                run.id,
+                m.level
+            );
+            last = m.avg_power.value();
+        }
+        let p100 = run.power_at(LoadLevel::Percent(100)).unwrap().value();
+        let p10 = run.power_at(LoadLevel::Percent(10)).unwrap().value();
+        let idle = run.power_at(LoadLevel::ActiveIdle).unwrap().value();
+        assert!(p10 < p100, "run {}", run.id);
+        assert!(idle <= p10 * 1.02, "run {}", run.id);
+    }
+}
+
+#[test]
+fn throughput_tracks_targets_everywhere() {
+    for run in valid_runs() {
+        for m in &run.levels {
+            if let LoadLevel::Percent(p) = m.level {
+                if p == 100 {
+                    continue; // saturation point, checked via calibration
+                }
+                let ratio = m.actual_ops.value() / m.target_ops.value();
+                assert!(
+                    (0.9..=1.1).contains(&ratio),
+                    "run {} level {p}%: ratio {ratio}",
+                    run.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn efficiency_and_idle_are_physical() {
+    for run in valid_runs() {
+        let eff = run.overall_efficiency().value();
+        assert!(eff > 10.0 && eff < 100_000.0, "run {}: eff {eff}", run.id);
+        let idle = run.idle_fraction().unwrap();
+        assert!((0.01..0.95).contains(&idle), "run {}: idle {idle}", run.id);
+        let quotient = run.extrapolated_idle_quotient().unwrap();
+        assert!(
+            (0.5..10.0).contains(&quotient),
+            "run {}: quotient {quotient}",
+            run.id
+        );
+    }
+}
+
+#[test]
+fn categories_carry_their_defining_property() {
+    for sub in &dataset().submissions {
+        let Some(run) = sub.truth.as_ref() else {
+            assert!(matches!(sub.category, Category::Anomaly(_)));
+            continue;
+        };
+        match sub.category {
+            Category::Comparable => {
+                assert!(run.system.is_comparable_topology());
+                assert_ne!(run.system.cpu.vendor(), CpuVendor::Other);
+                assert!(run.system.cpu.server_brand().is_server_class());
+            }
+            Category::TopologyExcluded => {
+                assert!(!run.system.is_comparable_topology(), "run {}", run.id);
+            }
+            Category::NonX86 => {
+                assert_eq!(run.system.cpu.vendor(), CpuVendor::Other);
+            }
+            Category::NonServer => {
+                assert_eq!(run.system.cpu.server_brand(), ServerBrand::None);
+            }
+            Category::Anomaly(_) => unreachable!("anomalies carry no truth"),
+        }
+    }
+}
+
+#[test]
+fn hardware_dates_match_generation_windows() {
+    // Every named SKU must appear only in years its generation shipped
+    // (±1 year for window-edge sampling).
+    use spec_synth::lineup::all_generations;
+    let windows: Vec<(&str, i32, i32)> = all_generations()
+        .into_iter()
+        .flat_map(|g| {
+            g.skus
+                .iter()
+                .map(move |s| (s.name, g.intro.0 - 1, g.sunset.0 + 1))
+        })
+        .collect();
+    for run in valid_runs() {
+        let name = run.system.cpu.name.as_str();
+        if let Some(&(_, lo, hi)) = windows.iter().find(|(n, _, _)| *n == name) {
+            let y = run.hw_year();
+            assert!(
+                (lo..=hi).contains(&y),
+                "run {}: {name} dated {y}, window {lo}..={hi}",
+                run.id
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_scales_with_core_count() {
+    // Within the comparable set, big-core systems must carry more memory on
+    // average than small ones (market realism, used by §IV correlations).
+    let runs = valid_runs();
+    let mean_mem = |lo: u32, hi: u32| {
+        let xs: Vec<f64> = runs
+            .iter()
+            .filter(|r| (lo..=hi).contains(&r.system.total_cores()))
+            .map(|r| r.system.memory_gb as f64)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    let small = mean_mem(1, 16);
+    let large = mean_mem(96, 512);
+    assert!(
+        large > 4.0 * small,
+        "memory should scale with cores: {small} vs {large}"
+    );
+}
+
+#[test]
+fn tdp_trend_rises_across_eras() {
+    let runs = valid_runs();
+    let mean_tdp = |lo: i32, hi: i32| {
+        let xs: Vec<f64> = runs
+            .iter()
+            .filter(|r| (lo..=hi).contains(&r.hw_year()))
+            .map(|r| r.system.cpu.tdp.value())
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    assert!(mean_tdp(2005, 2010) < 110.0);
+    assert!(mean_tdp(2021, 2024) > 220.0);
+}
+
+#[test]
+fn submitters_and_models_are_populated() {
+    for run in valid_runs() {
+        assert!(!run.submitter.is_empty());
+        assert!(!run.system.model.is_empty());
+        assert!(!run.system.os.name.is_empty());
+        assert!(!run.system.jvm.version.is_empty());
+        assert!(run.system.jvm_instances >= 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Work with report files on disk: write the synthetic dataset out as 1017
+//! `.txt` files, then load and analyze them exactly as the paper's scripts
+//! consumed the spec.org downloads — including exporting the feature table
+//! as CSV for external tools.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset [-- DIR]
+//! ```
+
+use std::path::PathBuf;
+
+use spec_power_trends::analysis::{load_from_dir, runs_to_frame};
+use spec_power_trends::frame::Agg;
+use spec_power_trends::synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("spec_power_dataset"));
+
+    // 1. Materialise the dataset as files (like the spec.org mirror).
+    let dataset = generate_dataset(&SynthConfig::default());
+    let paths = write_dataset_to_dir(&dataset, &dir)?;
+    println!("wrote {} report files to {}", paths.len(), dir.display());
+
+    // 2. Load them back through the parser + filter cascade.
+    let set = load_from_dir(&dir)?;
+    println!(
+        "parsed {} files → {} valid → {} comparable runs",
+        set.report.raw, set.report.valid, set.report.comparable
+    );
+
+    // 3. Tabular analysis with the dataframe layer.
+    let frame = runs_to_frame(&set.comparable);
+    let by_year_vendor = frame
+        .group_by(&["year", "vendor"])
+        .expect("discrete keys")
+        .agg(&[
+            ("per_socket_w", Agg::Mean),
+            ("idle_fraction", Agg::Mean),
+            ("overall_eff", Agg::Median),
+            ("overall_eff", Agg::Count),
+        ])
+        .expect("numeric aggregates");
+    println!("\nper (year, vendor) aggregates (first rows):\n{}", by_year_vendor.head(12));
+
+    // 4. CSV export for external tooling.
+    let csv_path = dir.join("comparable_features.csv");
+    std::fs::write(&csv_path, frame.to_csv())?;
+    let agg_path = dir.join("yearly_aggregates.csv");
+    std::fs::write(&agg_path, by_year_vendor.to_csv())?;
+    println!(
+        "exported {} and {}",
+        csv_path.display(),
+        agg_path.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! The paper's concluding point, quantified: "Especially for systems that
+//! may spend substantial time in active idle, such as HPC systems, idle
+//! power optimizations can improve economical and ecological performance."
+//!
+//! This example takes the comparable dataset, picks recent low- and
+//! high-idle-fraction systems of similar full-load power, and computes the
+//! annual energy difference for an HPC cluster under a utilisation duty
+//! cycle — interpolating each run's own measured power curve.
+//!
+//! ```text
+//! cargo run --release --example hpc_idle_cost
+//! ```
+
+use spec_power_trends::analysis::load_from_texts;
+use spec_power_trends::model::{LoadLevel, RunResult};
+use spec_power_trends::synth::{generate_dataset, SynthConfig};
+
+/// Interpolate a run's wall power at an arbitrary utilisation in [0, 1]
+/// from its eleven measured levels (piecewise linear).
+fn power_at_util(run: &RunResult, util: f64) -> f64 {
+    let mut pts: Vec<(f64, f64)> = LoadLevel::standard()
+        .into_iter()
+        .filter_map(|l| run.power_at(l).map(|w| (l.fraction(), w.value())))
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let u = util.clamp(0.0, 1.0);
+    for w in pts.windows(2) {
+        if u <= w[1].0 {
+            let t = (u - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+            return w[0].1 + t * (w[1].1 - w[0].1);
+        }
+    }
+    pts.last().map(|p| p.1).unwrap_or(f64::NAN)
+}
+
+/// Annual energy (kWh) of one node under a duty cycle given as
+/// `(fraction of the year, utilisation)` pairs.
+fn annual_kwh(run: &RunResult, duty: &[(f64, f64)]) -> f64 {
+    const HOURS_PER_YEAR: f64 = 8766.0;
+    duty.iter()
+        .map(|&(share, util)| share * HOURS_PER_YEAR * power_at_util(run, util) / 1000.0)
+        .sum()
+}
+
+fn main() {
+    let dataset = generate_dataset(&SynthConfig::default());
+    let set = load_from_texts(dataset.texts());
+
+    // Recent dual-socket systems with comparable full-load power.
+    let candidates: Vec<&RunResult> = set
+        .comparable
+        .iter()
+        .filter(|r| r.hw_year() >= 2022 && r.system.chips == 2)
+        .filter(|r| {
+            r.power_at(LoadLevel::Percent(100))
+                .is_some_and(|w| (500.0..=900.0).contains(&w.value()))
+        })
+        .collect();
+    let best_idle = candidates
+        .iter()
+        .min_by(|a, b| {
+            a.idle_fraction()
+                .partial_cmp(&b.idle_fraction())
+                .unwrap()
+        })
+        .expect("recent runs exist");
+    let worst_idle = candidates
+        .iter()
+        .max_by(|a, b| {
+            a.idle_fraction()
+                .partial_cmp(&b.idle_fraction())
+                .unwrap()
+        })
+        .expect("recent runs exist");
+
+    println!("== HPC idle-power cost model ==\n");
+    for (label, run) in [("low-idle", best_idle), ("high-idle", worst_idle)] {
+        println!(
+            "{label}: {} {} — P(100%) {:.0} W, P(idle) {:.0} W (idle fraction {:.1}%)",
+            run.system.manufacturer,
+            run.system.cpu.name,
+            run.power_at(LoadLevel::Percent(100)).unwrap().value(),
+            run.power_at(LoadLevel::ActiveIdle).unwrap().value(),
+            100.0 * run.idle_fraction().unwrap()
+        );
+    }
+
+    // Duty cycles: a well-fed HPC system vs one with scheduling gaps.
+    let scenarios: [(&str, Vec<(f64, f64)>); 3] = [
+        ("90% busy, 10% true idle", vec![(0.9, 0.95), (0.1, 0.0)]),
+        ("70% busy, 30% true idle", vec![(0.7, 0.95), (0.3, 0.0)]),
+        (
+            "web-like (never fully idle)",
+            vec![(0.3, 0.6), (0.5, 0.25), (0.2, 0.05)],
+        ),
+    ];
+
+    const NODES: f64 = 1000.0;
+    const EUR_PER_KWH: f64 = 0.25;
+    // Isolate the *idle* contribution so the two systems' different
+    // full-load power does not pollute the comparison: energy is split into
+    // the busy-share part and the idle-share part.
+    let idle_kwh = |run: &RunResult, duty: &[(f64, f64)]| -> f64 {
+        duty.iter()
+            .filter(|(_, util)| *util < 0.01)
+            .map(|&(share, util)| share * 8766.0 * power_at_util(run, util) / 1000.0)
+            .sum()
+    };
+    println!("\ncluster of {NODES:.0} nodes at {EUR_PER_KWH:.2} EUR/kWh:\n");
+    println!(
+        "{:32} {:>11} {:>11} {:>13} {:>13} {:>14}",
+        "duty cycle", "low MWh/y", "high MWh/y", "idle-part low", "idle-part high", "idle EUR/y gap"
+    );
+    for (label, duty) in &scenarios {
+        let low = annual_kwh(best_idle, duty) * NODES / 1000.0;
+        let high = annual_kwh(worst_idle, duty) * NODES / 1000.0;
+        let low_idle_part = idle_kwh(best_idle, duty) * NODES / 1000.0;
+        let high_idle_part = idle_kwh(worst_idle, duty) * NODES / 1000.0;
+        println!(
+            "{label:32} {low:>11.0} {high:>11.0} {low_idle_part:>13.0} {high_idle_part:>14.0} {:>14.0}",
+            (high_idle_part - low_idle_part) * 1000.0 * EUR_PER_KWH
+        );
+    }
+    println!(
+        "\nThe gap widens with idle share — the paper's point: for HPC fleets\n\
+         that do reach true 0% load, active-idle power is a first-order\n\
+         selection criterion."
+    );
+}

@@ -1,0 +1,78 @@
+//! Deep dive into the paper's §IV idle-power analysis: the idle-fraction
+//! trajectory, the extrapolated idle quotient, and the (inconclusive)
+//! correlation exploration with its vendor-lineup confounders.
+//!
+//! ```text
+//! cargo run --release --example idle_analysis
+//! ```
+
+use spec_power_trends::analysis::{explore, figures, load_from_texts};
+use spec_power_trends::plot::ascii_bars;
+use spec_power_trends::synth::{generate_dataset, SynthConfig};
+
+fn main() {
+    let dataset = generate_dataset(&SynthConfig::default());
+    let set = load_from_texts(dataset.texts());
+    let runs = &set.comparable;
+
+    // --- Figure 5: the idle fraction over the years --------------------
+    let fig5 = figures::fig5::compute(runs);
+    println!("== Idle fraction (active idle power / full load power) ==\n");
+    let bars: Vec<(String, f64)> = fig5
+        .overall_yearly_mean
+        .iter()
+        .map(|&(y, f)| (y.to_string(), 100.0 * f))
+        .collect();
+    println!("{}", ascii_bars("yearly mean idle fraction (%)", &bars, 50));
+    if let (Some((y0, f0)), Some((ym, fm)), Some((y1, f1))) =
+        (fig5.earliest, fig5.minimum, fig5.latest)
+    {
+        println!(
+            "trajectory: {:.1}% ({y0}) → {:.1}% ({ym}) → {:.1}% ({y1})   [paper: 70.1 → 15.7 → 25.7]",
+            100.0 * f0,
+            100.0 * fm,
+            100.0 * f1
+        );
+    }
+    for (vendor, slope) in &fig5.recent_slope {
+        println!(
+            "{vendor} idle-fraction slope since 2017: {slope:+.4}/yr ({})",
+            if *slope > 0.0 { "regressing" } else { "improving" }
+        );
+    }
+
+    // --- Figure 6: extrapolated idle quotient ---------------------------
+    let fig6 = figures::fig6::compute(runs);
+    println!("\n== Extrapolated idle quotient (P̂(0) from 10%/20% / measured P(0)) ==\n");
+    if let Some(fit) = fig6.trend {
+        println!("OLS trend: {:+.4}/yr (R² {:.3}) — paper: upward", fit.slope, fit.r2);
+    }
+    println!(
+        "spread (std) by era: ≤2012 {:.2}, 2013–2018 {:.2}, ≥2019 {:.2} — paper: large recent spread",
+        fig6.spread_by_era[0], fig6.spread_by_era[1], fig6.spread_by_era[2]
+    );
+
+    // --- §IV correlation exploration -------------------------------------
+    let report = explore(runs, 2021);
+    println!("\n== Correlation exploration (runs since 2021, n={}) ==\n", report.n_runs);
+    println!("feature correlations with the idle fraction (pooled Pearson):");
+    for (feature, r) in report.idle_correlations() {
+        println!("  {feature:16} {r:+.3}");
+    }
+    println!("\nvendor confounders:");
+    for s in &report.vendor_stats {
+        println!(
+            "  {:6} n={:3}  cores/chip {:5.1}  nominal {:.2}±{:.2} GHz  idle fraction {:.3}",
+            s.vendor.to_string(),
+            s.n,
+            s.mean_cores,
+            s.mean_ghz,
+            s.std_ghz,
+            s.mean_idle_fraction
+        );
+    }
+    println!(
+        "\nconclusive at |r| ≥ 0.6 within both vendors: {}  (paper: inconclusive)",
+        report.is_conclusive(0.6)
+    );
+}

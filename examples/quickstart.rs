@@ -1,0 +1,50 @@
+//! Quickstart: generate the synthetic 16-year dataset, run the paper's
+//! filter cascade, and print the headline trends.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spec_power_trends::analysis::{load_from_texts, run_study};
+use spec_power_trends::ssj::Settings;
+use spec_power_trends::synth::{generate_dataset, SynthConfig};
+
+fn main() {
+    // 1. Generate the substitute for the 1017 result files on spec.org.
+    println!("generating synthetic SPECpower_ssj2008 submissions…");
+    let dataset = generate_dataset(&SynthConfig::default());
+    println!("  {} report files", dataset.submissions.len());
+
+    // 2. Parse + filter exactly like the paper's §II.
+    let set = load_from_texts(dataset.texts());
+    println!("\n{}", set.report.to_markdown());
+
+    // 3. Compute every figure and table.
+    let study = run_study(set, &Settings::default(), 3);
+
+    // 4. The headlines.
+    let g = &study.fig2.per_socket_growth;
+    println!(
+        "full-load power per socket: {:.0} W (≤2010) → {:.0} W (≥2022), {:.1}x",
+        g.mean_pre2010_w, g.mean_post2022_w, g.ratio
+    );
+    println!(
+        "AMD among the 100 most efficient runs: {} (paper: 98)",
+        study.fig3.amd_in_top100
+    );
+    if let (Some((y0, f0)), Some((ym, fm)), Some((y1, f1))) =
+        (study.fig5.earliest, study.fig5.minimum, study.fig5.latest)
+    {
+        println!(
+            "idle fraction: {:.1}% ({y0}) → {:.1}% ({ym}, minimum) → {:.1}% ({y1})",
+            100.0 * f0,
+            100.0 * fm,
+            100.0 * f1
+        );
+    }
+    let ok = study.comparisons().iter().filter(|c| c.ok()).count();
+    println!(
+        "\n{ok}/{} paper-vs-measured checks within tolerance",
+        study.comparisons().len()
+    );
+}

@@ -1,0 +1,70 @@
+//! Full reproduction: every figure and table, the paper-vs-measured ledger,
+//! and the SVG outputs — the library-API twin of the `reproduce` binary.
+//!
+//! ```text
+//! cargo run --release --example reproduce_paper [-- OUT_DIR]
+//! ```
+
+use std::path::PathBuf;
+
+use spec_power_trends::analysis::{load_from_texts, run_study};
+use spec_power_trends::ssj::Settings;
+use spec_power_trends::synth::{generate_dataset, SynthConfig};
+
+fn main() -> std::io::Result<()> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("spec_power_reproduction"));
+
+    let dataset = generate_dataset(&SynthConfig::default());
+    let set = load_from_texts(dataset.texts());
+    let study = run_study(set, &Settings::default(), 3);
+
+    // Per-figure one-liners.
+    println!("Figure 1: Linux {:.1}% → {:.1}%, AMD {:.1}% → {:.1}% across 2018",
+        100.0 * study.fig1.linux_share_pre2018,
+        100.0 * study.fig1.linux_share_post2018,
+        100.0 * study.fig1.amd_share_pre2018,
+        100.0 * study.fig1.amd_share_post2018);
+    let g = &study.fig2.per_socket_growth;
+    println!(
+        "Figure 2: {:.0} W → {:.0} W per socket ({:.1}x)",
+        g.mean_pre2010_w, g.mean_post2022_w, g.ratio
+    );
+    println!(
+        "Figure 3: AMD holds {} of the top-100 efficiency results",
+        study.fig3.amd_in_top100
+    );
+    println!("Figure 4: {} (year, vendor, load) distribution bins", study.fig4.cells.len());
+    if let Some((ym, fm)) = study.fig5.minimum {
+        println!("Figure 5: idle-fraction minimum {:.1}% in {}", 100.0 * fm, ym);
+    }
+    if let Some(fit) = study.fig6.trend {
+        println!("Figure 6: extrapolated-idle quotient slope {:+.4}/yr", fit.slope);
+    }
+    println!(
+        "Table I factors: ssj {:.2}, int {:.2}, fp {:.2}",
+        study.table1.ssj_factor(),
+        study.table1.int_factor(),
+        study.table1.fp_factor()
+    );
+
+    // The ledger + artifacts.
+    std::fs::create_dir_all(&out_dir)?;
+    std::fs::write(out_dir.join("EXPERIMENTS.md"), study.to_markdown())?;
+    let figures = study.write_figures(&out_dir.join("figures"))?;
+    println!(
+        "\nwrote EXPERIMENTS.md and {} SVGs under {}",
+        figures.len(),
+        out_dir.display()
+    );
+
+    let comparisons = study.comparisons();
+    let ok = comparisons.iter().filter(|c| c.ok()).count();
+    println!("{ok}/{} paper-vs-measured checks within tolerance", comparisons.len());
+    for c in comparisons.iter().filter(|c| !c.ok()) {
+        println!("  DEVIATES: {} (paper {}, measured {})", c.id, c.paper, c.measured);
+    }
+    Ok(())
+}

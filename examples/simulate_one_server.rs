@@ -1,0 +1,106 @@
+//! Simulate one complete SPECpower_ssj2008 run on a server you configure,
+//! print the eleven-level results table like a SPEC report, and render the
+//! load/power curve as ASCII art.
+//!
+//! ```text
+//! cargo run --release --example simulate_one_server
+//! ```
+
+use spec_power_trends::format::write_run;
+use spec_power_trends::model::{
+    Cpu, JvmInfo, Megahertz, OpsPerWatt, OsInfo, RunDates, RunResult, RunStatus, SystemConfig,
+    Watts, YearMonth,
+};
+use spec_power_trends::plot::ascii_scatter;
+use spec_power_trends::ssj::{reference_sut, simulate_run, Settings};
+
+fn main() {
+    // A mid-2020s dual-socket box. Tweak freely.
+    let system = SystemConfig {
+        manufacturer: "Example Corp".into(),
+        model: "Demo 2U".into(),
+        form_factor: "2U rack".into(),
+        nodes: 1,
+        chips: 2,
+        cpu: Cpu {
+            name: "Intel Xeon Gold 6430".into(),
+            microarchitecture: "Sapphire Rapids".into(),
+            nominal: Megahertz::from_ghz(2.1),
+            max_boost: Megahertz::from_ghz(3.4),
+            cores_per_chip: 32,
+            threads_per_core: 2,
+            tdp: Watts(270.0),
+            vector_bits: 512,
+        },
+        memory_gb: 256,
+        dimm_count: 16,
+        psu_rating: Watts(1100.0),
+        psu_count: 2,
+        os: OsInfo::new("SUSE Linux Enterprise Server 15 SP4"),
+        jvm: JvmInfo {
+            vendor: "Oracle".into(),
+            version: "Java HotSpot 64-Bit Server VM 17.0.2".into(),
+        },
+        jvm_instances: 4,
+    };
+
+    let model = reference_sut();
+    let settings = Settings::default();
+    println!(
+        "simulating {}x {} ({} cores, {} threads)…\n",
+        system.chips,
+        system.cpu.name,
+        system.total_cores(),
+        system.total_threads()
+    );
+    let run = simulate_run(&system, &model, &settings, 2024);
+
+    println!("{:>12} {:>14} {:>10} {:>12}", "Target", "ssj_ops", "Power", "ops/W");
+    for m in &run.levels {
+        println!(
+            "{:>12} {:>14.0} {:>10.1} {:>12.0}",
+            m.level.to_string(),
+            m.actual_ops.value(),
+            m.avg_power.value(),
+            m.efficiency().value()
+        );
+    }
+    println!(
+        "\noverall: {:.0} ssj_ops/W (calibrated max {:.0} ops/s)",
+        run.overall_ops_per_watt(),
+        run.calibrated_max.value()
+    );
+
+    // The load/power curve.
+    let curve: Vec<(f64, f64)> = run
+        .levels
+        .iter()
+        .map(|m| (m.level.percent() as f64, m.avg_power.value()))
+        .collect();
+    println!(
+        "\n{}",
+        ascii_scatter("power vs load", &[("watts", '*', &curve)], 60, 14)
+    );
+
+    // Emit a full SPEC-style report file.
+    let dates = RunDates {
+        test: YearMonth::new(2024, 5).unwrap(),
+        publication: YearMonth::new(2024, 7).unwrap(),
+        hw_available: YearMonth::new(2023, 1).unwrap(),
+        sw_available: YearMonth::new(2023, 6).unwrap(),
+    };
+    let overall = run.overall_ops_per_watt();
+    let result = RunResult {
+        id: 1,
+        submitter: "Example Corp".into(),
+        system,
+        dates,
+        status: RunStatus::Accepted,
+        calibrated_max: run.calibrated_max,
+        levels: run.levels,
+        reported_overall: OpsPerWatt(overall),
+    };
+    let path = std::env::temp_dir().join("demo_spec_report.txt");
+    std::fs::write(&path, write_run(&result)).expect("write report");
+    println!("full report written to {}", path.display());
+}

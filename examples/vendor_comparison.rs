@@ -1,0 +1,61 @@
+//! Reproduce Table I and the §V generalisation argument: the AMD/Intel gap
+//! on the integer-heavy SPEC Power workload tracks SPEC CPU intrate (~2×)
+//! but shrinks on fprate (~1.5×) because of Intel's 2×-wider AVX units.
+//!
+//! ```text
+//! cargo run --release --example vendor_comparison
+//! ```
+
+use spec_power_trends::analysis::table1;
+use spec_power_trends::cpu2017::{
+    epyc_9754_duo, score_breakdown, xeon_8490h_duo, Suite,
+};
+use spec_power_trends::ssj::Settings;
+
+fn main() {
+    let table = table1::compute(&Settings::default(), 42);
+
+    println!("== Table I: two dual-processor Lenovo systems ==\n");
+    println!(
+        "Intel: {} — {}",
+        table.intel_system.model, table.intel_system.cpu
+    );
+    println!(
+        "AMD:   {} — {}\n",
+        table.amd_system.model, table.amd_system.cpu
+    );
+    println!("{}", table.to_markdown());
+
+    println!(
+        "factors — ssj: {:.2} (paper 2.09), intrate: {:.2} (paper 2.03), fprate: {:.2} (paper 1.53)",
+        table.ssj_factor(),
+        table.int_factor(),
+        table.fp_factor()
+    );
+    println!(
+        "\n§V shape: int gap ≈ ssj gap > fp gap → {}",
+        if table.int_factor() > table.fp_factor() && table.ssj_factor() > table.fp_factor() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    // Per-benchmark breakdown: where does Intel's AVX width claw back?
+    let intel = xeon_8490h_duo();
+    let amd = epyc_9754_duo();
+    println!("\nfprate per-benchmark AMD/Intel throughput ratios:");
+    let intel_fp = score_breakdown(&intel, Suite::FpRate);
+    let amd_fp = score_breakdown(&amd, Suite::FpRate);
+    for (i, a) in intel_fp.iter().zip(&amd_fp) {
+        println!(
+            "  {:18} {:4.2}x   (vector factor Intel {:.2} vs AMD {:.2}; mem factor {:.2} vs {:.2})",
+            i.0,
+            a.1 / i.1,
+            i.2,
+            a.2,
+            i.3,
+            a.3
+        );
+    }
+}

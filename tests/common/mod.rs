@@ -1,0 +1,34 @@
+//! Shared fixtures for the integration tests: one cached fast-settings
+//! dataset per test binary.
+
+use std::sync::OnceLock;
+
+use spec_power_trends::analysis::{load_from_texts, AnalysisSet};
+use spec_power_trends::ssj::Settings;
+use spec_power_trends::synth::{generate_dataset, GeneratedDataset, SynthConfig};
+
+/// Fast benchmark settings for tests (short intervals, one calibration).
+pub fn fast_settings() -> Settings {
+    Settings {
+        interval_seconds: 10,
+        calibration_intervals: 1,
+        ..Settings::default()
+    }
+}
+
+/// The cached synthetic dataset (seed 3, fast settings).
+pub fn dataset() -> &'static GeneratedDataset {
+    static DS: OnceLock<GeneratedDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        generate_dataset(&SynthConfig {
+            seed: 3,
+            settings: fast_settings(),
+        })
+    })
+}
+
+/// The cascade result over [`dataset`].
+pub fn analysis_set() -> &'static AnalysisSet {
+    static SET: OnceLock<AnalysisSet> = OnceLock::new();
+    SET.get_or_init(|| load_from_texts(dataset().texts()))
+}

@@ -1,0 +1,116 @@
+//! Integration test: the §II filter cascade reproduces the paper's exact
+//! counts on the synthetic dataset (1017 → 960 → 676, with every per-rule
+//! count matching).
+
+mod common;
+
+use spec_power_trends::format::{ComparabilityIssue, ValidityIssue};
+use spec_power_trends::synth::Category;
+
+#[test]
+fn raw_dataset_has_1017_submissions() {
+    assert_eq!(common::dataset().submissions.len(), 1017);
+}
+
+#[test]
+fn cascade_totals_match_paper() {
+    let report = &common::analysis_set().report;
+    assert_eq!(report.raw, 1017);
+    assert_eq!(report.valid, 960);
+    assert_eq!(report.comparable, 676);
+    assert_eq!(report.not_reports, 0);
+}
+
+#[test]
+fn stage1_counts_match_paper_exactly() {
+    let report = &common::analysis_set().report;
+    let expect = [
+        (ValidityIssue::NotAccepted, 40),
+        (ValidityIssue::AmbiguousDate, 3),
+        (ValidityIssue::ImplausibleDate, 4),
+        (ValidityIssue::AmbiguousCpuName, 3),
+        (ValidityIssue::MissingNodeCount, 1),
+        (ValidityIssue::InconsistentCoreThread, 5),
+        (ValidityIssue::ImplausibleCoreThread, 1),
+    ];
+    for (issue, n) in expect {
+        assert_eq!(
+            report.stage1.get(&issue).copied().unwrap_or(0),
+            n,
+            "{issue:?}"
+        );
+    }
+    assert_eq!(report.stage1_total(), 57);
+    assert!(!report.stage1.contains_key(&ValidityIssue::Malformed));
+}
+
+#[test]
+fn stage2_counts_match_paper_exactly() {
+    let report = &common::analysis_set().report;
+    assert_eq!(report.stage2[&ComparabilityIssue::NonX86Vendor], 9);
+    assert_eq!(report.stage2[&ComparabilityIssue::NotServerClass], 6);
+    assert_eq!(report.stage2[&ComparabilityIssue::ExcludedTopology], 269);
+    assert_eq!(report.stage2_total(), 284);
+}
+
+#[test]
+fn parsed_runs_agree_with_ground_truth() {
+    // Every comparable submission's parsed metrics must match its generator
+    // ground truth closely (the report format quantises to 0.1 W / 1 op).
+    let set = common::analysis_set();
+    let truth = common::dataset();
+    let mut checked = 0;
+    for sub in &truth.submissions {
+        if sub.category != Category::Comparable {
+            continue;
+        }
+        let t = sub.truth.as_ref().expect("comparable has truth");
+        let parsed = set
+            .comparable
+            .iter()
+            .find(|r| r.id == sub.id)
+            .expect("comparable run survives the cascade");
+        assert_eq!(parsed.system.total_cores(), t.system.total_cores());
+        assert_eq!(parsed.dates.hw_available, t.dates.hw_available);
+        let eff_t = t.overall_efficiency().value();
+        let eff_p = parsed.overall_efficiency().value();
+        assert!(
+            ((eff_t - eff_p) / eff_t).abs() < 0.01,
+            "run {}: {eff_t} vs {eff_p}",
+            sub.id
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 676);
+}
+
+#[test]
+fn category_counts_partition_the_dataset() {
+    let mut comparable = 0;
+    let mut topology = 0;
+    let mut non_x86 = 0;
+    let mut non_server = 0;
+    let mut anomalies = 0;
+    for sub in &common::dataset().submissions {
+        match sub.category {
+            Category::Comparable => comparable += 1,
+            Category::TopologyExcluded => topology += 1,
+            Category::NonX86 => non_x86 += 1,
+            Category::NonServer => non_server += 1,
+            Category::Anomaly(_) => anomalies += 1,
+        }
+    }
+    assert_eq!(comparable, 676);
+    assert_eq!(topology, 269);
+    assert_eq!(non_x86, 9);
+    assert_eq!(non_server, 6);
+    assert_eq!(anomalies, 57);
+}
+
+#[test]
+fn ids_are_unique_and_sequential() {
+    let subs = &common::dataset().submissions;
+    for (i, sub) in subs.iter().enumerate() {
+        assert_eq!(sub.id as usize, i + 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration test: the full study's paper-vs-measured ledger.
+//!
+//! Every calibration target from DESIGN.md §1 is asserted here through the
+//! `Study::comparisons()` ledger computed on the fast-settings dataset.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use spec_power_trends::analysis::{run_study, Study};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        run_study(
+            common::analysis_set().clone(),
+            &common::fast_settings(),
+            3,
+        )
+    })
+}
+
+#[test]
+fn every_exact_check_passes() {
+    for c in study().comparisons() {
+        if c.tolerance_rel == 0.0 {
+            assert!(
+                c.ok(),
+                "exact check {} failed: paper {} vs measured {}",
+                c.id,
+                c.paper,
+                c.measured
+            );
+        }
+    }
+}
+
+#[test]
+fn ledger_is_green() {
+    let comparisons = study().comparisons();
+    let failures: Vec<String> = comparisons
+        .iter()
+        .filter(|c| !c.ok())
+        .map(|c| format!("{} (paper {}, measured {})", c.id, c.paper, c.measured))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {} checks deviate:\n{}",
+        failures.len(),
+        comparisons.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn ledger_covers_all_experiments() {
+    let ids: Vec<String> = study().comparisons().into_iter().map(|c| c.id).collect();
+    assert!(ids.len() >= 40, "expected a dense ledger, got {}", ids.len());
+    for family in [
+        "TXT-A.", "TXT-B.", "TXT-C.", "FIG1.", "FIG2.", "FIG3.", "FIG5.", "FIG6.", "TAB1.",
+    ] {
+        assert!(
+            ids.iter().any(|id| id.starts_with(family)),
+            "no check for {family}"
+        );
+    }
+}
+
+#[test]
+fn efficiency_improves_monotonically_by_era() {
+    // Figure 3's core claim: efficiency improved continuously. Check era
+    // means are strictly increasing.
+    let runs = &study().set.comparable;
+    let era_mean = |lo: i32, hi: i32| {
+        let xs: Vec<f64> = runs
+            .iter()
+            .filter(|r| (lo..=hi).contains(&r.hw_year()))
+            .map(|r| r.overall_efficiency().value())
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let eras = [
+        era_mean(2005, 2008),
+        era_mean(2009, 2012),
+        era_mean(2013, 2016),
+        era_mean(2017, 2020),
+        era_mean(2021, 2024),
+    ];
+    for w in eras.windows(2) {
+        assert!(w[1] > w[0], "era efficiency must increase: {eras:?}");
+    }
+    assert!(
+        eras[4] / eras[0] > 20.0,
+        "16 years should bring >20x efficiency: {eras:?}"
+    );
+}
+
+#[test]
+fn relative_efficiency_eras_match_section_iii() {
+    use spec_power_trends::model::CpuVendor;
+    let fig4 = &study().fig4;
+    // Early years: below 1 at every shown load.
+    for load in [60u8, 70, 80, 90] {
+        let early = fig4.mean_median(load, CpuVendor::Intel, 2006, 2009);
+        assert!(early < 1.0, "early Intel rel-eff@{load}% = {early}");
+    }
+    // 2013–2016 Intel: ≥1 at 70 % and above (the §III observation).
+    for load in [70u8, 80, 90] {
+        let mid = fig4.mean_median(load, CpuVendor::Intel, 2013, 2016);
+        assert!(mid >= 0.99, "mid-era Intel rel-eff@{load}% = {mid}");
+    }
+    // Recent years: both vendors near 1 (regression towards ~1).
+    for vendor in [CpuVendor::Intel, CpuVendor::Amd] {
+        let recent = fig4.mean_median(70, vendor, 2021, 2024);
+        assert!(
+            (0.90..=1.12).contains(&recent),
+            "{vendor:?} recent rel-eff@70% = {recent}"
+        );
+    }
+}
+
+#[test]
+fn idle_trajectory_shape() {
+    let fig5 = &study().fig5;
+    let (y0, f0) = fig5.earliest.unwrap();
+    let (ymin, fmin) = fig5.minimum.unwrap();
+    let (y1, f1) = fig5.latest.unwrap();
+    assert!(y0 <= 2006);
+    assert!((2016..=2020).contains(&ymin), "minimum near 2017: {ymin}");
+    assert_eq!(y1, 2024);
+    assert!(f0 > 0.6, "early idle fraction high: {f0}");
+    assert!(fmin < 0.22, "mid idle fraction low: {fmin}");
+    assert!(f1 > fmin, "recent regression: {f1} > {fmin}");
+    assert!(f1 < f0 * 0.5, "still far better than 2006");
+}
+
+#[test]
+fn correlation_exploration_is_inconclusive_like_the_paper() {
+    let report = &study().correlation;
+    assert!(report.n_runs > 150, "enough recent runs: {}", report.n_runs);
+    assert!(
+        !report.is_conclusive(0.6),
+        "paper: 'Our correlation analysis … remains inconclusive'"
+    );
+}
+
+#[test]
+fn markdown_report_is_complete() {
+    let md = study().to_markdown();
+    for needle in [
+        "Paper vs. measured",
+        "TAB1.ssj.factor",
+        "FIG5.idle_min",
+        "Filter cascade",
+        "Correlation exploration",
+    ] {
+        assert!(md.contains(needle), "report missing {needle}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests on the SSJ simulator: physical invariants that must hold
+//! for any plausible parameterisation.
+
+use proptest::prelude::*;
+use spec_power_trends::model::{
+    Cpu, JvmInfo, LoadLevel, Megahertz, OsInfo, SystemConfig, Watts,
+};
+use spec_power_trends::ssj::{simulate_run, PerfModel, PowerModel, Settings, SutModel};
+
+fn system(chips: u32, cores: u32) -> SystemConfig {
+    SystemConfig {
+        manufacturer: "Prop".into(),
+        model: "P1".into(),
+        form_factor: "2U".into(),
+        nodes: 1,
+        chips,
+        cpu: Cpu {
+            name: "Intel Xeon Prop".into(),
+            microarchitecture: "PropLake".into(),
+            nominal: Megahertz::from_ghz(2.4),
+            max_boost: Megahertz::from_ghz(3.2),
+            cores_per_chip: cores,
+            threads_per_core: 2,
+            tdp: Watts(200.0),
+            vector_bits: 256,
+        },
+        memory_gb: 128,
+        dimm_count: 8,
+        psu_rating: Watts(1600.0),
+        psu_count: 1,
+        os: OsInfo::new("Windows Server 2019"),
+        jvm: JvmInfo {
+            vendor: "Oracle".into(),
+            version: "11".into(),
+        },
+        jvm_instances: 2,
+    }
+}
+
+prop_compose! {
+    fn arb_model()(
+        ops in 5_000.0f64..60_000.0,
+        smt in 0.0f64..0.35,
+        uncore in 10.0f64..80.0,
+        core_static in 0.3f64..3.0,
+        core_dyn in 1.0f64..8.0,
+        cstate in 0.02f64..0.9,
+        exp in 2.0f64..3.0,
+        floor in 0.3f64..0.7,
+        turbo in 0.0f64..0.3,
+        sleep in 0.0f64..0.9,
+        wakeup in 0.001f64..0.05,
+        platform in 15.0f64..60.0,
+    ) -> SutModel {
+        SutModel {
+            perf: PerfModel {
+                ops_per_core_ghz: ops,
+                smt_yield: smt,
+                mem_saturation_cores: 500.0,
+                software_efficiency: 1.0,
+            },
+            power: PowerModel {
+                uncore_w: Watts(uncore),
+                core_static_w: Watts(core_static),
+                core_dynamic_w: Watts(core_dyn),
+                core_cstate_w: Watts(core_static * cstate),
+                clock_gate_floor: (cstate * 0.8).min(0.9),
+                freq_power_exp: exp,
+                dvfs_floor: floor,
+                turbo_headroom: turbo,
+                pkg_sleep_eff: sleep,
+                idle_wakeup_hz_per_thread: wakeup,
+                wakeup_hold_s: 0.3,
+                platform_w: Watts(platform),
+                psu_peak_eff: 0.92,
+            },
+        }
+    }
+}
+
+fn settings() -> Settings {
+    Settings {
+        interval_seconds: 8,
+        calibration_intervals: 1,
+        ..Settings::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn run_structure_is_always_valid(model in arb_model(), seed in 0u64..1000) {
+        let run = simulate_run(&system(2, 24), &model, &settings(), seed);
+        prop_assert_eq!(run.levels.len(), 11);
+        prop_assert!(run.calibrated_max.value() > 0.0);
+        for m in &run.levels {
+            prop_assert!(m.avg_power.value() > 0.0, "power always positive");
+            prop_assert!(m.actual_ops.value() >= 0.0);
+        }
+        // Idle does no work.
+        prop_assert_eq!(run.levels[10].actual_ops.value(), 0.0);
+    }
+
+    #[test]
+    fn power_never_increases_down_the_load_ladder(model in arb_model(), seed in 0u64..1000) {
+        let run = simulate_run(&system(2, 24), &model, &settings(), seed);
+        // Report order is 100% … 10%, idle: allow small noise wiggle.
+        for w in run.levels.windows(2) {
+            prop_assert!(
+                w[1].avg_power.value() <= w[0].avg_power.value() * 1.05,
+                "{:?} then {:?}",
+                w[0].level, w[1].level
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_tracks_target_levels(model in arb_model(), seed in 0u64..1000) {
+        let run = simulate_run(&system(2, 24), &model, &settings(), seed);
+        for m in &run.levels {
+            if let LoadLevel::Percent(p) = m.level {
+                let target = run.calibrated_max.value() * p as f64 / 100.0;
+                let ratio = m.actual_ops.value() / target;
+                prop_assert!(
+                    (0.85..=1.15).contains(&ratio),
+                    "{}%: achieved/target = {ratio}",
+                    p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_hardware_more_throughput(model in arb_model(), seed in 0u64..1000) {
+        let small = simulate_run(&system(1, 16), &model, &settings(), seed);
+        let big = simulate_run(&system(2, 32), &model, &settings(), seed);
+        prop_assert!(big.calibrated_max.value() > small.calibrated_max.value() * 2.0);
+    }
+
+    #[test]
+    fn overall_efficiency_finite_and_positive(model in arb_model(), seed in 0u64..1000) {
+        let run = simulate_run(&system(2, 24), &model, &settings(), seed);
+        let overall = run.overall_ops_per_watt();
+        prop_assert!(overall.is_finite());
+        prop_assert!(overall > 0.0);
+    }
+
+    #[test]
+    fn deeper_package_sleep_never_raises_idle_power(model in arb_model(), seed in 0u64..1000) {
+        let mut deep = model.clone();
+        deep.power.pkg_sleep_eff = (model.power.pkg_sleep_eff + 0.4).min(0.95);
+        let base = simulate_run(&system(2, 24), &model, &settings(), seed);
+        let better = simulate_run(&system(2, 24), &deep, &settings(), seed);
+        let idle_base = base.levels[10].avg_power.value();
+        let idle_better = better.levels[10].avg_power.value();
+        prop_assert!(
+            idle_better <= idle_base * 1.03,
+            "{idle_better} vs {idle_base}"
+        );
+    }
+}
