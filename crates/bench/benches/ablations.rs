@@ -77,7 +77,7 @@ fn ablation_turbo(c: &mut Criterion) {
     group.finish();
 }
 
-/// Parallel vs sequential batch work (crossbeam scoped threads vs plain map).
+/// Parallel vs sequential batch work (tinypool work-stealing pool vs plain map).
 fn ablation_parallelism(c: &mut Criterion) {
     let runs = comparable();
     let work = |r: &spec_model::RunResult| {

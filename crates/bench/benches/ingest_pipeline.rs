@@ -1,0 +1,33 @@
+//! Ingest-cascade benchmark: sequential vs parallel `load_from_texts` at
+//! 1k / 10k / 100k report texts.
+//!
+//! Inputs beyond the native 1017 reports are built by cycling the dataset's
+//! texts, so per-report parse cost is representative at every scale. The
+//! element throughput lets runs at different scales be compared directly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spec_analysis::{load_from_texts, load_from_texts_parallel};
+use spec_bench::dataset;
+
+fn texts_cycled(n: usize) -> Vec<&'static str> {
+    let base: Vec<&'static str> = dataset().texts().collect();
+    (0..n).map(|i| base[i % base.len()]).collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let texts = texts_cycled(n);
+        let mut group = c.benchmark_group(format!("ingest_pipeline/{n}"));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function("sequential", |b| {
+            b.iter(|| load_from_texts(std::hint::black_box(&texts)))
+        });
+        group.bench_function("parallel", |b| {
+            b.iter(|| load_from_texts_parallel(std::hint::black_box(&texts)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

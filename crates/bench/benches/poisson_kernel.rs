@@ -1,0 +1,64 @@
+//! Poisson-kernel microbenchmark: the retired Knuth product-of-uniforms
+//! sampler vs the hybrid inversion/PTRS kernel at λ ∈ {1, 50, 5000}.
+//!
+//! Knuth's method draws O(λ) uniforms per variate, so its cost explodes
+//! with the rate; the hybrid kernel is O(1) above the PTRS threshold. Each
+//! measured iteration draws 1000 variates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spec_ssj::PoissonSampler;
+
+const DRAWS_PER_ITER: u64 = 1000;
+
+/// The previous kernel, kept verbatim for comparison.
+fn knuth_poisson(rng: &mut StdRng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return 0.0;
+    }
+    let l = (-rate).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k as f64;
+        }
+        k += 1;
+    }
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    for &lambda in &[1.0f64, 50.0, 5_000.0] {
+        let mut group = c.benchmark_group(format!("poisson/lambda_{lambda}"));
+        group.throughput(Throughput::Elements(DRAWS_PER_ITER));
+
+        let mut rng = StdRng::seed_from_u64(42);
+        group.bench_function("knuth", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..DRAWS_PER_ITER {
+                    acc += knuth_poisson(&mut rng, std::hint::black_box(lambda));
+                }
+                acc
+            })
+        });
+
+        let sampler = PoissonSampler::new(lambda);
+        let mut rng = StdRng::seed_from_u64(42);
+        group.bench_function("hybrid", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..DRAWS_PER_ITER {
+                    acc += std::hint::black_box(&sampler).sample(&mut rng);
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_poisson);
+criterion_main!(benches);

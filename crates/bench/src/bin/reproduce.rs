@@ -11,7 +11,7 @@
 
 use std::path::PathBuf;
 
-use spec_analysis::{load_from_texts, run_study};
+use spec_analysis::{load_from_texts_parallel, run_study};
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, SynthConfig};
 
@@ -28,7 +28,7 @@ fn main() -> std::io::Result<()> {
     eprintln!("      {} report files", dataset.submissions.len());
 
     eprintln!("[2/4] parsing + filter cascade…");
-    let set = load_from_texts(dataset.texts());
+    let set = load_from_texts_parallel(&dataset.texts().collect::<Vec<_>>());
     eprint!("{}", set.report.to_markdown());
 
     eprintln!("[3/4] computing figures, Table I, correlations…");

@@ -6,7 +6,7 @@
 
 use std::sync::OnceLock;
 
-use spec_analysis::{load_from_texts, AnalysisSet};
+use spec_analysis::{load_from_texts_parallel, AnalysisSet};
 use spec_model::RunResult;
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, GeneratedDataset, SynthConfig};
@@ -35,7 +35,7 @@ pub fn dataset() -> &'static GeneratedDataset {
 /// The cached filter-cascade result over [`dataset`].
 pub fn analysis_set() -> &'static AnalysisSet {
     static SET: OnceLock<AnalysisSet> = OnceLock::new();
-    SET.get_or_init(|| load_from_texts(dataset().texts()))
+    SET.get_or_init(|| load_from_texts_parallel(&dataset().texts().collect::<Vec<_>>()))
 }
 
 /// The comparable runs (the paper's 676-run set).

@@ -10,17 +10,27 @@
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
 //! (deterministic in `--seed`).
+//!
+//! `--threads N` pins the worker-pool size. Precedence: the flag overrides
+//! the `SPEC_TRENDS_THREADS` environment variable, which overrides the
+//! machine's available parallelism. Results are identical for any setting.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spec_analysis::{load_from_dir, load_from_texts, run_study, AnalysisSet, Study};
+use spec_analysis::{load_from_dir, load_from_texts_parallel, run_study, AnalysisSet, Study};
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spec-trends <generate|analyze|figures|table1|report|export|trends> [--out PATH] [--data DIR] [--seed N]"
+        "usage: spec-trends <generate|analyze|figures|table1|report|export|trends> \
+         [--out PATH] [--data DIR] [--seed N] [--threads N]\n\
+         \n\
+         --threads N   worker threads for generation and the filter cascade.\n\
+         \x20             Precedence: --threads > SPEC_TRENDS_THREADS env var >\n\
+         \x20             available CPU parallelism. Output is identical for any\n\
+         \x20             thread count."
     );
     ExitCode::from(2)
 }
@@ -30,6 +40,7 @@ struct Args {
     out: Option<PathBuf>,
     data: Option<PathBuf>,
     seed: u64,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -41,11 +52,19 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut out = None;
     let mut data = None;
     let mut seed = 3u64;
+    let mut threads = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(args.next()?)),
             "--data" => data = Some(PathBuf::from(args.next()?)),
             "--seed" => seed = args.next()?.parse().ok()?,
+            "--threads" => {
+                let n: usize = args.next()?.parse().ok()?;
+                if n == 0 {
+                    return None;
+                }
+                threads = Some(n);
+            }
             _ => return None,
         }
     }
@@ -54,6 +73,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         out,
         data,
         seed,
+        threads,
     })
 }
 
@@ -69,7 +89,7 @@ fn load_set(args: &Args) -> std::io::Result<AnalysisSet> {
                 seed: args.seed,
                 ..SynthConfig::default()
             });
-            Ok(load_from_texts(dataset.texts()))
+            Ok(load_from_texts_parallel(&dataset.texts().collect::<Vec<_>>()))
         }
     }
 }
@@ -83,6 +103,14 @@ fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
+    if let Some(n) = args.threads {
+        // Before any parallel work: the global pool is created lazily on
+        // first use and its size cannot change afterwards.
+        if tinypool::set_global_threads(n).is_err() {
+            eprintln!("error: --threads must be set before the pool starts");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => {
             let Some(out) = args.out.clone() else {
@@ -217,11 +245,15 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let args = parse(&["figures", "--out", "figs", "--data", "d", "--seed", "42"]).unwrap();
+        let args = parse(&[
+            "figures", "--out", "figs", "--data", "d", "--seed", "42", "--threads", "4",
+        ])
+        .unwrap();
         assert_eq!(args.command, "figures");
         assert_eq!(args.out.as_deref(), Some(std::path::Path::new("figs")));
         assert_eq!(args.data.as_deref(), Some(std::path::Path::new("d")));
         assert_eq!(args.seed, 42);
+        assert_eq!(args.threads, Some(4));
     }
 
     #[test]
@@ -230,5 +262,17 @@ mod tests {
         assert!(parse(&["analyze", "--seed", "not-a-number"]).is_none());
         assert!(parse(&["analyze", "--seed"]).is_none());
         assert!(parse(&[]).is_none());
+    }
+
+    #[test]
+    fn threads_flag_validation() {
+        assert_eq!(parse(&["analyze"]).unwrap().threads, None);
+        assert_eq!(
+            parse(&["analyze", "--threads", "8"]).unwrap().threads,
+            Some(8)
+        );
+        assert!(parse(&["analyze", "--threads", "0"]).is_none());
+        assert!(parse(&["analyze", "--threads", "lots"]).is_none());
+        assert!(parse(&["analyze", "--threads"]).is_none());
     }
 }

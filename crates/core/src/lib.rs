@@ -42,7 +42,9 @@ pub mod table1;
 pub use correlation::{explore, IdleCorrelationReport, VendorStats};
 pub use export::{yearly_summary, yearly_summary_markdown};
 pub use features::{runs_to_frame, FEATURE_COLUMNS};
-pub use pipeline::{load_from_dir, load_from_texts, AnalysisSet, FilterReport};
+pub use pipeline::{
+    load_from_dir, load_from_texts, load_from_texts_parallel, AnalysisSet, FilterReport,
+};
 pub use proportionality::{ep_metrics, ep_trend, normalized_curve, EpMetrics, EpTrend};
 pub use report::{run_study, Comparison, Study};
 pub use table1::{sr645_v3, sr650_v3, Table1, Table1Entry};

@@ -1,6 +1,14 @@
 //! The §II data pipeline: raw report texts → validated runs → the
 //! comparable analysis set, with a per-category accounting of everything
 //! that was filtered out.
+//!
+//! The cascade is embarrassingly parallel per report, so
+//! [`load_from_texts_parallel`] shards the input into contiguous ranges,
+//! runs the full two-stage cascade per shard on the `tinypool` pool, and
+//! merges the per-shard [`FilterReport`]s and run vectors **in shard
+//! order**. Because every count lives in a `BTreeMap` and the merge is
+//! ordered concatenation, the result is identical to the sequential
+//! [`load_from_texts`] for every thread count.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -36,6 +44,22 @@ impl FilterReport {
     /// Total stage-2 rejections.
     pub fn stage2_total(&self) -> usize {
         self.stage2.values().sum()
+    }
+
+    /// Fold another (shard) report into this one: every count adds, with
+    /// `BTreeMap` categories merged key-wise. Deterministic regardless of
+    /// how the input was sharded.
+    pub fn merge(&mut self, other: &FilterReport) {
+        self.raw += other.raw;
+        self.not_reports += other.not_reports;
+        for (&issue, &n) in &other.stage1 {
+            *self.stage1.entry(issue).or_insert(0) += n;
+        }
+        self.valid += other.valid;
+        for (&issue, &n) in &other.stage2 {
+            *self.stage2.entry(issue).or_insert(0) += n;
+        }
+        self.comparable += other.comparable;
     }
 
     /// Render the cascade as the paper describes it.
@@ -118,9 +142,46 @@ where
     }
 }
 
+/// Run the §II cascade over a slice of report texts in parallel.
+///
+/// Same result as [`load_from_texts`] — bit-for-bit, for any thread count:
+/// the input is split into contiguous shards whose layout depends only on
+/// the input length, each shard runs the full cascade independently, and
+/// shard outputs are concatenated/merged in shard order.
+pub fn load_from_texts_parallel<S>(texts: &[S]) -> AnalysisSet
+where
+    S: AsRef<str> + Sync,
+{
+    let ranges = tinypool::run_chunks(texts.len(), |_| {});
+    let shards = tinypool::parallel_map(&ranges, |range| {
+        load_from_texts(texts[range.clone()].iter().map(AsRef::as_ref))
+    });
+    merge_shards(shards)
+}
+
+fn merge_shards(shards: Vec<AnalysisSet>) -> AnalysisSet {
+    let mut report = FilterReport::default();
+    let mut valid = Vec::new();
+    let mut comparable = Vec::new();
+    for shard in shards {
+        report.merge(&shard.report);
+        valid.extend(shard.valid);
+        comparable.extend(shard.comparable);
+    }
+    AnalysisSet {
+        valid,
+        comparable,
+        report,
+    }
+}
+
 /// Load every `*.txt` file in a directory and run the cascade.
+///
+/// Files are processed in sorted-path order, but each shard of files is
+/// read *and* cascaded on a pool worker, so one shard's file I/O overlaps
+/// another's parsing. Results are merged in shard order and match a
+/// sequential read-then-[`load_from_texts`] exactly.
 pub fn load_from_dir(dir: &Path) -> std::io::Result<AnalysisSet> {
-    let mut texts = Vec::new();
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -128,10 +189,18 @@ pub fn load_from_dir(dir: &Path) -> std::io::Result<AnalysisSet> {
         .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
         .collect();
     entries.sort();
-    for path in entries {
-        texts.push(std::fs::read_to_string(path)?);
-    }
-    Ok(load_from_texts(texts))
+
+    let ranges = tinypool::run_chunks(entries.len(), |_| {});
+    let shards: Vec<std::io::Result<AnalysisSet>> = tinypool::parallel_map(&ranges, |range| {
+        let mut texts = Vec::with_capacity(range.len());
+        for path in &entries[range.clone()] {
+            texts.push(std::fs::read_to_string(path)?);
+        }
+        Ok(load_from_texts(&texts))
+    });
+    Ok(merge_shards(
+        shards.into_iter().collect::<std::io::Result<Vec<_>>>()?,
+    ))
 }
 
 #[cfg(test)]
@@ -195,6 +264,49 @@ mod tests {
         assert!(md.contains("raw submissions: 1"));
         assert!(md.contains("more than one node or more than two sockets: 1"));
         assert!(md.contains("comparable dataset: 0"));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_any_thread_count() {
+        // A mixed bag: clean runs, a non-report, stage-1 and stage-2
+        // rejects — every counter in the report gets exercised.
+        let mut texts: Vec<String> = (0..300)
+            .map(|i| write_run(&linear_test_run(i, 1e6, 60.0, 300.0)))
+            .collect();
+        texts[7] = "not a report".into();
+        let mut rejected = linear_test_run(400, 1e6, 60.0, 300.0);
+        rejected.status = RunStatus::NotAccepted("x".into());
+        texts[13] = write_run(&rejected);
+        let mut sparc = linear_test_run(401, 1e6, 60.0, 300.0);
+        sparc.system.cpu.name = "SPARC T3-1".into();
+        texts[200] = write_run(&sparc);
+
+        let sequential = load_from_texts(&texts);
+        for threads in [1, 2, 8] {
+            let pool = tinypool::Pool::new(threads);
+            let parallel = pool.install(|| load_from_texts_parallel(&texts));
+            assert_eq!(parallel.report, sequential.report, "{threads} threads");
+            assert_eq!(parallel.valid.len(), sequential.valid.len());
+            assert_eq!(parallel.comparable.len(), sequential.comparable.len());
+            for (a, b) in parallel.valid.iter().zip(&sequential.valid) {
+                assert_eq!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_all_counters() {
+        let mut run = linear_test_run(3, 1e6, 60.0, 300.0);
+        run.system.chips = 4;
+        let a = load_from_texts([write_run(&run)]).report;
+        let b = load_from_texts(["junk"]).report;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.raw, 2);
+        assert_eq!(merged.not_reports, 1);
+        assert_eq!(merged.valid, 1);
+        assert_eq!(merged.stage2_total(), 1);
+        assert_eq!(merged.comparable, 0);
     }
 
     #[test]

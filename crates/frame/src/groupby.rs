@@ -2,8 +2,8 @@
 //!
 //! The figures are all "group runs by (year, vendor) and aggregate"
 //! operations. Groups are formed over discrete key columns (int/str/bool);
-//! aggregations run in parallel across groups with crossbeam scoped threads
-//! when the work is large enough to pay for it.
+//! aggregations run in parallel across groups on the shared `tinypool`
+//! work-stealing pool when the work is large enough to pay for it.
 
 use std::collections::HashMap;
 

@@ -11,7 +11,7 @@
 //! * frames ([`Frame`]) with selection, boolean-mask filtering, stable
 //!   sorting and vertical stacking,
 //! * group-by with parallel aggregation ([`Frame::group_by`], [`Agg`]) built
-//!   on crossbeam scoped threads ([`parallel_map`]),
+//!   on the persistent `tinypool` work-stealing pool ([`parallel_map`]),
 //! * left joins, value counts and `describe()` summaries
 //!   ([`Frame::left_join`], [`Frame::value_counts`], [`Frame::describe`]),
 //! * CSV round-tripping ([`Frame::to_csv`], [`Frame::from_csv`]).

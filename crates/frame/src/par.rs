@@ -1,111 +1,44 @@
-//! Data-parallel helpers built on crossbeam scoped threads.
+//! Data-parallel helpers, delegating to the persistent [`tinypool`] pool.
 //!
-//! The HPC guides recommend rayon-style parallel iteration; rayon itself is
-//! not on the approved dependency list, so this module provides the small
-//! subset the workspace needs: an order-preserving parallel map with
-//! chunk-granularity work splitting. Falls back to sequential execution for
-//! small inputs where thread spawn overhead would dominate.
+//! Earlier revisions spawned a fresh set of scoped threads plus an mpsc
+//! channel on every call (and round-tripped results through a
+//! `Vec<Option<U>>`), so group-by aggregation paid thread-spawn latency per
+//! invocation. The work now runs on the process-wide work-stealing pool in
+//! `tinypool`; this module keeps the original public surface
+//! ([`parallel_map`], [`parallel_chunks`]) as thin re-exports so existing
+//! callers compile unchanged.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Inputs below this size are processed sequentially.
-const PARALLEL_THRESHOLD: usize = 64;
-
-/// Number of worker threads to use.
-fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(16)
-}
+use std::ops::Range;
 
 /// Order-preserving parallel map over a slice.
 ///
 /// Semantically identical to `items.iter().map(f).collect()`; work is
-/// distributed dynamically chunk-by-chunk so uneven per-item cost (e.g.
-/// groups of very different size) still balances.
+/// distributed chunk-by-chunk on the shared pool so uneven per-item cost
+/// (e.g. groups of very different size) still balances. Inputs shorter than
+/// `tinypool::PARALLEL_THRESHOLD` run inline.
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let n = items.len();
-    if n < PARALLEL_THRESHOLD || worker_count() == 1 {
-        return items.iter().map(f).collect();
-    }
-
-    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let chunk = (n / (worker_count() * 4)).max(1);
-    let cursor = AtomicUsize::new(0);
-    let f = &f;
-
-    // Hand each worker disjoint &mut chunks through a channel of raw slots:
-    // we avoid unsafe by letting workers produce (index, value) pairs over a
-    // channel instead of writing into the shared Vec.
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<U>)>();
-    crossbeam::scope(|scope| {
-        for _ in 0..worker_count() {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            scope.spawn(move |_| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                let mapped: Vec<U> = items[start..end].iter().map(f).collect();
-                // The receiver outlives all senders within the scope.
-                let _ = tx.send((start, mapped));
-            });
-        }
-        drop(tx);
-        for (start, mapped) in rx.iter() {
-            for (offset, value) in mapped.into_iter().enumerate() {
-                out[start + offset] = Some(value);
-            }
-        }
-    })
-    .expect("worker panicked");
-
-    out.into_iter()
-        .map(|slot| slot.expect("every index produced"))
-        .collect()
+    tinypool::parallel_map(items, f)
 }
 
-/// Parallel for-each over index ranges: calls `f(start, end)` for disjoint
-/// chunks covering `0..n`. Used for bulk generation work where the callee
-/// writes to its own output.
-pub fn parallel_chunks<F>(n: usize, f: F) -> Vec<std::ops::Range<usize>>
+/// Parallel for-each over index ranges: calls `f(range)` for disjoint
+/// chunks covering `0..n`, returning the ranges used. The chunk layout
+/// depends only on `n`, never on the thread count.
+pub fn parallel_chunks<F>(n: usize, f: F) -> Vec<Range<usize>>
 where
-    F: Fn(std::ops::Range<usize>) + Sync,
+    F: Fn(Range<usize>) + Sync,
 {
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = worker_count();
-    let chunk = n.div_ceil(workers).max(1);
-    let ranges: Vec<std::ops::Range<usize>> = (0..n)
-        .step_by(chunk)
-        .map(|s| s..(s + chunk).min(n))
-        .collect();
-    let f = &f;
-    crossbeam::scope(|scope| {
-        for range in &ranges {
-            let range = range.clone();
-            scope.spawn(move |_| f(range));
-        }
-    })
-    .expect("worker panicked");
-    ranges
+    tinypool::run_chunks(n, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn small_input_sequential_path() {
@@ -156,5 +89,16 @@ mod tests {
     #[test]
     fn parallel_chunks_empty() {
         assert!(parallel_chunks(0, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn chunk_layout_is_thread_count_independent() {
+        // The same n must produce the same ranges under any installed pool.
+        let baseline = parallel_chunks(5000, |_| {});
+        for threads in [1, 2, 8] {
+            let pool = tinypool::Pool::new(threads);
+            let ranges = pool.install(|| parallel_chunks(5000, |_| {}));
+            assert_eq!(ranges, baseline);
+        }
     }
 }

@@ -8,11 +8,11 @@
 //! through the simulated meter.
 
 use rand::rngs::StdRng;
-use rand::Rng;
 use spec_model::{SystemConfig, Watts};
 
 use crate::config::{Settings, SutModel};
 use crate::meter::{normal, IntervalPowerLog, PowerMeter};
+use crate::poisson::PoissonSampler;
 use crate::power::{dc_power, wall_power, OperatingPoint};
 use crate::workload::TransactionMix;
 
@@ -108,6 +108,14 @@ impl<'a> Engine<'a> {
             .power
             .idle_pkg_residency(self.system.total_threads());
 
+        // Batched per-interval sampling: the arrival rate is fixed for the
+        // whole interval, so the Poisson constants are computed once here
+        // and amortised over the interval's seconds.
+        let arrivals = match load {
+            OfferedLoad::Rate(rate) => Some(PoissonSampler::new(rate)),
+            _ => None,
+        };
+
         for _ in 0..seconds {
             let (served, op) = match load {
                 OfferedLoad::Idle => {
@@ -127,8 +135,8 @@ impl<'a> Engine<'a> {
                     (served.max(0.0), OperatingPoint::full_load(freq))
                 }
                 OfferedLoad::Rate(rate) => {
-                    let arrivals = self.poisson(rate);
-                    backlog += arrivals;
+                    let sampler = arrivals.expect("sampler built for Rate load");
+                    backlog += sampler.sample(&mut self.rng);
                     // Governor: pick the lowest frequency whose capacity
                     // covers the demand with 5 % headroom.
                     let nominal_capacity = self.capacity_at(1.0) * jitter;
@@ -181,26 +189,11 @@ impl<'a> Engine<'a> {
         normal(&mut self.rng) * rel
     }
 
-    /// Poisson sample via normal approximation (rates here are ≥ thousands
-    /// per second, where the approximation is excellent).
-    fn poisson(&mut self, rate: f64) -> f64 {
-        if rate <= 0.0 {
-            return 0.0;
-        }
-        if rate < 50.0 {
-            // Knuth's method for small rates.
-            let l = (-rate).exp();
-            let mut k = 0u32;
-            let mut p = 1.0;
-            loop {
-                p *= self.rng.gen::<f64>();
-                if p <= l {
-                    return k as f64;
-                }
-                k += 1;
-            }
-        }
-        (rate + normal(&mut self.rng) * rate.sqrt()).max(0.0)
+    /// One-off Poisson draw at `rate` (exact hybrid kernel; see
+    /// [`crate::poisson`]). Hot paths should hoist a [`PoissonSampler`]
+    /// instead of calling this per draw.
+    pub fn poisson(&mut self, rate: f64) -> f64 {
+        PoissonSampler::new(rate).sample(&mut self.rng)
     }
 }
 

@@ -17,6 +17,8 @@
 //! * [`config`] — [`SutModel`] = [`PerfModel`] + [`PowerModel`], plus run
 //!   [`Settings`];
 //! * [`workload`] — the six weighted ssj transaction types;
+//! * [`poisson`] — the hybrid arrival-sampling kernel (exact inversion for
+//!   small rates, Hörmann's O(1) PTRS transformed rejection for large);
 //! * [`engine`] — per-interval queueing simulation with a DVFS governor;
 //! * [`power`] — the operating-point → watts equations;
 //! * [`meter`] — accuracy-class meter noise and interval averaging;
@@ -46,6 +48,7 @@ pub mod engine;
 pub mod meter;
 pub mod power;
 pub mod ptdaemon;
+pub mod poisson;
 pub mod workload;
 
 pub use compliance::{check_run, ComplianceIssue, TARGET_TOLERANCE};
@@ -53,6 +56,7 @@ pub use config::{reference_sut, PerfModel, PowerModel, Settings, SutModel};
 pub use director::{simulate_run, SsjRun};
 pub use engine::{Engine, IntervalResult, OfferedLoad};
 pub use meter::{IntervalPowerLog, PowerMeter};
+pub use poisson::PoissonSampler;
 pub use power::{dc_power, wall_power, wall_power_at, OperatingPoint};
 pub use ptdaemon::{audit_interval, audit_run, AnalyzerSpec, UncertaintyReport, MAX_AVG_UNCERTAINTY};
 pub use workload::{TransactionMix, TransactionType};

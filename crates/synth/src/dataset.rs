@@ -5,7 +5,7 @@
 //! Valid-but-excluded categories (multi-node/4-socket, non-x86, desktop
 //! CPUs) and stage-1 anomalies are generated per plan so the paper's filter
 //! cascade reproduces exactly. Generation is deterministic in the seed and
-//! parallelised across submissions with crossbeam scoped threads.
+//! parallelised across submissions on the persistent `tinypool` pool.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -330,7 +330,7 @@ pub fn generate_dataset(cfg: &SynthConfig) -> GeneratedDataset {
         .map(|(i, s)| (i as u32 + 1, s))
         .collect();
     let submissions: Vec<Submission> =
-        tinyframe::parallel_map(&indexed, |(id, slot)| generate_slot(cfg, *id, *slot));
+        tinypool::parallel_map(&indexed, |(id, slot)| generate_slot(cfg, *id, *slot));
     GeneratedDataset { submissions }
 }
 

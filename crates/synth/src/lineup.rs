@@ -303,9 +303,9 @@ pub const INTEL_GENERATIONS: [Generation; 8] = [
         threads_per_core: 2,
         vector_bits: 512,
         skus: &[
-            sku("Intel Xeon Platinum 8380", 40, 2.3, 3.4, 270.0, 0.9),
+            sku("Intel Xeon Platinum 8380", 40, 2.3, 3.4, 270.0, 2.0),
             sku("Intel Xeon Gold 6338", 32, 2.0, 3.2, 205.0, 1.0),
-            sku("Intel Xeon Silver 4310", 12, 2.1, 3.3, 120.0, 0.5),
+            sku("Intel Xeon Silver 4310", 12, 2.1, 3.3, 120.0, 0.25),
             sku("Intel Xeon Gold 6334", 8, 3.6, 3.7, 165.0, 0.35),
             sku("Intel Xeon Gold 6330", 28, 2.0, 3.1, 205.0, 0.9),
             sku("Intel Xeon Gold 5318Y", 24, 2.1, 3.4, 165.0, 0.8),
@@ -340,12 +340,12 @@ pub const INTEL_GENERATIONS: [Generation; 8] = [
         threads_per_core: 2,
         vector_bits: 512,
         skus: &[
-            sku("Intel Xeon Platinum 8490H", 60, 1.9, 3.5, 350.0, 0.7),
-            sku("Intel Xeon Platinum 8480+", 56, 2.0, 3.8, 350.0, 0.8),
+            sku("Intel Xeon Platinum 8490H", 60, 1.9, 3.5, 350.0, 1.1),
+            sku("Intel Xeon Platinum 8480+", 56, 2.0, 3.8, 350.0, 1.2),
             sku("Intel Xeon Gold 6430", 32, 2.1, 3.4, 270.0, 1.0),
-            sku("Intel Xeon Silver 4410Y", 12, 2.0, 3.9, 150.0, 0.6),
+            sku("Intel Xeon Silver 4410Y", 12, 2.0, 3.9, 150.0, 0.4),
             sku("Intel Xeon Gold 5420+", 28, 2.0, 4.1, 205.0, 0.8),
-            sku("Intel Xeon Gold 6444Y", 16, 3.6, 4.0, 270.0, 0.25),
+            sku("Intel Xeon Gold 6444Y", 16, 3.6, 4.0, 270.0, 0.3),
         ],
         behaviour: GenBehaviour {
             ops_per_core_ghz: 56_000.0,
@@ -377,11 +377,11 @@ pub const INTEL_GENERATIONS: [Generation; 8] = [
         threads_per_core: 2,
         vector_bits: 512,
         skus: &[
-            sku("Intel Xeon Platinum 8592+", 64, 1.9, 3.9, 350.0, 1.0),
+            sku("Intel Xeon Platinum 8592+", 64, 1.9, 3.9, 350.0, 1.4),
             sku("Intel Xeon Gold 6548Y+", 32, 2.5, 4.1, 250.0, 0.9),
-            sku("Intel Xeon Gold 5520+", 28, 2.2, 4.0, 205.0, 0.7),
-            sku("Intel Xeon Platinum 8558", 48, 2.1, 4.0, 330.0, 0.8),
-            sku("Intel Xeon Gold 6544Y", 16, 3.6, 4.1, 270.0, 0.2),
+            sku("Intel Xeon Gold 5520+", 28, 2.2, 4.0, 205.0, 0.5),
+            sku("Intel Xeon Platinum 8558", 48, 2.1, 4.0, 330.0, 1.0),
+            sku("Intel Xeon Gold 6544Y", 16, 3.6, 4.1, 270.0, 0.3),
         ],
         behaviour: GenBehaviour {
             ops_per_core_ghz: 58_000.0,

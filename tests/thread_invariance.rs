@@ -1,0 +1,77 @@
+//! Thread-count invariance: the same seed must produce a byte-identical
+//! dataset and an identical filter report whether the pool runs 1, 2 or 8
+//! threads.
+//!
+//! This is the determinism contract of `tinypool` (chunk layout is a pure
+//! function of input length; maps are order-preserving; shard merges are
+//! ordered) carried end-to-end through dataset generation and the §II
+//! cascade. Each pinned pool is installed as the ambient pool so the
+//! library's free-function calls route to it instead of the process-global
+//! instance.
+
+use spec_power_trends::analysis::{load_from_texts, load_from_texts_parallel, FilterReport};
+use spec_power_trends::ssj::Settings;
+use spec_power_trends::synth::{generate_dataset, SynthConfig};
+use tinypool::Pool;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A small but filter-complete configuration: quick enough to generate three
+/// times, long enough to exercise every cascade stage.
+fn cfg() -> SynthConfig {
+    SynthConfig {
+        seed: 17,
+        settings: Settings {
+            interval_seconds: 5,
+            calibration_intervals: 1,
+            ..Settings::default()
+        },
+    }
+}
+
+#[test]
+fn dataset_is_byte_identical_across_thread_counts() {
+    let baseline: Vec<String> = Pool::new(1).install(|| {
+        generate_dataset(&cfg())
+            .texts()
+            .map(str::to_owned)
+            .collect()
+    });
+    for threads in THREAD_COUNTS {
+        let texts: Vec<String> = Pool::new(threads).install(|| {
+            generate_dataset(&cfg())
+                .texts()
+                .map(str::to_owned)
+                .collect()
+        });
+        assert_eq!(texts.len(), baseline.len(), "{threads} threads");
+        for (i, (a, b)) in texts.iter().zip(&baseline).enumerate() {
+            assert_eq!(a, b, "report {i} differs with {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn filter_report_is_identical_across_thread_counts() {
+    let texts: Vec<String> = generate_dataset(&cfg())
+        .texts()
+        .map(str::to_owned)
+        .collect();
+    let sequential = load_from_texts(&texts);
+
+    let mut reports: Vec<FilterReport> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let set = Pool::new(threads).install(|| load_from_texts_parallel(&texts));
+        assert_eq!(
+            set.report, sequential.report,
+            "{threads}-thread report differs from sequential"
+        );
+        let ids = |runs: &[spec_power_trends::model::RunResult]| -> Vec<u32> {
+            runs.iter().map(|r| r.id).collect()
+        };
+        assert_eq!(ids(&set.valid), ids(&sequential.valid));
+        assert_eq!(ids(&set.comparable), ids(&sequential.comparable));
+        reports.push(set.report);
+    }
+    assert!(reports.windows(2).all(|w| w[0] == w[1]));
+}

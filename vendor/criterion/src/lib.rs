@@ -1,0 +1,289 @@
+//! Offline mini-criterion.
+//!
+//! Implements the subset of the `criterion` 0.5 API the workspace's benches
+//! use — `Criterion`, `bench_function`, `benchmark_group` (with
+//! `throughput`/`finish`), `Throughput`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — with a simple adaptive wall-clock measurement loop
+//! instead of criterion's full statistical machinery.
+//!
+//! Timing model: each benchmark is warmed up for `CRITERION_WARMUP_MS`
+//! (default 150 ms), then measured in batches until `CRITERION_MEASURE_MS`
+//! (default 600 ms) of samples accumulate. The mean, min and max per-iteration
+//! times are printed in criterion-like one-line form. Bench name filters
+//! passed by `cargo bench -- <filter>` are honoured.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement statistics for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Mean seconds per iteration.
+    pub mean: f64,
+    /// Fastest observed batch mean.
+    pub min: f64,
+    /// Slowest observed batch mean.
+    pub max: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// The timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Measure `f` by calling it repeatedly; the return value is passed
+    /// through [`black_box`] so the computation is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and batch-size estimation.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warmup_iters.max(1) as f64;
+        // Batches of roughly 10 ms keep timer overhead negligible.
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut batch_means: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || batch_means.len() < 3 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch_means.push(t0.elapsed().as_secs_f64() / batch as f64);
+            total_iters += batch;
+            if batch_means.len() >= 5000 {
+                break;
+            }
+        }
+        let sum: f64 = batch_means.iter().sum();
+        self.sample = Some(Sample {
+            mean: sum / batch_means.len() as f64,
+            min: batch_means.iter().copied().fold(f64::INFINITY, f64::min),
+            max: batch_means
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            iters: total_iters,
+        });
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} s", seconds)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            warmup: env_ms("CRITERION_WARMUP_MS", 150),
+            measure: env_ms("CRITERION_MEASURE_MS", 600),
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from `cargo bench` CLI arguments (`--bench`, optional name
+    /// filter; everything else ignored).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            sample: None,
+        };
+        f(&mut b);
+        self.ran += 1;
+        match b.sample {
+            Some(s) => {
+                let rate = match throughput {
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:>10.1} MiB/s", n as f64 / s.mean / (1024.0 * 1024.0))
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:>10.0} elem/s", n as f64 / s.mean)
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{id:<44} time: [{} {} {}]{}  ({} iters)",
+                    format_time(s.min),
+                    format_time(s.mean),
+                    format_time(s.max),
+                    rate,
+                    s.iters
+                );
+            }
+            None => println!("{id:<44} (no measurement — bencher not driven)"),
+        }
+    }
+
+    /// Benchmark a closure under the given name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Print a trailing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) measured", self.ran);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut f);
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_cheap_closure() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            filter: None,
+            ran: 0,
+        };
+        let mut x = 0u64;
+        c.bench_function("tiny", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            ran: 0,
+        };
+        c.bench_function("tiny", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.ran, 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2e-9).contains("ns"));
+        assert!(format_time(2e-6).contains("µs"));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(2.0).contains(" s"));
+    }
+}

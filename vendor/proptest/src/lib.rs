@@ -1,0 +1,199 @@
+//! Offline mini-proptest.
+//!
+//! The build container has no crates-io registry, so this vendored crate
+//! implements the subset of the `proptest` 1.x API the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! * [`prop_compose!`] (one- and two-stage forms),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! * range strategies (`0i64..5`, `1u8..=12`, `-1e3f64..1e3`),
+//! * `any::<T>()` for primitives,
+//! * `prop::collection::vec(strategy, count-or-range)`,
+//! * string strategies from regex-lite patterns (`"[a-c]{1,3}"`,
+//!   `"\\PC{0,2000}"`).
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed per test (reproducible across runs), and there is **no shrinking** —
+//! a failing case panics with the standard assertion message. That keeps the
+//! implementation dependency-free while preserving the tests' bug-finding
+//! power.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.below(self.end.max(self.start + 1) - self.start) + self.start
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.below(self.end() - self.start() + 1) + self.start()
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(strategy, len)` — `len` may be a `usize`, a
+    /// `Range<usize>` or a `RangeInclusive<usize>`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// `proptest::prelude` — the single import the tests use.
+pub mod prelude {
+    pub use crate::strategy::{any, FnStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, proptest};
+
+    /// Re-export of the crate root so `prop::collection::vec` resolves.
+    pub use crate as prop;
+}
+
+/// Run one property-test body over `cases` generated inputs.
+///
+/// Internal support function for the [`proptest!`] macro; public so the
+/// macro expansion can reach it from other crates.
+pub fn run_cases(test_name: &str, cases: u32, mut body: impl FnMut(&mut test_runner::TestRng)) {
+    let mut rng = test_runner::TestRng::deterministic(test_name);
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+/// The `proptest!` macro: wraps `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The `prop_compose!` macro: defines a function returning a strategy.
+///
+/// Supports the one-stage form
+/// `fn name(params)(a in s1, ...) -> T { body }` and the two-stage form
+/// `fn name(params)(a in s1, ...)(b in s2(a), ...) -> T { body }` where
+/// second-stage strategies may reference first-stage bindings.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($params:tt)* )
+            ( $($arg1:ident in $strat1:expr),* $(,)? )
+            ( $($arg2:ident in $strat2:expr),* $(,)? )
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name( $($params)* ) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg1 = $crate::strategy::Strategy::generate(&($strat1), __proptest_rng);)*
+                $(let $arg2 = $crate::strategy::Strategy::generate(&($strat2), __proptest_rng);)*
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($params:tt)* )
+            ( $($arg:ident in $strat:expr),* $(,)? )
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name( $($params)* ) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// `prop_assert!` — assertion inside a property test (no shrinking, so this
+/// simply panics with the standard message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!` — skip the current case when the precondition fails.
+///
+/// Expands to `return` from the per-case closure, moving on to the next
+/// generated case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,346 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// A source of generated values for property tests.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy wrapping a closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(pub F);
+
+impl<F, T> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, wide-range doubles; upstream `any::<f64>()` includes
+        // specials, but the workspace only uses ranges for floats.
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+/// String strategies from regex-lite patterns.
+///
+/// Supports exactly the pattern grammar the workspace's tests use:
+/// character classes `[...]` (literals, `a-z` ranges, `\PC` escape),
+/// the bare `\PC` atom (any printable char), literal characters, and
+/// `{m,n}` / `{n}` repetition suffixes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A set of concrete characters to choose from.
+    Class(Vec<char>),
+    /// Any printable character (`\PC`).
+    Printable,
+    /// A literal character.
+    Literal(char),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '\\' => match chars.next() {
+                // `\PC` inside a class widens it to the printable set,
+                // approximated by the ASCII printable range (the class is a
+                // choice set, so a representative subset is fine).
+                Some('P') => {
+                    if chars.peek() == Some(&'C') {
+                        chars.next();
+                    }
+                    set.extend((0x20u8..0x7f).map(|b| b as char));
+                    prev = None;
+                }
+                Some(other) => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+                None => break,
+            },
+            '-' => {
+                // Range like `a-z` if something precedes and follows.
+                if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                    if hi != ']' {
+                        chars.next();
+                        let (lo, hi) = (lo as u32, hi as u32);
+                        for code in lo..=hi {
+                            if let Some(ch) = char::from_u32(code) {
+                                if ch as u32 != lo {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        prev = None;
+                        continue;
+                    }
+                }
+                set.push('-');
+                prev = Some('-');
+            }
+            other => {
+                set.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    if set.is_empty() {
+        set.push('x');
+    }
+    set
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<(usize, usize)> {
+    if chars.peek() != Some(&'{') {
+        return None;
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    let mut parts = spec.splitn(2, ',');
+    let lo: usize = parts.next()?.trim().parse().ok()?;
+    let hi: usize = match parts.next() {
+        Some(s) => s.trim().parse().ok()?,
+        None => lo,
+    };
+    Some((lo, hi.max(lo)))
+}
+
+/// Sample a printable char: mostly ASCII, occasionally wider Unicode, never
+/// a control character.
+fn printable(rng: &mut TestRng) -> char {
+    if rng.below(8) == 0 {
+        // Wider Unicode: Latin-1 supplement through CJK start.
+        loop {
+            let code = 0xA0 + rng.below(0x9FFF - 0xA0) as u32;
+            if let Some(c) = char::from_u32(code) {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    } else {
+        (0x20u8 + rng.below(0x5f) as u8) as char
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    if chars.peek() == Some(&'C') {
+                        chars.next();
+                    }
+                    Atom::Printable
+                }
+                Some(other) => Atom::Literal(other),
+                None => break,
+            },
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_repeat(&mut chars).unwrap_or((1, 1));
+        let count = lo + rng.below(hi - lo + 1);
+        for _ in 0..count {
+            match &atom {
+                Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                Atom::Printable => out.push(printable(rng)),
+                Atom::Literal(ch) => out.push(*ch),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (0i64..5).generate(&mut r);
+            assert!((0..5).contains(&x));
+            let y = (1u8..=12).generate(&mut r);
+            assert!((1..=12).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (-1e3f64..1e3).generate(&mut r);
+            assert!((-1e3..1e3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn class_pattern_matches_grammar() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".generate(&mut r);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "\\PC{0,2000}".generate(&mut r);
+            assert!(s.chars().count() <= 2000);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z0-9 ():%|,./-]{0,80}".generate(&mut r);
+            assert!(s.chars().count() <= 80);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = crate::collection::vec(0i64..5, 1..200).generate(&mut r);
+            assert!((1..200).contains(&v.len()));
+            let w = crate::collection::vec(any::<bool>(), 7usize).generate(&mut r);
+            assert_eq!(w.len(), 7);
+        }
+    }
+}

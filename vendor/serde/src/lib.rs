@@ -1,0 +1,17 @@
+//! Offline `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports and
+//! re-exports the no-op derives from the vendored `serde_derive`. Nothing
+//! in this tree serializes at runtime; the derives exist so the domain
+//! types keep their annotations for when a real registry is available.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the vendored
+/// derive generates no impls).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait DeserializeMarker<'de> {}

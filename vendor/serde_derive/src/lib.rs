@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace annotates its domain types with serde derives for
+//! downstream consumers, but no code in the tree actually serializes
+//! anything (there is no `serde_json`/`bincode` here and the registry is
+//! unavailable offline). These derives accept the same attribute grammar
+//! (`#[serde(...)]`) and expand to nothing, which keeps the annotations
+//! compiling without pulling in `syn`/`quote`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
