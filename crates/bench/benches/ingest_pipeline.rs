@@ -1,13 +1,23 @@
 //! Ingest-cascade benchmark: sequential vs parallel `load_from_texts` at
-//! 1k / 10k / 100k report texts.
+//! 1k / 10k / 100k report texts, plus cold- vs warm-cache runs of the full
+//! stage-graph pipeline over the native 1017-report dataset.
 //!
 //! Inputs beyond the native 1017 reports are built by cycling the dataset's
 //! texts, so per-report parse cost is representative at every scale. The
 //! element throughput lets runs at different scales be compared directly.
+//!
+//! `stage_pipeline/cold_cache` starts each iteration from an empty artifact
+//! cache (generate + parse + validate + all aggregates + render + store);
+//! `warm_cache` replays a fresh driver over a fully populated cache, which
+//! resolves every stage via header peeks and decodes only the rendered
+//! figure artifact — the speedup between the two is what `--cache-dir` buys.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use spec_analysis::{load_from_texts, load_from_texts_parallel};
-use spec_bench::dataset;
+use spec_analysis::{
+    load_from_texts, load_from_texts_parallel, ArtifactCache, CorpusSource, PipelineDriver,
+};
+use spec_bench::{bench_settings, dataset};
+use spec_synth::SynthConfig;
 
 fn texts_cycled(n: usize) -> Vec<&'static str> {
     let base: Vec<&'static str> = dataset().texts().collect();
@@ -29,5 +39,47 @@ fn bench_ingest(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_ingest);
+fn stage_driver(cache: ArtifactCache) -> PipelineDriver {
+    let source = CorpusSource::Synthetic(SynthConfig {
+        seed: 3,
+        settings: bench_settings(),
+    });
+    PipelineDriver::new(source, bench_settings(), 3).with_cache(cache)
+}
+
+fn bench_stage_cache(c: &mut Criterion) {
+    let root = std::env::temp_dir().join("spec_bench_stage_cache");
+
+    let mut group = c.benchmark_group("stage_pipeline/1017");
+    group.throughput(Throughput::Elements(1017));
+
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&root);
+            let mut driver = stage_driver(ArtifactCache::open(&root).unwrap());
+            let files = driver.export_figures().unwrap();
+            assert_eq!(driver.hits_total(), 0);
+            std::hint::black_box(files.files.len())
+        })
+    });
+
+    // Populate once, then measure fresh drivers over the warm cache.
+    let _ = std::fs::remove_dir_all(&root);
+    let cache = ArtifactCache::open(&root).unwrap();
+    stage_driver(cache.clone()).export_figures().unwrap();
+
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let mut driver = stage_driver(cache.clone());
+            let files = driver.export_figures().unwrap();
+            assert_eq!(driver.executed_total(), 0);
+            std::hint::black_box(files.files.len())
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_ingest, bench_stage_cache);
 criterion_main!(benches);

@@ -3,6 +3,8 @@
 //! ```text
 //! spec-trends generate --out DIR [--seed N]      write the 1017 synthetic report files
 //! spec-trends analyze [--data DIR] [--seed N]    run the full study, print the ledger
+//! spec-trends explain [--data DIR]               print the filter cascade, with per-file
+//!                                                parse-failure reasons
 //! spec-trends figures --out DIR [--data DIR]     render all figure SVGs
 //! spec-trends table1                             reproduce Table I
 //! spec-trends report --out FILE [--data DIR]     write the full markdown report
@@ -11,6 +13,11 @@
 //! Without `--data`, commands operate on the built-in synthetic dataset
 //! (deterministic in `--seed`).
 //!
+//! `--cache-dir DIR` attaches a content-addressed artifact cache: every
+//! pipeline stage's output is persisted under a key derived from the code
+//! version and its inputs, so `figures` after `analyze` re-parses nothing
+//! and writes byte-identical output from the cached artifacts.
+//!
 //! `--threads N` pins the worker-pool size. Precedence: the flag overrides
 //! the `SPEC_TRENDS_THREADS` environment variable, which overrides the
 //! machine's available parallelism. Results are identical for any setting.
@@ -18,15 +25,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spec_analysis::{load_from_dir, load_from_texts_parallel, run_study, AnalysisSet, Study};
+use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver};
+use spec_diag::TrendsError;
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spec-trends <generate|analyze|figures|table1|report|export|trends> \
-         [--out PATH] [--data DIR] [--seed N] [--threads N]\n\
+        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends> \
+         [--out PATH] [--data DIR] [--seed N] [--cache-dir DIR] [--threads N]\n\
          \n\
+         --cache-dir DIR  content-addressed artifact cache; warm runs skip every\n\
+         \x20               stage whose inputs are unchanged (figures after analyze\n\
+         \x20               re-parses nothing and is byte-identical).\n\
          --threads N   worker threads for generation and the filter cascade.\n\
          \x20             Precedence: --threads > SPEC_TRENDS_THREADS env var >\n\
          \x20             available CPU parallelism. Output is identical for any\n\
@@ -40,6 +51,7 @@ struct Args {
     out: Option<PathBuf>,
     data: Option<PathBuf>,
     seed: u64,
+    cache_dir: Option<PathBuf>,
     threads: Option<usize>,
 }
 
@@ -52,12 +64,14 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut out = None;
     let mut data = None;
     let mut seed = 3u64;
+    let mut cache_dir = None;
     let mut threads = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(args.next()?)),
             "--data" => data = Some(PathBuf::from(args.next()?)),
             "--seed" => seed = args.next()?.parse().ok()?,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(args.next()?)),
             "--threads" => {
                 let n: usize = args.next()?.parse().ok()?;
                 if n == 0 {
@@ -73,59 +87,62 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         out,
         data,
         seed,
+        cache_dir,
         threads,
     })
 }
 
-fn load_set(args: &Args) -> std::io::Result<AnalysisSet> {
-    match &args.data {
+/// Build the stage-graph driver for this invocation: corpus source from
+/// `--data`/`--seed`, artifact cache from `--cache-dir`.
+fn build_driver(args: &Args) -> spec_diag::Result<PipelineDriver> {
+    let source = match &args.data {
         Some(dir) => {
             eprintln!("loading report files from {}", dir.display());
-            load_from_dir(dir)
+            CorpusSource::Dir(dir.clone())
         }
         None => {
-            eprintln!("generating synthetic dataset (seed {})", args.seed);
-            let dataset = generate_dataset(&SynthConfig {
+            eprintln!("using synthetic dataset (seed {})", args.seed);
+            CorpusSource::Synthetic(SynthConfig {
                 seed: args.seed,
                 ..SynthConfig::default()
-            });
-            Ok(load_from_texts_parallel(&dataset.texts().collect::<Vec<_>>()))
+            })
         }
-    }
-}
-
-fn build_study(args: &Args) -> std::io::Result<Study> {
-    let set = load_set(args)?;
-    Ok(run_study(set, &Settings::default(), args.seed))
-}
-
-fn main() -> ExitCode {
-    let Some(args) = parse_args() else {
-        return usage();
     };
-    if let Some(n) = args.threads {
-        // Before any parallel work: the global pool is created lazily on
-        // first use and its size cannot change afterwards.
-        if tinypool::set_global_threads(n).is_err() {
-            eprintln!("error: --threads must be set before the pool starts");
-            return ExitCode::FAILURE;
-        }
+    let mut driver = PipelineDriver::new(source, Settings::default(), args.seed);
+    if let Some(dir) = &args.cache_dir {
+        driver = driver.with_cache(ArtifactCache::open(dir.clone())?);
     }
-    let result = match args.command.as_str() {
+    Ok(driver)
+}
+
+fn report_cache_activity(driver: &PipelineDriver) {
+    if driver.cache().is_some() {
+        eprintln!(
+            "cache: {} stage hit(s), {} stage execution(s)",
+            driver.hits_total(),
+            driver.executed_total()
+        );
+    }
+}
+
+fn run_command(args: &Args) -> spec_diag::Result<()> {
+    match args.command.as_str() {
         "generate" => {
             let Some(out) = args.out.clone() else {
-                eprintln!("generate requires --out DIR");
-                return usage();
+                return Err(TrendsError::config("generate", "generate requires --out DIR"));
             };
             let dataset = generate_dataset(&SynthConfig {
                 seed: args.seed,
                 ..SynthConfig::default()
             });
-            write_dataset_to_dir(&dataset, &out).map(|paths| {
-                println!("wrote {} report files to {}", paths.len(), out.display());
-            })
+            let paths = write_dataset_to_dir(&dataset, &out)
+                .map_err(|e| TrendsError::io("generate", &e))?;
+            println!("wrote {} report files to {}", paths.len(), out.display());
+            Ok(())
         }
-        "analyze" => build_study(&args).map(|study| {
+        "analyze" => {
+            let mut driver = build_driver(args)?;
+            let study = driver.study()?;
             println!("{}", study.set.report.to_markdown());
             let comparisons = study.comparisons();
             let ok = comparisons.iter().filter(|c| c.ok()).count();
@@ -139,19 +156,26 @@ fn main() -> ExitCode {
                 );
             }
             println!("\n{ok}/{} checks within tolerance", comparisons.len());
-        }),
+            report_cache_activity(&driver);
+            Ok(())
+        }
+        "explain" => {
+            let mut driver = build_driver(args)?;
+            let report = driver.filter_report()?;
+            println!("{}", report.explain());
+            report_cache_activity(&driver);
+            Ok(())
+        }
         "figures" => {
             let Some(out) = args.out.clone() else {
-                eprintln!("figures requires --out DIR");
-                return usage();
+                return Err(TrendsError::config("figures", "figures requires --out DIR"));
             };
-            build_study(&args).and_then(|study| {
-                study.write_figures(&out).map(|paths| {
-                    for p in paths {
-                        println!("wrote {}", p.display());
-                    }
-                })
-            })
+            let mut driver = build_driver(args)?;
+            for p in driver.write_figures(&out)? {
+                println!("wrote {}", p.display());
+            }
+            report_cache_activity(&driver);
+            Ok(())
         }
         "table1" => {
             let table = spec_analysis::table1::compute(&Settings::default(), args.seed);
@@ -160,18 +184,18 @@ fn main() -> ExitCode {
         }
         "export" => {
             let Some(out) = args.out.clone() else {
-                eprintln!("export requires --out DIR");
-                return usage();
+                return Err(TrendsError::config("export", "export requires --out DIR"));
             };
-            build_study(&args).and_then(|study| {
-                study.write_data(&out).map(|paths| {
-                    for p in paths {
-                        println!("wrote {}", p.display());
-                    }
-                })
-            })
+            let mut driver = build_driver(args)?;
+            for p in driver.write_data(&out)? {
+                println!("wrote {}", p.display());
+            }
+            report_cache_activity(&driver);
+            Ok(())
         }
-        "trends" => build_study(&args).map(|study| {
+        "trends" => {
+            let mut driver = build_driver(args)?;
+            let study = driver.study()?;
             use tinyplot::ascii_scatter;
             let idle: Vec<Vec<(f64, f64)>> = study
                 .fig5
@@ -203,25 +227,50 @@ fn main() -> ExitCode {
                     18,
                 )
             );
-        }),
+            report_cache_activity(&driver);
+            Ok(())
+        }
         "report" => {
             let Some(out) = args.out.clone() else {
-                eprintln!("report requires --out FILE");
-                return usage();
+                return Err(TrendsError::config("report", "report requires --out FILE"));
             };
-            build_study(&args).and_then(|study| {
-                std::fs::write(&out, study.to_markdown()).map(|()| {
-                    println!("wrote {}", out.display());
-                })
-            })
+            let mut driver = build_driver(args)?;
+            let study = driver.study()?;
+            std::fs::write(&out, study.to_markdown()).map_err(|e| {
+                TrendsError::io("report", &e).with_origin(out.display().to_string())
+            })?;
+            println!("wrote {}", out.display());
+            report_cache_activity(&driver);
+            Ok(())
         }
-        _ => return usage(),
+        _ => Err(TrendsError::config("cli", format!("unknown command {:?}", args.command))),
+    }
+}
+
+const COMMANDS: [&str; 8] = [
+    "generate", "analyze", "explain", "figures", "table1", "report", "export", "trends",
+];
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
     };
-    match result {
+    if !COMMANDS.contains(&args.command.as_str()) {
+        return usage();
+    }
+    if let Some(n) = args.threads {
+        // Before any parallel work: the global pool is created lazily on
+        // first use and its size cannot change afterwards.
+        if tinypool::set_global_threads(n).is_err() {
+            eprintln!("error: --threads must be set before the pool starts");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run_command(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("error: {err}");
-            ExitCode::FAILURE
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -241,12 +290,14 @@ mod tests {
         assert_eq!(args.seed, 3);
         assert!(args.out.is_none());
         assert!(args.data.is_none());
+        assert!(args.cache_dir.is_none());
     }
 
     #[test]
     fn all_flags() {
         let args = parse(&[
             "figures", "--out", "figs", "--data", "d", "--seed", "42", "--threads", "4",
+            "--cache-dir", "c",
         ])
         .unwrap();
         assert_eq!(args.command, "figures");
@@ -254,6 +305,7 @@ mod tests {
         assert_eq!(args.data.as_deref(), Some(std::path::Path::new("d")));
         assert_eq!(args.seed, 42);
         assert_eq!(args.threads, Some(4));
+        assert_eq!(args.cache_dir.as_deref(), Some(std::path::Path::new("c")));
     }
 
     #[test]
@@ -261,6 +313,7 @@ mod tests {
         assert!(parse(&["analyze", "--bogus"]).is_none());
         assert!(parse(&["analyze", "--seed", "not-a-number"]).is_none());
         assert!(parse(&["analyze", "--seed"]).is_none());
+        assert!(parse(&["analyze", "--cache-dir"]).is_none());
         assert!(parse(&[]).is_none());
     }
 
@@ -274,5 +327,13 @@ mod tests {
         assert!(parse(&["analyze", "--threads", "0"]).is_none());
         assert!(parse(&["analyze", "--threads", "lots"]).is_none());
         assert!(parse(&["analyze", "--threads"]).is_none());
+    }
+
+    #[test]
+    fn missing_required_out_is_a_config_error() {
+        let args = parse(&["figures"]).unwrap();
+        let err = run_command(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--out"));
     }
 }

@@ -25,7 +25,7 @@ pub const CORRELATED_FEATURES: [&str; 8] = [
 ];
 
 /// Per-vendor confounder statistics (§IV's examples).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VendorStats {
     /// Vendor.
     pub vendor: CpuVendor,
@@ -42,7 +42,7 @@ pub struct VendorStats {
 }
 
 /// The exploration's outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IdleCorrelationReport {
     /// First hardware year included (the paper uses 2021).
     pub since_year: i32,

@@ -66,24 +66,21 @@ fn series_frame(series: &[(spec_model::CpuVendor, Vec<(f64, f64)>)], y_name: &st
 }
 
 impl Study {
-    /// Write the processed data behind every figure as CSV files; returns
-    /// the written paths.
-    pub fn write_data(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
-        std::fs::create_dir_all(dir)?;
-        let mut paths = Vec::new();
-        let mut save = |name: &str, content: String| -> std::io::Result<()> {
-            let path = dir.join(name);
-            std::fs::write(&path, content)?;
-            paths.push(path);
-            Ok(())
+    /// Render the processed data behind every figure in memory as
+    /// `(file name, CSV text)` pairs, in the order [`Self::write_data`]
+    /// writes them.
+    pub fn data_files(&self) -> Vec<(String, String)> {
+        let mut files = Vec::new();
+        let mut save = |name: &str, content: String| {
+            files.push((name.to_string(), content));
         };
 
         // Full per-run feature table (the master processed dataset).
         save(
             "comparable_runs.csv",
             runs_to_frame(&self.set.comparable).to_csv(),
-        )?;
-        save("valid_runs.csv", runs_to_frame(&self.set.valid).to_csv())?;
+        );
+        save("valid_runs.csv", runs_to_frame(&self.set.valid).to_csv());
 
         // Figure 1: shares per year.
         {
@@ -103,26 +100,26 @@ impl Study {
                     .add_column(format!("share_{}", feature.replace(' ', "_")), Column::F64(series.clone()))
                     .expect("same length");
             }
-            save("fig1_shares.csv", frame.to_csv())?;
+            save("fig1_shares.csv", frame.to_csv());
         }
 
         // Figures 2/3/5/6: scatter series.
         save(
             "fig2_per_socket_power.csv",
             series_frame(&self.fig2.scatter, "w_per_socket").to_csv(),
-        )?;
+        );
         save(
             "fig3_overall_efficiency.csv",
             series_frame(&self.fig3.scatter, "overall_eff").to_csv(),
-        )?;
+        );
         save(
             "fig5_idle_fraction.csv",
             series_frame(&self.fig5.scatter, "idle_fraction").to_csv(),
-        )?;
+        );
         save(
             "fig6_extrapolated_quotient.csv",
             series_frame(&self.fig6.scatter, "extrap_quotient").to_csv(),
-        )?;
+        );
 
         // Figure 4: box statistics per bin.
         {
@@ -162,13 +159,19 @@ impl Study {
                 ),
             ])
             .expect("fresh frame");
-            save("fig4_relative_efficiency.csv", frame.to_csv())?;
+            save("fig4_relative_efficiency.csv", frame.to_csv());
         }
 
         // Yearly summary table.
-        save("yearly_summary.csv", yearly_summary(self).to_csv())?;
+        save("yearly_summary.csv", yearly_summary(self).to_csv());
 
-        Ok(paths)
+        files
+    }
+
+    /// Write the processed data behind every figure as CSV files; returns
+    /// the written paths.
+    pub fn write_data(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        crate::stage::write_files(dir, &self.data_files())
     }
 }
 

@@ -15,7 +15,9 @@
 //! * [`proportionality`] — Hsu/Poole-style energy-proportionality metrics
 //!   (EP score, dynamic range) extending Figure 4's analysis;
 //! * [`report`] — the full [`Study`] with a paper-vs-measured ledger and
-//!   SVG emission.
+//!   SVG emission;
+//! * [`stage`] — the typed stage graph driving all of the above, with a
+//!   content-addressed on-disk artifact cache.
 //!
 //! ```no_run
 //! use spec_analysis::{load_from_texts, run_study};
@@ -29,6 +31,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod correlation;
 pub mod export;
@@ -37,14 +40,17 @@ pub mod figures;
 pub mod pipeline;
 pub mod proportionality;
 pub mod report;
+pub mod stage;
 pub mod table1;
 
 pub use correlation::{explore, IdleCorrelationReport, VendorStats};
 pub use export::{yearly_summary, yearly_summary_markdown};
 pub use features::{runs_to_frame, FEATURE_COLUMNS};
 pub use pipeline::{
-    load_from_dir, load_from_texts, load_from_texts_parallel, AnalysisSet, FilterReport,
+    load_from_dir, load_from_named_texts, load_from_texts, load_from_texts_parallel,
+    stage1_validate, stage2_split, AnalysisSet, FilterReport, ParseFailureRecord,
 };
+pub use stage::{ArtifactCache, CorpusSource, PipelineDriver, StageId, StageStats};
 pub use proportionality::{ep_metrics, ep_trend, normalized_curve, EpMetrics, EpTrend};
 pub use report::{run_study, Comparison, Study};
 pub use table1::{sr645_v3, sr650_v3, Table1, Table1Entry};

@@ -13,8 +13,37 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use spec_format::{comparability_issues, parse_run, validate, ComparabilityIssue, ValidityIssue};
+use spec_format::{
+    comparability_issues, parse_run_diagnosed, validate, ComparabilityIssue, ParseFailure,
+    ValidityIssue,
+};
 use spec_model::RunResult;
+
+/// One retained parse failure: which input failed, and why.
+///
+/// `index` is the position of the input within the whole corpus (stable
+/// across sharding: [`FilterReport::merge`] offsets shard-local indices);
+/// `origin` is the file name when the corpus came from a directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFailureRecord {
+    /// Zero-based position of the failing input in the corpus.
+    pub index: usize,
+    /// Originating file/input name, when known.
+    pub origin: Option<String>,
+    /// The categorized diagnosis.
+    pub failure: ParseFailure,
+}
+
+impl ParseFailureRecord {
+    /// Render as a full [`spec_diag::TrendsError`] attributed to `ingest`.
+    pub fn to_error(&self) -> spec_diag::TrendsError {
+        let err = self.failure.to_error("ingest");
+        match &self.origin {
+            Some(origin) => err.with_origin(origin.clone()),
+            None => err.with_origin(format!("input #{}", self.index)),
+        }
+    }
+}
 
 /// Per-rule accounting of the filter cascade (the numbers §II reports).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -23,6 +52,9 @@ pub struct FilterReport {
     pub raw: usize,
     /// Files that were not SPEC Power reports at all.
     pub not_reports: usize,
+    /// Why each non-report failed, in corpus order
+    /// (`parse_failures.len() == not_reports`).
+    pub parse_failures: Vec<ParseFailureRecord>,
     /// Stage-1 rejections by category. A run rejected for several reasons is
     /// attributed to its *first* category in the paper's order, mirroring a
     /// sequential filter script.
@@ -46,12 +78,31 @@ impl FilterReport {
         self.stage2.values().sum()
     }
 
+    /// Parse-failure counts grouped by diagnosis category, in stable
+    /// (alphabetical) order.
+    pub fn parse_failure_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for record in &self.parse_failures {
+            *counts.entry(record.failure.category).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// Fold another (shard) report into this one: every count adds, with
-    /// `BTreeMap` categories merged key-wise. Deterministic regardless of
-    /// how the input was sharded.
+    /// `BTreeMap` categories merged key-wise and the other report's
+    /// shard-local parse-failure indices shifted by this report's size.
+    /// Deterministic regardless of how the input was sharded, and
+    /// associative: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`.
     pub fn merge(&mut self, other: &FilterReport) {
+        let offset = self.raw;
         self.raw += other.raw;
         self.not_reports += other.not_reports;
+        self.parse_failures
+            .extend(other.parse_failures.iter().map(|r| ParseFailureRecord {
+                index: offset + r.index,
+                origin: r.origin.clone(),
+                failure: r.failure.clone(),
+            }));
         for (&issue, &n) in &other.stage1 {
             *self.stage1.entry(issue).or_insert(0) += n;
         }
@@ -68,6 +119,9 @@ impl FilterReport {
         out.push_str(&format!("raw submissions: {}\n", self.raw));
         if self.not_reports > 0 {
             out.push_str(&format!("  not parseable as reports: {}\n", self.not_reports));
+            for (category, n) in self.parse_failure_counts() {
+                out.push_str(&format!("    - {category}: {n}\n"));
+            }
         }
         for (issue, n) in &self.stage1 {
             out.push_str(&format!("  - {}: {}\n", issue.label(), n));
@@ -77,6 +131,20 @@ impl FilterReport {
             out.push_str(&format!("  - {}: {}\n", issue.label(), n));
         }
         out.push_str(&format!("comparable dataset: {}\n", self.comparable));
+        out
+    }
+
+    /// Render the full cascade *with* per-file parse-failure diagnoses —
+    /// the view `spec-trends explain` prints. Includes everything
+    /// [`Self::to_markdown`] shows plus one line per discarded input.
+    pub fn explain(&self) -> String {
+        let mut out = self.to_markdown();
+        if !self.parse_failures.is_empty() {
+            out.push_str("\ndiscarded inputs:\n");
+            for record in &self.parse_failures {
+                out.push_str(&format!("  {}\n", record.to_error()));
+            }
+        }
         out
     }
 }
@@ -98,15 +166,57 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
+    load_from_named_texts(texts.into_iter().map(|t| (None::<String>, t)))
+}
+
+/// Run the §II cascade over `(origin, text)` pairs, attaching the origin
+/// (typically a file name) to any parse-failure diagnostics. This is the
+/// workhorse behind [`load_from_texts`] and [`load_from_dir`].
+pub fn load_from_named_texts<I, N, S>(items: I) -> AnalysisSet
+where
+    I: IntoIterator<Item = (Option<N>, S)>,
+    N: Into<String>,
+    S: AsRef<str>,
+{
+    let (valid, mut report) = stage1_validate(items);
+    let (indices, stage2) = stage2_split(&valid);
+    let comparable: Vec<RunResult> = indices
+        .iter()
+        .map(|&i| valid[i as usize].clone())
+        .collect();
+    report.stage2 = stage2;
+    report.comparable = comparable.len();
+    AnalysisSet {
+        valid,
+        comparable,
+        report,
+    }
+}
+
+/// Stage 0+1 of the cascade: parse every text and run the §II validity
+/// checks. Returns the surviving runs and a [`FilterReport`] whose stage-2
+/// fields are still empty — the `Validate` stage of the stage graph.
+pub fn stage1_validate<I, N, S>(items: I) -> (Vec<RunResult>, FilterReport)
+where
+    I: IntoIterator<Item = (Option<N>, S)>,
+    N: Into<String>,
+    S: AsRef<str>,
+{
     let mut report = FilterReport::default();
     let mut valid = Vec::new();
 
-    for text in texts {
+    for (origin, text) in items {
+        let index = report.raw;
         report.raw += 1;
-        let parsed = match parse_run(text.as_ref()) {
+        let parsed = match parse_run_diagnosed(text.as_ref()) {
             Ok(p) => p,
-            Err(_) => {
+            Err(failure) => {
                 report.not_reports += 1;
+                report.parse_failures.push(ParseFailureRecord {
+                    index,
+                    origin: origin.map(Into::into),
+                    failure,
+                });
                 continue;
             }
         };
@@ -122,24 +232,26 @@ where
         }
     }
     report.valid = valid.len();
+    (valid, report)
+}
 
-    let mut comparable = Vec::new();
-    for run in &valid {
+/// Stage 2 of the cascade: the §II comparability filters over the valid
+/// runs. Returns the *indices* of comparable runs (so callers can share the
+/// valid set instead of cloning it) and the per-category rejection counts —
+/// the `Comparable` stage of the stage graph.
+pub fn stage2_split(valid: &[RunResult]) -> (Vec<u32>, BTreeMap<ComparabilityIssue, usize>) {
+    let mut indices = Vec::new();
+    let mut stage2 = BTreeMap::new();
+    for (i, run) in valid.iter().enumerate() {
         let issues = comparability_issues(run);
         match issues.first() {
-            None => comparable.push(run.clone()),
+            None => indices.push(i as u32),
             Some(&first) => {
-                *report.stage2.entry(first).or_insert(0) += 1;
+                *stage2.entry(first).or_insert(0) += 1;
             }
         }
     }
-    report.comparable = comparable.len();
-
-    AnalysisSet {
-        valid,
-        comparable,
-        report,
-    }
+    (indices, stage2)
 }
 
 /// Run the §II cascade over a slice of report texts in parallel.
@@ -192,11 +304,14 @@ pub fn load_from_dir(dir: &Path) -> std::io::Result<AnalysisSet> {
 
     let ranges = tinypool::run_chunks(entries.len(), |_| {});
     let shards: Vec<std::io::Result<AnalysisSet>> = tinypool::parallel_map(&ranges, |range| {
-        let mut texts = Vec::with_capacity(range.len());
+        let mut items = Vec::with_capacity(range.len());
         for path in &entries[range.clone()] {
-            texts.push(std::fs::read_to_string(path)?);
+            let origin = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned());
+            items.push((origin, std::fs::read_to_string(path)?));
         }
-        Ok(load_from_texts(&texts))
+        Ok(load_from_named_texts(items))
     });
     Ok(merge_shards(
         shards.into_iter().collect::<std::io::Result<Vec<_>>>()?,
@@ -227,6 +342,72 @@ mod tests {
         let set = load_from_texts(["garbage data"]);
         assert_eq!(set.report.not_reports, 1);
         assert_eq!(set.valid.len(), 0);
+    }
+
+    #[test]
+    fn parse_failures_retained_with_reasons() {
+        let texts = vec![
+            write_run(&linear_test_run(0, 1e6, 60.0, 300.0)),
+            "garbage data".to_string(),
+            "   \n".to_string(),
+        ];
+        let set = load_from_texts(&texts);
+        assert_eq!(set.report.not_reports, 2);
+        assert_eq!(set.report.parse_failures.len(), 2);
+        assert_eq!(set.report.parse_failures[0].index, 1);
+        assert_eq!(set.report.parse_failures[0].failure.category, "missing-header");
+        assert_eq!(set.report.parse_failures[1].index, 2);
+        assert_eq!(set.report.parse_failures[1].failure.category, "empty");
+
+        let md = set.report.to_markdown();
+        assert!(md.contains("missing-header: 1"), "{md}");
+        assert!(md.contains("empty: 1"), "{md}");
+        let explain = set.report.explain();
+        assert!(explain.contains("discarded inputs:"), "{explain}");
+        assert!(explain.contains("input #1"), "{explain}");
+        assert!(explain.contains("garbage data"), "{explain}");
+    }
+
+    #[test]
+    fn merge_offsets_parse_failure_indices() {
+        let a = load_from_texts(["junk a", &write_run(&linear_test_run(0, 1e6, 60.0, 300.0))]).report;
+        let b = load_from_texts([&write_run(&linear_test_run(1, 1e6, 60.0, 300.0)), "junk b"]).report;
+        let c = load_from_texts(["junk c"]).report;
+
+        // Left-fold and right-fold must agree (associativity).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Indices are corpus-global: junk a at 0, junk b at 3, junk c at 4.
+        let indices: Vec<usize> = left.parse_failures.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn dir_parse_failures_carry_file_origins() {
+        let dir = std::env::temp_dir().join("spec_pipeline_origin_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a.txt"),
+            write_run(&linear_test_run(0, 1e6, 60.0, 300.0)),
+        )
+        .unwrap();
+        std::fs::write(dir.join("b.txt"), "not a report").unwrap();
+        let set = load_from_dir(&dir).unwrap();
+        assert_eq!(set.report.not_reports, 1);
+        assert_eq!(
+            set.report.parse_failures[0].origin.as_deref(),
+            Some("b.txt")
+        );
+        assert!(set.report.explain().contains("b.txt"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

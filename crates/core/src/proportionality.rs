@@ -80,7 +80,7 @@ pub fn ep_metrics(run: &RunResult) -> Option<EpMetrics> {
 
 /// Yearly EP trend per vendor, with a Mann–Kendall significance test on the
 /// yearly means.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpTrend {
     /// `(vendor, yearly mean EP score)` series.
     pub yearly_ep: Vec<(CpuVendor, Vec<(i32, f64)>)>,

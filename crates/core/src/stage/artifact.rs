@@ -1,0 +1,213 @@
+//! The typed artifacts flowing along the stage graph.
+//!
+//! Each is a plain serializable value (see [`super::codec`]); figure stages
+//! use the figure structs themselves as artifacts. [`ComparableArtifact`]
+//! stores *indices* into the valid set rather than cloned runs, so the
+//! comparable dataset is represented once.
+
+use std::collections::BTreeMap;
+
+use spec_format::ComparabilityIssue;
+use spec_model::RunResult;
+
+use super::codec::{Codec, CodecError, Reader, Writer};
+use crate::pipeline::{AnalysisSet, FilterReport};
+use crate::table1::Table1;
+
+/// The raw corpus: `(origin, text)` per input file. Origin is the file name
+/// for directory sources, `None` for synthetic submissions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusArtifact {
+    /// One entry per raw input, in corpus order.
+    pub items: Vec<(Option<String>, String)>,
+}
+
+impl Codec for CorpusArtifact {
+    fn encode(&self, w: &mut Writer) {
+        self.items.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CorpusArtifact {
+            items: Codec::decode(r)?,
+        })
+    }
+}
+
+/// Output of the Validate stage: the stage-1-valid runs plus a
+/// [`FilterReport`] whose stage-2 fields are still empty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidateArtifact {
+    /// Runs surviving parse + validity checks (the paper's 960).
+    pub valid: Vec<RunResult>,
+    /// Accounting through stage 1 (raw, not_reports + reasons, stage1).
+    pub report: FilterReport,
+}
+
+impl Codec for ValidateArtifact {
+    fn encode(&self, w: &mut Writer) {
+        self.valid.encode(w);
+        self.report.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ValidateArtifact {
+            valid: Codec::decode(r)?,
+            report: Codec::decode(r)?,
+        })
+    }
+}
+
+/// Output of the Comparable stage: which valid runs survive stage 2, by
+/// index, plus the per-category rejection counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComparableArtifact {
+    /// Indices into the valid set (ascending; the paper's 676).
+    pub indices: Vec<u32>,
+    /// Stage-2 rejections by category.
+    pub stage2: BTreeMap<ComparabilityIssue, usize>,
+}
+
+impl Codec for ComparableArtifact {
+    fn encode(&self, w: &mut Writer) {
+        self.indices.encode(w);
+        self.stage2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ComparableArtifact {
+            indices: Codec::decode(r)?,
+            stage2: Codec::decode(r)?,
+        })
+    }
+}
+
+/// Assemble the legacy [`AnalysisSet`] view from the Validate and
+/// Comparable artifacts. This is the bridge between the stage graph and
+/// every consumer of the old pipeline API — by construction it is
+/// value-identical to [`crate::pipeline::load_from_texts`].
+pub fn assemble_set(validate: &ValidateArtifact, comparable: &ComparableArtifact) -> AnalysisSet {
+    let runs: Vec<RunResult> = comparable
+        .indices
+        .iter()
+        .map(|&i| validate.valid[i as usize].clone())
+        .collect();
+    let mut report = validate.report.clone();
+    report.stage2 = comparable.stage2.clone();
+    report.comparable = runs.len();
+    AnalysisSet {
+        valid: validate.valid.clone(),
+        comparable: runs,
+        report,
+    }
+}
+
+/// Output of the Derive stage: everything the study needs beyond the
+/// figures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeriveArtifact {
+    /// Table I.
+    pub table1: Table1,
+    /// §IV correlation exploration.
+    pub correlation: crate::correlation::IdleCorrelationReport,
+    /// Energy-proportionality trend extension.
+    pub proportionality: crate::proportionality::EpTrend,
+}
+
+impl Codec for DeriveArtifact {
+    fn encode(&self, w: &mut Writer) {
+        self.table1.encode(w);
+        self.correlation.encode(w);
+        self.proportionality.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DeriveArtifact {
+            table1: Codec::decode(r)?,
+            correlation: Codec::decode(r)?,
+            proportionality: Codec::decode(r)?,
+        })
+    }
+}
+
+/// Output of an export stage: rendered text files, `(name, content)` in
+/// write order. A warm run writes these bytes verbatim, which is what makes
+/// cache hits byte-identical to cold runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilesArtifact {
+    /// Rendered files in write order.
+    pub files: Vec<(String, String)>,
+}
+
+impl Codec for FilesArtifact {
+    fn encode(&self, w: &mut Writer) {
+        self.files.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FilesArtifact {
+            files: Codec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{load_from_texts, stage1_validate, stage2_split};
+    use spec_format::write_run;
+    use spec_model::linear_test_run;
+
+    #[test]
+    fn assemble_matches_legacy_loader() {
+        let mut texts: Vec<String> = (0..40)
+            .map(|i| write_run(&linear_test_run(i, 1e6, 60.0, 300.0)))
+            .collect();
+        texts[3] = "junk".into();
+        let mut sparc = linear_test_run(99, 1e6, 60.0, 300.0);
+        sparc.system.cpu.name = "SPARC T3-1".into();
+        texts[11] = write_run(&sparc);
+
+        let legacy = load_from_texts(&texts);
+
+        let (valid, report) = stage1_validate(texts.iter().map(|t| (None::<String>, t)));
+        let (indices, stage2) = stage2_split(&valid);
+        let assembled = assemble_set(
+            &ValidateArtifact { valid, report },
+            &ComparableArtifact { indices, stage2 },
+        );
+
+        assert_eq!(assembled.report, legacy.report);
+        assert_eq!(assembled.valid, legacy.valid);
+        assert_eq!(assembled.comparable, legacy.comparable);
+    }
+
+    #[test]
+    fn artifacts_roundtrip_through_codec() {
+        use super::super::codec::{decode_from_slice, encode_to_vec};
+        let texts = [
+            write_run(&linear_test_run(0, 1e6, 60.0, 300.0)),
+            "junk".to_string(),
+        ];
+        let (valid, report) = stage1_validate(texts.iter().map(|t| (None::<String>, t)));
+        let (indices, stage2) = stage2_split(&valid);
+
+        let corpus = CorpusArtifact {
+            items: texts
+                .iter()
+                .map(|t| (Some("x.txt".to_string()), t.clone()))
+                .collect(),
+        };
+        let back: CorpusArtifact = decode_from_slice(&encode_to_vec(&corpus)).unwrap();
+        assert_eq!(back, corpus);
+
+        let validate = ValidateArtifact { valid, report };
+        let back: ValidateArtifact = decode_from_slice(&encode_to_vec(&validate)).unwrap();
+        assert_eq!(back, validate);
+
+        let comparable = ComparableArtifact { indices, stage2 };
+        let back: ComparableArtifact = decode_from_slice(&encode_to_vec(&comparable)).unwrap();
+        assert_eq!(back, comparable);
+
+        let files = FilesArtifact {
+            files: vec![("a.csv".into(), "x,y\n1,2\n".into())],
+        };
+        let back: FilesArtifact = decode_from_slice(&encode_to_vec(&files)).unwrap();
+        assert_eq!(back, files);
+    }
+}

@@ -1,0 +1,300 @@
+//! Content-addressed on-disk artifact cache.
+//!
+//! Every stage output is stored in one file under the cache root, named by
+//! the hex of its *key* — an [`fnv128`] hash over (code version, stage id,
+//! upstream artifact content hashes, stage parameters). The entry's header
+//! carries the *content hash* of the payload, so a warm run can derive
+//! downstream keys by reading 20-byte headers ([`ArtifactCache::peek_hash`])
+//! without decoding — or even reading — the payloads themselves.
+//!
+//! Entry layout: `b"SPT1"` magic ‖ 16-byte content hash ‖ codec payload.
+//! Writes go through a temp file + rename, so a crashed run never leaves a
+//! torn entry behind; malformed entries read as misses and are recomputed.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use spec_diag::TrendsError;
+
+use super::codec::{decode_from_slice, encode_to_vec, Codec};
+
+/// 128-bit stable content hash (FNV-1a).
+///
+/// `std::hash` is documented to be unstable across releases, so cache keys
+/// use a hand-rolled FNV-1a 128 instead: the same bytes hash identically on
+/// every build, which is what makes on-disk keys meaningful across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hash128(pub u128);
+
+impl Hash128 {
+    /// Lower-case hex, fixed 32 chars — used as the cache file name.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Big-endian bytes for embedding in entry headers.
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`Self::to_bytes`].
+    pub fn from_bytes(bytes: [u8; 16]) -> Hash128 {
+        Hash128(u128::from_be_bytes(bytes))
+    }
+}
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Streaming FNV-1a 128 hasher.
+#[derive(Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv128 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128::default()
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a length-prefixed field, so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn update_field(&mut self, bytes: &[u8]) -> &mut Self {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes)
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> Hash128 {
+        Hash128(self.state)
+    }
+}
+
+/// One-shot FNV-1a 128 of a byte slice.
+pub fn fnv128(bytes: &[u8]) -> Hash128 {
+    Fnv128::new().update(bytes).finish()
+}
+
+const MAGIC: &[u8; 4] = b"SPT1";
+const HEADER_LEN: usize = 4 + 16;
+
+/// The on-disk artifact store rooted at `--cache-dir`.
+#[derive(Clone, Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Open (creating if needed) a cache rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> spec_diag::Result<ArtifactCache> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| TrendsError::cache("cache", format!("create {}: {e}", root.display())))?;
+        Ok(ArtifactCache { root })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &Hash128) -> PathBuf {
+        self.root.join(format!("{}.art", key.hex()))
+    }
+
+    /// Read only an entry's header and return the payload's content hash —
+    /// enough to derive downstream stage keys without decoding the payload.
+    /// `Ok(None)` on miss or malformed entry.
+    pub fn peek_hash(&self, key: &Hash128) -> spec_diag::Result<Option<Hash128>> {
+        let path = self.entry_path(key);
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(
+                    TrendsError::cache("cache", format!("open {}: {e}", path.display()))
+                )
+            }
+        };
+        let mut header = [0u8; HEADER_LEN];
+        if file.read_exact(&mut header).is_err() || &header[..4] != MAGIC {
+            return Ok(None);
+        }
+        let mut hash = [0u8; 16];
+        hash.copy_from_slice(&header[4..]);
+        Ok(Some(Hash128::from_bytes(hash)))
+    }
+
+    /// Load and decode an entry. `Ok(None)` on miss or any malformed entry
+    /// (bad magic, hash mismatch, codec failure) — the caller recomputes
+    /// and overwrites.
+    pub fn load<T: Codec>(&self, key: &Hash128) -> spec_diag::Result<Option<(T, Hash128)>> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(
+                    TrendsError::cache("cache", format!("read {}: {e}", path.display()))
+                )
+            }
+        };
+        if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
+            return Ok(None);
+        }
+        let mut hash = [0u8; 16];
+        hash.copy_from_slice(&bytes[4..HEADER_LEN]);
+        let content_hash = Hash128::from_bytes(hash);
+        let payload = &bytes[HEADER_LEN..];
+        if fnv128(payload) != content_hash {
+            return Ok(None);
+        }
+        match decode_from_slice::<T>(payload) {
+            Ok(value) => Ok(Some((value, content_hash))),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Encode and store an artifact under `key`; returns its content hash.
+    /// Atomic: written to a temp file first, then renamed into place.
+    pub fn store<T: Codec>(&self, key: &Hash128, value: &T) -> spec_diag::Result<Hash128> {
+        let payload = encode_to_vec(value);
+        let content_hash = fnv128(&payload);
+        let path = self.entry_path(key);
+        let tmp = self.root.join(format!(".{}.tmp", key.hex()));
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(MAGIC)?;
+            file.write_all(&content_hash.to_bytes())?;
+            file.write_all(&payload)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            TrendsError::cache("cache", format!("write {}: {e}", path.display()))
+        })?;
+        Ok(content_hash)
+    }
+
+    /// Number of entries currently stored (for tests and `explain`).
+    pub fn len(&self) -> spec_diag::Result<usize> {
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| TrendsError::cache("cache", format!("list cache: {e}")))?;
+        let mut n = 0;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| TrendsError::cache("cache", format!("list cache: {e}")))?;
+            if entry.path().extension().is_some_and(|ext| ext == "art") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// True when no artifacts are stored.
+    pub fn is_empty(&self) -> spec_diag::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(name: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("spec_cache_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference value pinned so the on-disk format can never silently
+        // drift: changing the hash breaks every existing cache.
+        assert_eq!(
+            fnv128(b"hello").hex(),
+            "e3e1efd54283d94f7081314b599d31b3"
+        );
+        assert_eq!(fnv128(b"").0, FNV_OFFSET);
+        assert_ne!(fnv128(b"a"), fnv128(b"b"));
+    }
+
+    #[test]
+    fn field_framing_distinguishes_splits() {
+        let mut a = Fnv128::new();
+        a.update_field(b"ab").update_field(b"c");
+        let mut b = Fnv128::new();
+        b.update_field(b"a").update_field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn store_load_peek_roundtrip() {
+        let cache = tmp_cache("roundtrip");
+        let key = fnv128(b"stage-key");
+        assert_eq!(cache.peek_hash(&key).unwrap(), None);
+        assert!(cache.load::<Vec<u32>>(&key).unwrap().is_none());
+
+        let value: Vec<u32> = vec![1, 2, 3];
+        let stored_hash = cache.store(&key, &value).unwrap();
+        assert_eq!(cache.peek_hash(&key).unwrap(), Some(stored_hash));
+        let (loaded, loaded_hash) = cache.load::<Vec<u32>>(&key).unwrap().unwrap();
+        assert_eq!(loaded, value);
+        assert_eq!(loaded_hash, stored_hash);
+        assert_eq!(cache.len().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = tmp_cache("corrupt");
+        let key = fnv128(b"k");
+        cache.store(&key, &vec![7u32]).unwrap();
+        let path = cache.root().join(format!("{}.art", key.hex()));
+
+        // Flip a payload byte: content hash mismatch → miss.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load::<Vec<u32>>(&key).unwrap().is_none());
+
+        // Bad magic → miss, for both load and peek.
+        std::fs::write(&path, b"JUNKxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(cache.load::<Vec<u32>>(&key).unwrap().is_none());
+        assert_eq!(cache.peek_hash(&key).unwrap(), None);
+
+        // Recompute path: store overwrites the bad entry.
+        cache.store(&key, &vec![7u32]).unwrap();
+        assert!(cache.load::<Vec<u32>>(&key).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn wrong_type_decode_is_a_miss() {
+        let cache = tmp_cache("wrong_type");
+        let key = fnv128(b"k");
+        cache.store(&key, &"text".to_string()).unwrap();
+        // Decoding a String entry as Vec<u64> must fail cleanly (the length
+        // prefix reads as a huge vec length), not panic or alias.
+        assert!(cache.load::<Vec<u64>>(&key).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+}

@@ -1,0 +1,712 @@
+//! The pipeline driver: walks the stage DAG, memoizes artifacts in memory,
+//! and (when a cache is attached) persists every stage output under a
+//! content-addressed key.
+//!
+//! A stage's key is `fnv128(code version ‖ stage name ‖ upstream content
+//! hashes ‖ parameters)`. On a warm run the driver resolves upstream keys
+//! through header-only [`ArtifactCache::peek_hash`] reads, so e.g.
+//! `figures` after `analyze` decodes exactly one artifact (the rendered
+//! SVGs) and re-parses **nothing** — asserted by the stage-invocation
+//! counters in [`StageStats`].
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use spec_model::RunResult;
+use spec_ssj::Settings;
+use spec_synth::{generate_dataset, SynthConfig};
+
+use super::artifact::{
+    assemble_set, ComparableArtifact, CorpusArtifact, DeriveArtifact, FilesArtifact,
+    ValidateArtifact,
+};
+use super::cache::{fnv128, ArtifactCache, Fnv128, Hash128};
+use super::codec::{encode_to_vec, Codec};
+use super::graph::{
+    ComparableStage, DeriveStage, ExportDataStage, ExportFiguresStage, Fig1Stage, Fig2Stage,
+    Fig3Stage, Fig4Stage, Fig5Stage, Fig6Stage, Stage, StageId, ValidateStage,
+};
+use super::CODE_VERSION;
+use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
+use crate::pipeline::{AnalysisSet, FilterReport};
+use crate::report::Study;
+
+/// Where the raw corpus comes from.
+#[derive(Clone, Debug)]
+pub enum CorpusSource {
+    /// The built-in synthetic dataset; the corpus is a pure function of the
+    /// config, so its cache key needs no file reads at all.
+    Synthetic(SynthConfig),
+    /// A directory of `*.txt` report files (read in sorted order). The
+    /// files are read and content-hashed every run — reading is not
+    /// parsing — so edits to the directory invalidate downstream artifacts
+    /// automatically.
+    Dir(PathBuf),
+    /// An in-memory corpus of `(origin, text)` pairs (tests, embedding).
+    Memory(Vec<(Option<String>, String)>),
+}
+
+/// Per-stage invocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Times the stage's compute function actually ran.
+    pub executed: usize,
+    /// Times the stage was satisfied from the artifact cache.
+    pub hits: usize,
+}
+
+/// Drives the stage graph for one configuration (source, settings, seed).
+///
+/// All CLI commands, the bench harness and the figure writers go through
+/// one driver so the cascade is computed (or fetched) exactly once per
+/// process, whatever combination of outputs is requested.
+pub struct PipelineDriver {
+    source: CorpusSource,
+    settings: Settings,
+    seed: u64,
+    cache: Option<ArtifactCache>,
+    stats: BTreeMap<StageId, StageStats>,
+    hashes: BTreeMap<StageId, Hash128>,
+    corpus: Option<Rc<CorpusArtifact>>,
+    validate: Option<Rc<ValidateArtifact>>,
+    comparable: Option<Rc<ComparableArtifact>>,
+    comparable_runs: Option<Rc<Vec<RunResult>>>,
+    fig1: Option<Rc<fig1::Fig1Features>>,
+    fig2: Option<Rc<fig2::Fig2Power>>,
+    fig3: Option<Rc<fig3::Fig3Efficiency>>,
+    fig4: Option<Rc<fig4::Fig4Proportionality>>,
+    fig5: Option<Rc<fig5::Fig5Idle>>,
+    fig6: Option<Rc<fig6::Fig6Extrapolated>>,
+    derive: Option<Rc<DeriveArtifact>>,
+    export_data: Option<Rc<FilesArtifact>>,
+    export_figures: Option<Rc<FilesArtifact>>,
+}
+
+impl PipelineDriver {
+    /// A driver with no cache attached (everything computes in memory).
+    pub fn new(source: CorpusSource, settings: Settings, seed: u64) -> PipelineDriver {
+        PipelineDriver {
+            source,
+            settings,
+            seed,
+            cache: None,
+            stats: BTreeMap::new(),
+            hashes: BTreeMap::new(),
+            corpus: None,
+            validate: None,
+            comparable: None,
+            comparable_runs: None,
+            fig1: None,
+            fig2: None,
+            fig3: None,
+            fig4: None,
+            fig5: None,
+            fig6: None,
+            derive: None,
+            export_data: None,
+            export_figures: None,
+        }
+    }
+
+    /// Attach an on-disk artifact cache (`--cache-dir`).
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> PipelineDriver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    /// Per-stage invocation counters for this driver's lifetime.
+    pub fn stats(&self) -> &BTreeMap<StageId, StageStats> {
+        &self.stats
+    }
+
+    /// Total stage executions (0 on a fully warm run).
+    pub fn executed_total(&self) -> usize {
+        self.stats.values().map(|s| s.executed).sum()
+    }
+
+    /// Total cache hits.
+    pub fn hits_total(&self) -> usize {
+        self.stats.values().map(|s| s.hits).sum()
+    }
+
+    fn stat_mut(&mut self, id: StageId) -> &mut StageStats {
+        self.stats.entry(id).or_default()
+    }
+
+    fn stage_key(&self, id: StageId, deps: &[Hash128], salt: &[u8]) -> Hash128 {
+        let mut h = Fnv128::new();
+        h.update_field(CODE_VERSION.as_bytes());
+        h.update_field(id.name().as_bytes());
+        for dep in deps {
+            h.update_field(&dep.to_bytes());
+        }
+        h.update_field(salt);
+        h.finish()
+    }
+
+    /// Resolve a stage's content hash as cheaply as possible: memo → cache
+    /// header peek → compute (and store).
+    fn resolve_hash<T: Codec>(
+        &mut self,
+        id: StageId,
+        key: Hash128,
+        slot: fn(&mut PipelineDriver) -> &mut Option<Rc<T>>,
+        compute: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<T>,
+    ) -> spec_diag::Result<Hash128> {
+        if let Some(&h) = self.hashes.get(&id) {
+            return Ok(h);
+        }
+        if let Some(cache) = &self.cache {
+            if let Some(h) = cache.peek_hash(&key)? {
+                self.stat_mut(id).hits += 1;
+                self.hashes.insert(id, h);
+                return Ok(h);
+            }
+        }
+        let value = compute(self)?;
+        self.stat_mut(id).executed += 1;
+        let h = match &self.cache {
+            Some(cache) => cache.store(&key, &value)?,
+            None => fnv128(&encode_to_vec(&value)),
+        };
+        self.hashes.insert(id, h);
+        *slot(self) = Some(Rc::new(value));
+        Ok(h)
+    }
+
+    /// Resolve a stage's artifact value: memo → cache decode → compute
+    /// (and store).
+    fn resolve_value<T: Codec>(
+        &mut self,
+        id: StageId,
+        key: Hash128,
+        slot: fn(&mut PipelineDriver) -> &mut Option<Rc<T>>,
+        compute: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<T>,
+    ) -> spec_diag::Result<Rc<T>> {
+        if let Some(v) = slot(self).clone() {
+            return Ok(v);
+        }
+        if let Some(cache) = self.cache.clone() {
+            if let Some((value, h)) = cache.load::<T>(&key)? {
+                if !self.hashes.contains_key(&id) {
+                    self.stat_mut(id).hits += 1;
+                }
+                self.hashes.insert(id, h);
+                let rc = Rc::new(value);
+                *slot(self) = Some(rc.clone());
+                return Ok(rc);
+            }
+        }
+        let value = compute(self)?;
+        self.stat_mut(id).executed += 1;
+        let h = match &self.cache {
+            Some(cache) => cache.store(&key, &value)?,
+            None => fnv128(&encode_to_vec(&value)),
+        };
+        self.hashes.insert(id, h);
+        let rc = Rc::new(value);
+        *slot(self) = Some(rc.clone());
+        Ok(rc)
+    }
+
+    // ------------------------------------------------------------ ingest --
+
+    fn synthetic_corpus_key(&self, config: &SynthConfig) -> Hash128 {
+        let mut h = Fnv128::new();
+        h.update_field(CODE_VERSION.as_bytes());
+        h.update_field(StageId::Ingest.name().as_bytes());
+        h.update_field(b"synthetic");
+        h.update_field(&config.seed.to_le_bytes());
+        // Settings has no stable binary layout of its own; its Debug
+        // rendering covers every field and only changes when the struct
+        // does, which is exactly when old artifacts must be invalidated.
+        h.update_field(format!("{:?}", config.settings).as_bytes());
+        h.finish()
+    }
+
+    fn generate_synthetic(config: &SynthConfig) -> CorpusArtifact {
+        let dataset = generate_dataset(config);
+        CorpusArtifact {
+            items: dataset.texts().map(|t| (None, t.to_string())).collect(),
+        }
+    }
+
+    fn read_dir_corpus(dir: &std::path::Path) -> spec_diag::Result<CorpusArtifact> {
+        let map_io =
+            |e: std::io::Error| spec_diag::TrendsError::io("ingest", &e).with_origin(dir.display().to_string());
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(map_io)?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(map_io)?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+            .collect();
+        entries.sort();
+        let mut items = Vec::with_capacity(entries.len());
+        for path in entries {
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                spec_diag::TrendsError::io("ingest", &e).with_origin(path.display().to_string())
+            })?;
+            let origin = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            items.push((origin, text));
+        }
+        Ok(CorpusArtifact { items })
+    }
+
+    /// Content hash of the corpus, computed as cheaply as the source allows.
+    fn corpus_hash(&mut self) -> spec_diag::Result<Hash128> {
+        if let Some(&h) = self.hashes.get(&StageId::Ingest) {
+            return Ok(h);
+        }
+        match self.source.clone() {
+            CorpusSource::Synthetic(config) => {
+                let key = self.synthetic_corpus_key(&config);
+                self.resolve_hash(StageId::Ingest, key, |me| &mut me.corpus, move |_| {
+                    Ok(Self::generate_synthetic(&config))
+                })
+            }
+            CorpusSource::Dir(dir) => {
+                // Reading the files *is* the ingest work for a directory
+                // source; the content hash doubles as the cache key input.
+                let artifact = Self::read_dir_corpus(&dir)?;
+                let h = fnv128(&encode_to_vec(&artifact));
+                self.stat_mut(StageId::Ingest).executed += 1;
+                self.hashes.insert(StageId::Ingest, h);
+                self.corpus = Some(Rc::new(artifact));
+                Ok(h)
+            }
+            CorpusSource::Memory(items) => {
+                let artifact = CorpusArtifact { items };
+                let h = fnv128(&encode_to_vec(&artifact));
+                self.hashes.insert(StageId::Ingest, h);
+                self.corpus = Some(Rc::new(artifact));
+                Ok(h)
+            }
+        }
+    }
+
+    fn corpus(&mut self) -> spec_diag::Result<Rc<CorpusArtifact>> {
+        if let Some(c) = &self.corpus {
+            return Ok(c.clone());
+        }
+        match self.source.clone() {
+            CorpusSource::Synthetic(config) => {
+                let key = self.synthetic_corpus_key(&config);
+                self.resolve_value(StageId::Ingest, key, |me| &mut me.corpus, move |_| {
+                    Ok(Self::generate_synthetic(&config))
+                })
+            }
+            CorpusSource::Dir(_) | CorpusSource::Memory(_) => {
+                self.corpus_hash()?;
+                Ok(self
+                    .corpus
+                    .clone()
+                    .expect("corpus_hash materializes dir/memory corpora"))
+            }
+        }
+    }
+
+    // -------------------------------------------------- cascade stages ----
+
+    fn validate_key(&mut self) -> spec_diag::Result<Hash128> {
+        let ck = self.corpus_hash()?;
+        Ok(self.stage_key(StageId::Validate, &[ck], &[]))
+    }
+
+    fn validate_hash(&mut self) -> spec_diag::Result<Hash128> {
+        if let Some(&h) = self.hashes.get(&StageId::Validate) {
+            return Ok(h);
+        }
+        let key = self.validate_key()?;
+        self.resolve_hash(StageId::Validate, key, |me| &mut me.validate, |me| {
+            let corpus = me.corpus()?;
+            ValidateStage::run(&corpus)
+        })
+    }
+
+    /// The Validate artifact (valid runs + stage-1 accounting).
+    pub fn validate(&mut self) -> spec_diag::Result<Rc<ValidateArtifact>> {
+        if let Some(v) = &self.validate {
+            return Ok(v.clone());
+        }
+        let key = self.validate_key()?;
+        self.resolve_value(StageId::Validate, key, |me| &mut me.validate, |me| {
+            let corpus = me.corpus()?;
+            ValidateStage::run(&corpus)
+        })
+    }
+
+    fn comparable_key(&mut self) -> spec_diag::Result<Hash128> {
+        let vh = self.validate_hash()?;
+        Ok(self.stage_key(StageId::Comparable, &[vh], &[]))
+    }
+
+    fn comparable_hash(&mut self) -> spec_diag::Result<Hash128> {
+        if let Some(&h) = self.hashes.get(&StageId::Comparable) {
+            return Ok(h);
+        }
+        let key = self.comparable_key()?;
+        self.resolve_hash(StageId::Comparable, key, |me| &mut me.comparable, |me| {
+            let validate = me.validate()?;
+            ComparableStage::run(&validate)
+        })
+    }
+
+    /// The Comparable artifact (indices + stage-2 accounting).
+    pub fn comparable(&mut self) -> spec_diag::Result<Rc<ComparableArtifact>> {
+        if let Some(c) = &self.comparable {
+            return Ok(c.clone());
+        }
+        let key = self.comparable_key()?;
+        self.resolve_value(StageId::Comparable, key, |me| &mut me.comparable, |me| {
+            let validate = me.validate()?;
+            ComparableStage::run(&validate)
+        })
+    }
+
+    /// The comparable runs, materialized once from (Validate, Comparable).
+    fn comparable_runs(&mut self) -> spec_diag::Result<Rc<Vec<RunResult>>> {
+        if let Some(r) = &self.comparable_runs {
+            return Ok(r.clone());
+        }
+        let validate = self.validate()?;
+        let comparable = self.comparable()?;
+        let runs: Vec<RunResult> = comparable
+            .indices
+            .iter()
+            .map(|&i| validate.valid[i as usize].clone())
+            .collect();
+        let rc = Rc::new(runs);
+        self.comparable_runs = Some(rc.clone());
+        Ok(rc)
+    }
+
+    /// The legacy [`AnalysisSet`] view, assembled from stage artifacts.
+    pub fn analysis_set(&mut self) -> spec_diag::Result<AnalysisSet> {
+        let validate = self.validate()?;
+        let comparable = self.comparable()?;
+        Ok(assemble_set(&validate, &comparable))
+    }
+
+    /// The complete filter accounting (both stages), without materializing
+    /// the comparable runs — what `spec-trends explain` prints.
+    pub fn filter_report(&mut self) -> spec_diag::Result<FilterReport> {
+        let validate = self.validate()?;
+        let comparable = self.comparable()?;
+        let mut report = validate.report.clone();
+        report.stage2 = comparable.stage2.clone();
+        report.comparable = comparable.indices.len();
+        Ok(report)
+    }
+
+    // ---------------------------------------------------- figure stages ---
+
+    fn figure_key(&mut self, id: StageId) -> spec_diag::Result<Hash128> {
+        let vh = self.validate_hash()?;
+        if id == StageId::Fig1 {
+            // Figure 1 is computed over the *valid* set only.
+            return Ok(self.stage_key(id, &[vh], &[]));
+        }
+        let ch = self.comparable_hash()?;
+        Ok(self.stage_key(id, &[vh, ch], &[]))
+    }
+}
+
+macro_rules! figure_accessors {
+    ($value_fn:ident, $hash_fn:ident, $slot:ident, $stage:ty, $out:ty, $input:ident) => {
+        impl PipelineDriver {
+            /// The figure artifact.
+            pub fn $value_fn(&mut self) -> spec_diag::Result<Rc<$out>> {
+                if let Some(v) = &self.$slot {
+                    return Ok(v.clone());
+                }
+                let key = self.figure_key(<$stage>::ID)?;
+                self.resolve_value(<$stage>::ID, key, |me| &mut me.$slot, |me| {
+                    let runs = me.$input()?;
+                    <$stage>::run(&runs)
+                })
+            }
+
+            fn $hash_fn(&mut self) -> spec_diag::Result<Hash128> {
+                if let Some(&h) = self.hashes.get(&<$stage>::ID) {
+                    return Ok(h);
+                }
+                let key = self.figure_key(<$stage>::ID)?;
+                self.resolve_hash(<$stage>::ID, key, |me| &mut me.$slot, |me| {
+                    let runs = me.$input()?;
+                    <$stage>::run(&runs)
+                })
+            }
+        }
+    };
+}
+
+figure_accessors!(fig1, fig1_hash, fig1, Fig1Stage, fig1::Fig1Features, valid_runs_for_fig1);
+figure_accessors!(fig2, fig2_hash, fig2, Fig2Stage, fig2::Fig2Power, comparable_runs);
+figure_accessors!(fig3, fig3_hash, fig3, Fig3Stage, fig3::Fig3Efficiency, comparable_runs);
+figure_accessors!(fig4, fig4_hash, fig4, Fig4Stage, fig4::Fig4Proportionality, comparable_runs);
+figure_accessors!(fig5, fig5_hash, fig5, Fig5Stage, fig5::Fig5Idle, comparable_runs);
+figure_accessors!(fig6, fig6_hash, fig6, Fig6Stage, fig6::Fig6Extrapolated, comparable_runs);
+
+impl PipelineDriver {
+    /// The valid runs, for Figure 1 (borrows the Validate artifact).
+    fn valid_runs_for_fig1(&mut self) -> spec_diag::Result<Rc<Vec<RunResult>>> {
+        let validate = self.validate()?;
+        Ok(Rc::new(validate.valid.clone()))
+    }
+
+    fn derive_key(&mut self) -> spec_diag::Result<Hash128> {
+        let vh = self.validate_hash()?;
+        let ch = self.comparable_hash()?;
+        let mut salt = Vec::new();
+        salt.extend_from_slice(&self.seed.to_le_bytes());
+        salt.extend_from_slice(format!("{:?}", self.settings).as_bytes());
+        Ok(self.stage_key(StageId::Derive, &[vh, ch], &salt))
+    }
+
+    /// The Derive artifact (Table I, correlation, proportionality).
+    pub fn derive(&mut self) -> spec_diag::Result<Rc<DeriveArtifact>> {
+        if let Some(d) = &self.derive {
+            return Ok(d.clone());
+        }
+        let key = self.derive_key()?;
+        let settings = self.settings.clone();
+        let seed = self.seed;
+        self.resolve_value(StageId::Derive, key, |me| &mut me.derive, move |me| {
+            let runs = me.comparable_runs()?;
+            DeriveStage::run((&runs, &settings, seed))
+        })
+    }
+
+    fn derive_hash(&mut self) -> spec_diag::Result<Hash128> {
+        if let Some(&h) = self.hashes.get(&StageId::Derive) {
+            return Ok(h);
+        }
+        let key = self.derive_key()?;
+        let settings = self.settings.clone();
+        let seed = self.seed;
+        self.resolve_hash(StageId::Derive, key, |me| &mut me.derive, move |me| {
+            let runs = me.comparable_runs()?;
+            DeriveStage::run((&runs, &settings, seed))
+        })
+    }
+
+    /// The full [`Study`], assembled from stage artifacts. Identical to
+    /// `run_study(load_from_texts(...), ...)` by construction.
+    pub fn study(&mut self) -> spec_diag::Result<Study> {
+        let set = self.analysis_set()?;
+        let fig1 = self.fig1()?;
+        let fig2 = self.fig2()?;
+        let fig3 = self.fig3()?;
+        let fig4 = self.fig4()?;
+        let fig5 = self.fig5()?;
+        let fig6 = self.fig6()?;
+        let derive = self.derive()?;
+        Ok(Study {
+            set,
+            fig1: (*fig1).clone(),
+            fig2: (*fig2).clone(),
+            fig3: (*fig3).clone(),
+            fig4: (*fig4).clone(),
+            fig5: (*fig5).clone(),
+            fig6: (*fig6).clone(),
+            table1: derive.table1.clone(),
+            correlation: derive.correlation.clone(),
+            proportionality: derive.proportionality.clone(),
+        })
+    }
+
+    fn export_key(&mut self, id: StageId) -> spec_diag::Result<Hash128> {
+        let deps = [
+            self.validate_hash()?,
+            self.comparable_hash()?,
+            self.fig1_hash()?,
+            self.fig2_hash()?,
+            self.fig3_hash()?,
+            self.fig4_hash()?,
+            self.fig5_hash()?,
+            self.fig6_hash()?,
+            self.derive_hash()?,
+        ];
+        Ok(self.stage_key(id, &deps, &[]))
+    }
+
+    /// The rendered figure SVGs. On a warm run this decodes one cache
+    /// entry and executes no stage at all.
+    pub fn export_figures(&mut self) -> spec_diag::Result<Rc<FilesArtifact>> {
+        if let Some(f) = &self.export_figures {
+            return Ok(f.clone());
+        }
+        let key = self.export_key(StageId::ExportFigures)?;
+        self.resolve_value(
+            StageId::ExportFigures,
+            key,
+            |me| &mut me.export_figures,
+            |me| {
+                let study = me.study()?;
+                ExportFiguresStage::run(&study)
+            },
+        )
+    }
+
+    /// The rendered CSV exports (same warm-run property as figures).
+    pub fn export_data(&mut self) -> spec_diag::Result<Rc<FilesArtifact>> {
+        if let Some(f) = &self.export_data {
+            return Ok(f.clone());
+        }
+        let key = self.export_key(StageId::ExportData)?;
+        self.resolve_value(
+            StageId::ExportData,
+            key,
+            |me| &mut me.export_data,
+            |me| {
+                let study = me.study()?;
+                ExportDataStage::run(&study)
+            },
+        )
+    }
+
+    /// Write all figure SVGs into `dir`; returns the written paths.
+    pub fn write_figures(&mut self, dir: &std::path::Path) -> spec_diag::Result<Vec<PathBuf>> {
+        let files = self.export_figures()?;
+        super::write_files(dir, &files.files)
+            .map_err(|e| spec_diag::TrendsError::io("export-figures", &e))
+    }
+
+    /// Write all CSV exports into `dir`; returns the written paths.
+    pub fn write_data(&mut self, dir: &std::path::Path) -> spec_diag::Result<Vec<PathBuf>> {
+        let files = self.export_data()?;
+        super::write_files(dir, &files.files)
+            .map_err(|e| spec_diag::TrendsError::io("export-data", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_format::write_run;
+    use spec_model::linear_test_run;
+
+    fn memory_source(n: u32) -> CorpusSource {
+        let mut items: Vec<(Option<String>, String)> = (0..n)
+            .map(|i| (None, write_run(&linear_test_run(i, 1e6, 60.0, 300.0))))
+            .collect();
+        items.push((Some("junk.txt".to_string()), "not a report".to_string()));
+        let mut sparc = linear_test_run(900, 1e6, 60.0, 300.0);
+        sparc.system.cpu.name = "SPARC T3-1".into();
+        items.push((None, write_run(&sparc)));
+        CorpusSource::Memory(items)
+    }
+
+    fn driver(cache: Option<ArtifactCache>) -> PipelineDriver {
+        let d = PipelineDriver::new(memory_source(20), Settings::fast(), 7);
+        match cache {
+            Some(c) => d.with_cache(c),
+            None => d,
+        }
+    }
+
+    fn tmp_cache(name: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("spec_driver_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn uncached_driver_matches_legacy_pipeline() {
+        let mut d = driver(None);
+        let set = d.analysis_set().unwrap();
+        assert_eq!(set.report.raw, 22);
+        assert_eq!(set.report.not_reports, 1);
+        assert_eq!(set.valid.len(), 21);
+        assert_eq!(set.comparable.len(), 20);
+        assert_eq!(set.report.parse_failures[0].origin.as_deref(), Some("junk.txt"));
+        // Each cascade stage executed exactly once despite repeated access.
+        let _ = d.analysis_set().unwrap();
+        let _ = d.filter_report().unwrap();
+        assert_eq!(d.stats()[&StageId::Validate].executed, 1);
+        assert_eq!(d.stats()[&StageId::Comparable].executed, 1);
+    }
+
+    #[test]
+    fn warm_run_executes_nothing_and_is_identical() {
+        let cache = tmp_cache("warm");
+
+        let mut cold = driver(Some(cache.clone()));
+        let cold_files = cold.export_figures().unwrap();
+        assert!(cold.executed_total() > 0);
+
+        let mut warm = driver(Some(cache.clone()));
+        let warm_files = warm.export_figures().unwrap();
+        assert_eq!(warm.executed_total(), 0, "warm run must execute no stage");
+        assert!(warm.hits_total() > 0);
+        assert_eq!(warm_files.files, cold_files.files);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corpus_change_invalidates_downstream() {
+        let cache = tmp_cache("invalidate");
+        let mut a = driver(Some(cache.clone()));
+        let _ = a.export_figures().unwrap();
+
+        let mut items = match memory_source(20) {
+            CorpusSource::Memory(items) => items,
+            _ => unreachable!(),
+        };
+        items.push((None, "another junk file".to_string()));
+        let mut b =
+            PipelineDriver::new(CorpusSource::Memory(items), Settings::fast(), 7).with_cache(cache.clone());
+        let _ = b.export_figures().unwrap();
+        assert!(
+            b.stats()[&StageId::Validate].executed == 1,
+            "changed corpus must re-validate"
+        );
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn seed_only_affects_derive() {
+        let cache = tmp_cache("seed");
+        let mut a = driver(Some(cache.clone()));
+        let _ = a.study().unwrap();
+
+        let mut b = PipelineDriver::new(memory_source(20), Settings::fast(), 8)
+            .with_cache(cache.clone());
+        let _ = b.study().unwrap();
+        assert_eq!(b.stats()[&StageId::Validate].executed, 0);
+        assert_eq!(b.stats()[&StageId::Fig2].executed, 0);
+        assert_eq!(b.stats()[&StageId::Derive].executed, 1, "new seed recomputes derive");
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn driver_study_equals_run_study() {
+        let items = match memory_source(20) {
+            CorpusSource::Memory(items) => items,
+            _ => unreachable!(),
+        };
+        let legacy_set =
+            crate::pipeline::load_from_named_texts(items.iter().map(|(o, t)| (o.clone(), t)));
+        let legacy = crate::report::run_study(legacy_set, &Settings::fast(), 7);
+
+        let mut d = driver(None);
+        let study = d.study().unwrap();
+        assert_eq!(study.set.report, legacy.set.report);
+        assert_eq!(study.to_markdown(), legacy.to_markdown());
+        assert_eq!(
+            study.figure_files(),
+            legacy.figure_files(),
+            "figure SVGs must match the legacy path byte for byte"
+        );
+        assert_eq!(study.data_files(), legacy.data_files());
+    }
+}

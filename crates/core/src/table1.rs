@@ -13,7 +13,7 @@ use spec_synth::lineup::{Generation, Sku, AMD_GENERATIONS, INTEL_GENERATIONS};
 use spec_synth::params::nominal_sut_model;
 
 /// One benchmark row of Table I for one system.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table1Entry {
     /// Benchmark label as in the paper.
     pub benchmark: &'static str,
@@ -32,7 +32,7 @@ pub struct Table1Entry {
 }
 
 /// The reproduced Table I.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table1 {
     /// Intel system description.
     pub intel_system: SystemConfig,
@@ -118,6 +118,15 @@ fn lenovo_system(
     }
 }
 
+/// The benchmark names of Table I's three rows, in row order. Kept as a
+/// named constant so cached artifacts can re-intern the `&'static str`
+/// fields on decode.
+pub const BENCHMARK_NAMES: [&str; 3] = [
+    "SPECpower_ssj2008 (overall ssj_ops/W)",
+    "SPEC CPU 2017 FP Rate (base)",
+    "SPEC CPU 2017 Int Rate (base)",
+];
+
 /// Reproduce Table I. `settings`/`seed` control the two SSJ simulations.
 pub fn compute(settings: &Settings, seed: u64) -> Table1 {
     let (intel_gen, intel_sku) =
@@ -143,7 +152,7 @@ pub fn compute(settings: &Settings, seed: u64) -> Table1 {
 
     let entries = vec![
         Table1Entry {
-            benchmark: "SPECpower_ssj2008 (overall ssj_ops/W)",
+            benchmark: BENCHMARK_NAMES[0],
             intel: intel_ssj,
             amd: amd_ssj,
             factor: amd_ssj / intel_ssj,
@@ -152,7 +161,7 @@ pub fn compute(settings: &Settings, seed: u64) -> Table1 {
             paper_amd: 31_634.0,
         },
         Table1Entry {
-            benchmark: "SPEC CPU 2017 FP Rate (base)",
+            benchmark: BENCHMARK_NAMES[1],
             intel: intel_fp,
             amd: amd_fp,
             factor: amd_fp / intel_fp,
@@ -161,7 +170,7 @@ pub fn compute(settings: &Settings, seed: u64) -> Table1 {
             paper_amd: 1420.0,
         },
         Table1Entry {
-            benchmark: "SPEC CPU 2017 Int Rate (base)",
+            benchmark: BENCHMARK_NAMES[2],
             intel: intel_int,
             amd: amd_int,
             factor: amd_int / intel_int,

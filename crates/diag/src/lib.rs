@@ -1,0 +1,272 @@
+//! # spec-diag
+//!
+//! The workspace-wide diagnostics type. Every fallible pipeline path —
+//! parsing a report file, validating it, a dataframe operation, an artifact
+//! cache lookup, a CLI I/O failure — produces a [`TrendsError`] that says
+//! *which stage* failed, *which input* it was working on, and a
+//! *categorized cause* rather than a bare string. The §II filter cascade
+//! used to discard exactly this information (`Err(_) => not_reports`); the
+//! `spec-trends explain` view surfaces it.
+//!
+//! Std-only by design: this crate sits below `spec-format`, `tinyframe`,
+//! `spec-analysis` and the CLI in the dependency DAG, so it cannot depend
+//! on anything but `std`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::fmt;
+
+/// A position inside a source text, for parser diagnostics.
+///
+/// Lines are 1-based (editor convention); `column` is a 1-based byte offset
+/// within the line when known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based byte column within the line, when known.
+    pub column: Option<u32>,
+}
+
+impl Span {
+    /// A span covering the given 1-based line.
+    pub const fn line(line: u32) -> Span {
+        Span { line, column: None }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.column {
+            Some(col) => write!(f, "{}:{}", self.line, col),
+            None => write!(f, "{}", self.line),
+        }
+    }
+}
+
+/// Categorized cause of a [`TrendsError`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ErrorKind {
+    /// A report text could not be parsed at all (stage-0 of the cascade).
+    Parse {
+        /// Stable machine-readable category, e.g. `"missing-header"`.
+        category: &'static str,
+        /// Human-readable detail (offending snippet, expectations).
+        detail: String,
+        /// Where in the input the problem was detected, when known.
+        span: Option<Span>,
+    },
+    /// A parsed report failed the §II stage-1 validity checks.
+    Validity {
+        /// The labels of every validity category the run fell into.
+        issues: Vec<String>,
+    },
+    /// A valid run failed the §II stage-2 comparability filters.
+    Comparability {
+        /// The labels of every comparability category the run fell into.
+        issues: Vec<String>,
+    },
+    /// An operating-system I/O failure (file read/write, directory walk).
+    Io {
+        /// The failing `std::io::Error` rendered to text.
+        detail: String,
+    },
+    /// A dataframe/column operation failed (wraps `tinyframe`'s error).
+    Data {
+        /// The failing operation rendered to text.
+        detail: String,
+    },
+    /// The artifact cache refused or failed to decode an entry.
+    Cache {
+        /// What went wrong (corrupt header, codec mismatch, version skew).
+        detail: String,
+    },
+    /// Invalid configuration or command-line usage.
+    Config {
+        /// What the caller got wrong.
+        detail: String,
+    },
+}
+
+impl ErrorKind {
+    /// Stable machine-readable category name of this kind.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse { category, .. } => category,
+            ErrorKind::Validity { .. } => "validity",
+            ErrorKind::Comparability { .. } => "comparability",
+            ErrorKind::Io { .. } => "io",
+            ErrorKind::Data { .. } => "data",
+            ErrorKind::Cache { .. } => "cache",
+            ErrorKind::Config { .. } => "config",
+        }
+    }
+}
+
+/// The workspace-wide pipeline error: which stage failed, on which input,
+/// and why (categorized).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendsError {
+    /// The pipeline stage that produced the error (`"ingest"`,
+    /// `"validate"`, `"export"`, …).
+    pub stage: &'static str,
+    /// The file or input identifier the stage was processing, when known.
+    pub origin: Option<String>,
+    /// Categorized cause.
+    pub kind: ErrorKind,
+}
+
+impl TrendsError {
+    /// Build an error for `stage` with the given kind and no origin.
+    pub fn new(stage: &'static str, kind: ErrorKind) -> TrendsError {
+        TrendsError {
+            stage,
+            origin: None,
+            kind,
+        }
+    }
+
+    /// Attach the originating file/input identifier.
+    #[must_use]
+    pub fn with_origin(mut self, origin: impl Into<String>) -> TrendsError {
+        self.origin = Some(origin.into());
+        self
+    }
+
+    /// Shorthand for an I/O failure in `stage`.
+    pub fn io(stage: &'static str, err: &std::io::Error) -> TrendsError {
+        TrendsError::new(
+            stage,
+            ErrorKind::Io {
+                detail: err.to_string(),
+            },
+        )
+    }
+
+    /// Shorthand for a cache failure in `stage`.
+    pub fn cache(stage: &'static str, detail: impl Into<String>) -> TrendsError {
+        TrendsError::new(
+            stage,
+            ErrorKind::Cache {
+                detail: detail.into(),
+            },
+        )
+    }
+
+    /// Shorthand for a configuration/usage error in `stage`.
+    pub fn config(stage: &'static str, detail: impl Into<String>) -> TrendsError {
+        TrendsError::new(
+            stage,
+            ErrorKind::Config {
+                detail: detail.into(),
+            },
+        )
+    }
+
+    /// The process exit code this error maps to at the CLI boundary:
+    /// usage/configuration errors exit 2 (like `getopt`), everything else 1.
+    pub fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Config { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for TrendsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.stage)?;
+        if let Some(origin) = &self.origin {
+            write!(f, ": {origin}")?;
+        }
+        match &self.kind {
+            ErrorKind::Parse {
+                category,
+                detail,
+                span,
+            } => {
+                if let Some(span) = span {
+                    write!(f, ":{span}")?;
+                }
+                write!(f, ": parse error ({category}): {detail}")
+            }
+            ErrorKind::Validity { issues } => {
+                write!(f, ": failed validity checks: {}", issues.join("; "))
+            }
+            ErrorKind::Comparability { issues } => {
+                write!(f, ": failed comparability filters: {}", issues.join("; "))
+            }
+            ErrorKind::Io { detail } => write!(f, ": io error: {detail}"),
+            ErrorKind::Data { detail } => write!(f, ": data error: {detail}"),
+            ErrorKind::Cache { detail } => write!(f, ": cache error: {detail}"),
+            ErrorKind::Config { detail } => write!(f, ": {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TrendsError {}
+
+/// Convenient result alias used by pipeline stages.
+pub type Result<T> = std::result::Result<T, TrendsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_origin_span() {
+        let err = TrendsError::new(
+            "ingest",
+            ErrorKind::Parse {
+                category: "missing-header",
+                detail: "first line is \"hello\"".into(),
+                span: Some(Span::line(1)),
+            },
+        )
+        .with_origin("r0042.txt");
+        let text = err.to_string();
+        assert!(text.contains("ingest"), "{text}");
+        assert!(text.contains("r0042.txt"), "{text}");
+        assert!(text.contains(":1:"), "{text}");
+        assert!(text.contains("missing-header"), "{text}");
+    }
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(TrendsError::config("cli", "bad flag").exit_code(), 2);
+        assert_eq!(TrendsError::cache("validate", "corrupt").exit_code(), 1);
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(TrendsError::io("ingest", &io).exit_code(), 1);
+    }
+
+    #[test]
+    fn kind_categories_are_stable() {
+        assert_eq!(
+            TrendsError::new(
+                "x",
+                ErrorKind::Validity {
+                    issues: vec!["a".into()]
+                }
+            )
+            .kind
+            .category(),
+            "validity"
+        );
+        assert_eq!(TrendsError::cache("x", "y").kind.category(), "cache");
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::line(7).to_string(), "7");
+        assert_eq!(
+            Span {
+                line: 7,
+                column: Some(3)
+            }
+            .to_string(),
+            "7:3"
+        );
+    }
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod numfmt;
 pub mod parser;
@@ -24,8 +25,12 @@ pub mod validity;
 pub mod writer;
 
 pub use numfmt::{group_thousands, parse_grouped};
-pub use parser::{parse_run, DateField, NotAReport, ParsedRun};
+pub use parser::{
+    diagnose_non_report, parse_run, parse_run_diagnosed, DateField, NotAReport, ParseFailure,
+    ParsedRun, PARSE_FAILURE_CATEGORIES,
+};
 pub use validity::{
-    comparability_issues, cpu_name_ambiguous, validate, ComparabilityIssue, ValidityIssue,
+    comparability_error, comparability_issues, cpu_name_ambiguous, validate, validity_error,
+    ComparabilityIssue, ValidityIssue,
 };
 pub use writer::write_run;

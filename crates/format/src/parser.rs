@@ -117,6 +117,103 @@ impl std::fmt::Display for NotAReport {
 
 impl std::error::Error for NotAReport {}
 
+/// A categorized, span-carrying parse failure — the information the old
+/// `Err(_) => not_reports` arm used to discard.
+///
+/// `category` is a stable machine-readable slug (`"empty"`,
+/// `"binary-data"`, `"missing-header"`); `detail` is a human-readable
+/// explanation with the offending snippet; `line` is the 1-based line the
+/// diagnosis points at, when meaningful.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFailure {
+    /// Stable machine-readable category slug.
+    pub category: &'static str,
+    /// Human-readable detail (offending snippet, what was expected).
+    pub detail: String,
+    /// 1-based line of the diagnosis, when meaningful.
+    pub line: Option<u32>,
+}
+
+impl ParseFailure {
+    /// Convert into the workspace-wide error type, attributed to `stage`.
+    pub fn to_error(&self, stage: &'static str) -> spec_diag::TrendsError {
+        spec_diag::TrendsError::new(
+            stage,
+            spec_diag::ErrorKind::Parse {
+                category: self.category,
+                detail: self.detail.clone(),
+                span: self.line.map(spec_diag::Span::line),
+            },
+        )
+    }
+}
+
+impl std::fmt::Display for ParseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.category, self.detail)
+    }
+}
+
+impl std::error::Error for ParseFailure {}
+
+/// Every category slug [`diagnose_non_report`] can produce, for consumers
+/// that need to re-intern decoded category strings back to `&'static str`.
+pub const PARSE_FAILURE_CATEGORIES: [&str; 3] = ["empty", "binary-data", "missing-header"];
+
+/// Shorten a line for inclusion in diagnostics.
+fn snippet(line: &str) -> String {
+    const MAX: usize = 60;
+    let trimmed = line.trim();
+    if trimmed.len() <= MAX {
+        trimmed.to_string()
+    } else {
+        let mut cut = MAX;
+        while !trimmed.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &trimmed[..cut])
+    }
+}
+
+/// Diagnose *why* a text is not a SPECpower_ssj2008 report.
+///
+/// Only called once [`parse_run`] has rejected the input, so the categories
+/// partition the rejection space: empty/whitespace-only input, text with
+/// control bytes (binary junk), or plain text whose header line is absent.
+pub fn diagnose_non_report(text: &str) -> ParseFailure {
+    if text.trim().is_empty() {
+        return ParseFailure {
+            category: "empty",
+            detail: "file contains no text".to_string(),
+            line: None,
+        };
+    }
+    if text.bytes().any(|b| b < 0x09 || (0x0E..0x20).contains(&b)) {
+        return ParseFailure {
+            category: "binary-data",
+            detail: "file contains control bytes; not a text report".to_string(),
+            line: None,
+        };
+    }
+    let first = text.lines().next().unwrap_or("");
+    ParseFailure {
+        category: "missing-header",
+        detail: format!(
+            "no \"SPECpower_ssj2008\" header; first line is {:?}",
+            snippet(first)
+        ),
+        line: Some(1),
+    }
+}
+
+/// Parse one report, producing a categorized [`ParseFailure`] on rejection.
+///
+/// Same acceptance rule as [`parse_run`]; the failure value says *why* the
+/// input was rejected instead of the unit-like [`NotAReport`].
+pub fn parse_run_diagnosed(text: &str) -> Result<ParsedRun, ParseFailure> {
+    parse_run(text).map_err(|NotAReport| diagnose_non_report(text))
+}
+
 fn parse_date_field(raw: &str) -> DateField {
     let trimmed = raw.trim();
     if trimmed.is_empty() {
@@ -266,6 +363,45 @@ mod tests {
     #[test]
     fn rejects_non_reports() {
         assert_eq!(parse_run("hello world").unwrap_err(), NotAReport);
+    }
+
+    #[test]
+    fn diagnosed_rejection_categories() {
+        let missing = parse_run_diagnosed("hello world").unwrap_err();
+        assert_eq!(missing.category, "missing-header");
+        assert!(missing.detail.contains("hello world"), "{}", missing.detail);
+        assert_eq!(missing.line, Some(1));
+
+        let empty = parse_run_diagnosed("  \n\t\n").unwrap_err();
+        assert_eq!(empty.category, "empty");
+        assert_eq!(empty.line, None);
+
+        let binary = parse_run_diagnosed("PK\u{3}\u{4}zipdata").unwrap_err();
+        assert_eq!(binary.category, "binary-data");
+    }
+
+    #[test]
+    fn diagnosed_accepts_real_reports() {
+        let run = linear_test_run(7, 1e6, 60.0, 300.0);
+        assert!(parse_run_diagnosed(&write_run(&run)).is_ok());
+    }
+
+    #[test]
+    fn failure_converts_to_trends_error() {
+        let failure = parse_run_diagnosed("junk").unwrap_err();
+        let err = failure.to_error("ingest").with_origin("x.txt");
+        let text = err.to_string();
+        assert!(text.contains("ingest"), "{text}");
+        assert!(text.contains("x.txt"), "{text}");
+        assert!(text.contains("missing-header"), "{text}");
+    }
+
+    #[test]
+    fn long_first_lines_are_snipped() {
+        let long = format!("{}\nrest", "x".repeat(200));
+        let failure = parse_run_diagnosed(&long).unwrap_err();
+        assert!(failure.detail.len() < 120, "{}", failure.detail);
+        assert!(failure.detail.contains('…'));
     }
 
     #[test]

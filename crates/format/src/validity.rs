@@ -260,6 +260,28 @@ pub fn validate(parsed: &ParsedRun) -> Result<RunResult, Vec<ValidityIssue>> {
     })
 }
 
+/// Convert stage-1 validity issues into the workspace-wide error type,
+/// attributed to the `validate` stage.
+pub fn validity_error(issues: &[ValidityIssue]) -> spec_diag::TrendsError {
+    spec_diag::TrendsError::new(
+        "validate",
+        spec_diag::ErrorKind::Validity {
+            issues: issues.iter().map(|i| i.label().to_string()).collect(),
+        },
+    )
+}
+
+/// Convert stage-2 comparability issues into the workspace-wide error
+/// type, attributed to the `comparable` stage.
+pub fn comparability_error(issues: &[ComparabilityIssue]) -> spec_diag::TrendsError {
+    spec_diag::TrendsError::new(
+        "comparable",
+        spec_diag::ErrorKind::Comparability {
+            issues: issues.iter().map(|i| i.label().to_string()).collect(),
+        },
+    )
+}
+
 /// Stage two: the comparability filters that reduce 960 runs to 676.
 pub fn comparability_issues(run: &RunResult) -> Vec<ComparabilityIssue> {
     let mut issues = Vec::new();

@@ -66,5 +66,16 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
+impl From<FrameError> for spec_diag::TrendsError {
+    fn from(err: FrameError) -> spec_diag::TrendsError {
+        spec_diag::TrendsError::new(
+            "frame",
+            spec_diag::ErrorKind::Data {
+                detail: err.to_string(),
+            },
+        )
+    }
+}
+
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, FrameError>;

@@ -311,6 +311,10 @@ impl Pool {
         unsafe { out.set_len(n) };
         let base = SendPtr(out.as_mut_ptr());
         self.execute(n, chunk_for(n), &|range| {
+            // Rebind so the closure captures the whole `SendPtr` (which is
+            // Sync) — edition-2021 disjoint capture would otherwise capture
+            // the raw-pointer field itself, which is not.
+            #[allow(clippy::redundant_locals)]
             let base = base;
             for i in range {
                 // SAFETY: chunk ranges are disjoint, so every slot is
@@ -353,7 +357,7 @@ impl Pool {
             |_, range: &Range<usize>| {
                 items[range.clone()]
                     .iter()
-                    .fold(identity(), |acc, item| fold(acc, item))
+                    .fold(identity(), &fold)
             },
         );
         partials

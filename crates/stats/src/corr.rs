@@ -116,7 +116,7 @@ pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
 }
 
 /// A labelled symmetric correlation matrix.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CorrelationMatrix {
     /// Variable names, in matrix order.
     pub labels: Vec<String>,

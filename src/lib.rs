@@ -9,6 +9,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`diag`] | `spec-diag` | the workspace-wide `TrendsError` diagnostics type |
 //! | [`model`] | `spec-model` | domain types: units, dates, CPUs, systems, runs |
 //! | [`stats`] | `tinystats` | descriptive stats, quantiles, OLS, correlations |
 //! | [`frame`] | `tinyframe` | columnar dataframe with parallel group-by |
@@ -37,6 +38,7 @@
 
 pub use spec_analysis as analysis;
 pub use spec_cpu2017 as cpu2017;
+pub use spec_diag as diag;
 pub use spec_format as format;
 pub use spec_model as model;
 pub use spec_sert as sert;
