@@ -8,6 +8,9 @@
 //! spec-trends figures --out DIR [--data DIR]     render all figure SVGs
 //! spec-trends table1                             reproduce Table I
 //! spec-trends report --out FILE [--data DIR]     write the full markdown report
+//! spec-trends doctor --cache-dir DIR             fsck an artifact cache: verify
+//!                                                every entry, quarantine corrupt
+//!                                                ones, sweep orphaned temp files
 //! ```
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
@@ -32,12 +35,14 @@ use spec_synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends> \
+        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor> \
          [--out PATH] [--data DIR] [--seed N] [--cache-dir DIR] [--threads N]\n\
          \n\
          --cache-dir DIR  content-addressed artifact cache; warm runs skip every\n\
          \x20               stage whose inputs are unchanged (figures after analyze\n\
-         \x20               re-parses nothing and is byte-identical).\n\
+         \x20               re-parses nothing and is byte-identical). Corrupt or\n\
+         \x20               torn entries are quarantined and recomputed; `doctor`\n\
+         \x20               audits a cache directory offline.\n\
          --threads N   worker threads for generation and the filter cascade.\n\
          \x20             Precedence: --threads > SPEC_TRENDS_THREADS env var >\n\
          \x20             available CPU parallelism. Output is identical for any\n\
@@ -116,12 +121,25 @@ fn build_driver(args: &Args) -> spec_diag::Result<PipelineDriver> {
 }
 
 fn report_cache_activity(driver: &PipelineDriver) {
-    if driver.cache().is_some() {
+    if let Some(cache) = driver.cache() {
         eprintln!(
             "cache: {} stage hit(s), {} stage execution(s)",
             driver.hits_total(),
             driver.executed_total()
         );
+        let health = cache.health();
+        if !health.is_clean() {
+            eprintln!(
+                "cache health: {} read error(s), {} write error(s), \
+                 {} entr(ies) quarantined, {} orphan(s) swept — run \
+                 `spec-trends doctor --cache-dir {}` for details",
+                health.read_errors,
+                health.write_errors,
+                health.quarantined,
+                health.orphans_swept,
+                cache.root().display()
+            );
+        }
     }
 }
 
@@ -236,19 +254,32 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             };
             let mut driver = build_driver(args)?;
             let study = driver.study()?;
-            std::fs::write(&out, study.to_markdown()).map_err(|e| {
-                TrendsError::io("report", &e).with_origin(out.display().to_string())
-            })?;
+            // Atomic write: a crash mid-report never leaves a truncated
+            // file under the requested name.
+            spec_vfs::default_vfs()
+                .atomic_write(&out, study.to_markdown().as_bytes())
+                .map_err(|e| {
+                    TrendsError::io("report", &e).with_origin(out.display().to_string())
+                })?;
             println!("wrote {}", out.display());
             report_cache_activity(&driver);
+            Ok(())
+        }
+        "doctor" => {
+            let Some(dir) = args.cache_dir.clone() else {
+                return Err(TrendsError::config("doctor", "doctor requires --cache-dir DIR"));
+            };
+            let report = ArtifactCache::fsck(&dir)?;
+            println!("cache {}", dir.display());
+            print!("{}", report.to_text());
             Ok(())
         }
         _ => Err(TrendsError::config("cli", format!("unknown command {:?}", args.command))),
     }
 }
 
-const COMMANDS: [&str; 8] = [
-    "generate", "analyze", "explain", "figures", "table1", "report", "export", "trends",
+const COMMANDS: [&str; 9] = [
+    "generate", "analyze", "explain", "figures", "table1", "report", "export", "trends", "doctor",
 ];
 
 fn main() -> ExitCode {
@@ -335,5 +366,18 @@ mod tests {
         let err = run_command(&args).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn doctor_requires_cache_dir() {
+        let args = parse(&["doctor"]).unwrap();
+        let err = run_command(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--cache-dir"));
+    }
+
+    #[test]
+    fn doctor_is_a_known_command() {
+        assert!(COMMANDS.contains(&"doctor"));
     }
 }

@@ -47,10 +47,14 @@ pub use correlation::{explore, IdleCorrelationReport, VendorStats};
 pub use export::{yearly_summary, yearly_summary_markdown};
 pub use features::{runs_to_frame, FEATURE_COLUMNS};
 pub use pipeline::{
-    load_from_dir, load_from_named_texts, load_from_texts, load_from_texts_parallel,
-    stage1_validate, stage2_split, AnalysisSet, FilterReport, ParseFailureRecord,
+    list_report_files, load_from_dir, load_from_dir_vfs, load_from_inputs, load_from_named_texts,
+    load_from_texts, load_from_texts_parallel, read_input, stage1_validate,
+    stage1_validate_inputs, stage2_split, AnalysisSet, FilterReport, ParseFailureRecord, RawInput,
+    RawInputRef,
 };
-pub use stage::{ArtifactCache, CorpusSource, PipelineDriver, StageId, StageStats};
+pub use stage::{
+    ArtifactCache, CacheHealth, CorpusSource, FsckReport, PipelineDriver, StageId, StageStats,
+};
 pub use proportionality::{ep_metrics, ep_trend, normalized_curve, EpMetrics, EpTrend};
 pub use report::{run_study, Comparison, Study};
 pub use table1::{sr645_v3, sr650_v3, Table1, Table1Entry};

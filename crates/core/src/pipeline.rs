@@ -11,13 +11,49 @@
 //! [`load_from_texts`] for every thread count.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use spec_format::{
     comparability_issues, parse_run_diagnosed, validate, ComparabilityIssue, ParseFailure,
     ValidityIssue,
 };
 use spec_model::RunResult;
+use spec_vfs::Vfs;
+
+/// One raw corpus input: either the report text, or the record that the
+/// input could not be read.
+///
+/// The `IoError` variant is the graceful-degradation path: a single
+/// unreadable or vanished file no longer aborts ingest — the cascade
+/// counts it as a parse failure in category `io-error` (with the OS error
+/// detail) and keeps going, so `spec-trends explain` can surface exactly
+/// which files were lost and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RawInput {
+    /// The input was read successfully.
+    Text(String),
+    /// The input could not be read; the payload is the error detail.
+    IoError(String),
+}
+
+impl RawInput {
+    /// Borrowed view, for the cascade.
+    pub fn as_ref(&self) -> RawInputRef<'_> {
+        match self {
+            RawInput::Text(t) => RawInputRef::Text(t),
+            RawInput::IoError(e) => RawInputRef::IoError(e),
+        }
+    }
+}
+
+/// Borrowed view of a [`RawInput`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawInputRef<'a> {
+    /// The input text.
+    Text(&'a str),
+    /// The read-failure detail.
+    IoError(&'a str),
+}
 
 /// One retained parse failure: which input failed, and why.
 ///
@@ -202,13 +238,45 @@ where
     N: Into<String>,
     S: AsRef<str>,
 {
+    let owned: Vec<(Option<String>, S)> = items
+        .into_iter()
+        .map(|(origin, text)| (origin.map(Into::into), text))
+        .collect();
+    stage1_validate_inputs(
+        owned
+            .iter()
+            .map(|(origin, text)| (origin.as_deref(), RawInputRef::Text(text.as_ref()))),
+    )
+}
+
+/// [`stage1_validate`] over [`RawInputRef`]s: texts run the normal
+/// parse+validate path; `IoError` inputs are counted as `io-error` parse
+/// failures (graceful degradation — the cascade never aborts on a single
+/// unreadable file).
+pub fn stage1_validate_inputs<'a, I, N>(items: I) -> (Vec<RunResult>, FilterReport)
+where
+    I: IntoIterator<Item = (Option<N>, RawInputRef<'a>)>,
+    N: Into<String>,
+{
     let mut report = FilterReport::default();
     let mut valid = Vec::new();
 
-    for (origin, text) in items {
+    for (origin, input) in items {
         let index = report.raw;
         report.raw += 1;
-        let parsed = match parse_run_diagnosed(text.as_ref()) {
+        let text = match input {
+            RawInputRef::Text(t) => t,
+            RawInputRef::IoError(detail) => {
+                report.not_reports += 1;
+                report.parse_failures.push(ParseFailureRecord {
+                    index,
+                    origin: origin.map(Into::into),
+                    failure: ParseFailure::io_error(detail),
+                });
+                continue;
+            }
+        };
+        let parsed = match parse_run_diagnosed(text) {
             Ok(p) => p,
             Err(failure) => {
                 report.not_reports += 1;
@@ -287,35 +355,82 @@ fn merge_shards(shards: Vec<AnalysisSet>) -> AnalysisSet {
     }
 }
 
+/// List the `*.txt` report files under `dir`, sorted. Failure to read the
+/// directory *itself* is a hard, typed error — with no file list there is
+/// nothing to degrade to.
+pub fn list_report_files(vfs: &dyn Vfs, dir: &Path) -> spec_diag::Result<Vec<PathBuf>> {
+    let entries = vfs.read_dir(dir).map_err(|e| {
+        spec_diag::TrendsError::io("ingest", &e).with_origin(dir.display().to_string())
+    })?;
+    Ok(entries
+        .into_iter()
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect())
+}
+
+/// Read one report file, degrading any failure — EIO after retries, a
+/// vanished file, a short read, invalid UTF-8 — into a
+/// [`RawInput::IoError`] record instead of propagating it.
+pub fn read_input(vfs: &dyn Vfs, path: &Path) -> (Option<String>, RawInput) {
+    let origin = path.file_name().map(|n| n.to_string_lossy().into_owned());
+    let input = match vfs.read_to_string(path) {
+        Ok(text) => RawInput::Text(text),
+        Err(e) => RawInput::IoError(format!("could not read file: {e}")),
+    };
+    (origin, input)
+}
+
+/// Run the cascade over owned `(origin, input)` pairs.
+pub fn load_from_inputs<I>(items: I) -> AnalysisSet
+where
+    I: IntoIterator<Item = (Option<String>, RawInput)>,
+{
+    let owned: Vec<(Option<String>, RawInput)> = items.into_iter().collect();
+    let (valid, mut report) = stage1_validate_inputs(
+        owned
+            .iter()
+            .map(|(origin, input)| (origin.as_deref(), input.as_ref())),
+    );
+    let (indices, stage2) = stage2_split(&valid);
+    let comparable: Vec<RunResult> = indices
+        .iter()
+        .map(|&i| valid[i as usize].clone())
+        .collect();
+    report.stage2 = stage2;
+    report.comparable = comparable.len();
+    AnalysisSet {
+        valid,
+        comparable,
+        report,
+    }
+}
+
 /// Load every `*.txt` file in a directory and run the cascade.
 ///
 /// Files are processed in sorted-path order, but each shard of files is
 /// read *and* cascaded on a pool worker, so one shard's file I/O overlaps
 /// another's parsing. Results are merged in shard order and match a
 /// sequential read-then-[`load_from_texts`] exactly.
-pub fn load_from_dir(dir: &Path) -> std::io::Result<AnalysisSet> {
-    let mut entries: Vec<_> = std::fs::read_dir(dir)?
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
-        .collect();
-    entries.sort();
-
+///
+/// Robustness: an unreadable directory is a typed [`spec_diag::TrendsError`];
+/// an unreadable *file* is not fatal — it is recorded as an `io-error`
+/// parse failure (see [`read_input`]) and the cascade continues.
+pub fn load_from_dir_vfs(vfs: &dyn Vfs, dir: &Path) -> spec_diag::Result<AnalysisSet> {
+    let entries = list_report_files(vfs, dir)?;
     let ranges = tinypool::run_chunks(entries.len(), |_| {});
-    let shards: Vec<std::io::Result<AnalysisSet>> = tinypool::parallel_map(&ranges, |range| {
-        let mut items = Vec::with_capacity(range.len());
-        for path in &entries[range.clone()] {
-            let origin = path
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned());
-            items.push((origin, std::fs::read_to_string(path)?));
-        }
-        Ok(load_from_named_texts(items))
+    let shards = tinypool::parallel_map(&ranges, |range| {
+        let items: Vec<(Option<String>, RawInput)> = entries[range.clone()]
+            .iter()
+            .map(|path| read_input(vfs, path))
+            .collect();
+        load_from_inputs(items)
     });
-    Ok(merge_shards(
-        shards.into_iter().collect::<std::io::Result<Vec<_>>>()?,
-    ))
+    Ok(merge_shards(shards))
+}
+
+/// [`load_from_dir_vfs`] on the default (real, retrying) filesystem.
+pub fn load_from_dir(dir: &Path) -> spec_diag::Result<AnalysisSet> {
+    load_from_dir_vfs(&*spec_vfs::default_vfs(), dir)
 }
 
 #[cfg(test)]
@@ -408,6 +523,94 @@ mod tests {
         );
         assert!(set.report.explain().contains("b.txt"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_error_inputs_degrade_into_the_accounting() {
+        let items = vec![
+            (
+                None,
+                RawInput::Text(write_run(&linear_test_run(0, 1e6, 60.0, 300.0))),
+            ),
+            (
+                Some("gone.txt".to_string()),
+                RawInput::IoError("could not read file: No such file or directory".to_string()),
+            ),
+        ];
+        let set = load_from_inputs(items);
+        assert_eq!(set.report.raw, 2);
+        assert_eq!(set.report.not_reports, 1);
+        assert_eq!(set.valid.len(), 1);
+        let record = &set.report.parse_failures[0];
+        assert_eq!(record.failure.category, "io-error");
+        assert_eq!(record.origin.as_deref(), Some("gone.txt"));
+        assert_eq!(set.report.parse_failure_counts()["io-error"], 1);
+        let explain = set.report.explain();
+        assert!(explain.contains("io-error"), "{explain}");
+        assert!(explain.contains("gone.txt"), "{explain}");
+        assert!(explain.contains("No such file or directory"), "{explain}");
+    }
+
+    #[test]
+    fn unreadable_file_is_recorded_not_fatal() {
+        use spec_vfs::{FaultKind, FaultVfs, OpKind, RealVfs};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join("spec_pipeline_ioerr_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, name) in ["a.txt", "b.txt", "c.txt"].iter().enumerate() {
+            let run = linear_test_run(i as u32, 1e6, 60.0, 300.0);
+            std::fs::write(dir.join(name), write_run(&run)).unwrap();
+        }
+        // EIO on the second file read; one worker makes the read order the
+        // sorted file order, so the casualty is deterministically b.txt.
+        let vfs =
+            FaultVfs::new(Arc::new(RealVfs)).with_fault(OpKind::Read, 1, FaultKind::Eio);
+        let pool = tinypool::Pool::new(1);
+        let set = pool.install(|| load_from_dir_vfs(&vfs, &dir)).unwrap();
+        assert_eq!(set.report.raw, 3);
+        assert_eq!(set.report.not_reports, 1);
+        assert_eq!(set.comparable.len(), 2, "two files still analyzed");
+        let record = &set.report.parse_failures[0];
+        assert_eq!(record.failure.category, "io-error");
+        assert_eq!(record.origin.as_deref(), Some("b.txt"));
+        assert_eq!(record.index, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vanished_file_is_recorded_not_fatal() {
+        use spec_vfs::{FaultKind, FaultVfs, OpKind, RealVfs};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join("spec_pipeline_vanish_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("only.txt"),
+            write_run(&linear_test_run(0, 1e6, 60.0, 300.0)),
+        )
+        .unwrap();
+        // The file vanishes between the directory listing and the read —
+        // the classic TOCTOU race a long-running ingest must survive.
+        let vfs =
+            FaultVfs::new(Arc::new(RealVfs)).with_fault(OpKind::Read, 0, FaultKind::Vanished);
+        let pool = tinypool::Pool::new(1);
+        let set = pool.install(|| load_from_dir_vfs(&vfs, &dir)).unwrap();
+        assert_eq!(set.report.raw, 1);
+        assert_eq!(set.report.not_reports, 1);
+        assert_eq!(set.report.parse_failures[0].failure.category, "io-error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_directory_is_a_typed_error() {
+        let missing = std::env::temp_dir().join("spec_pipeline_no_such_dir");
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = load_from_dir(&missing).unwrap_err();
+        assert_eq!(err.stage, "ingest");
+        assert!(matches!(err.kind, spec_diag::ErrorKind::Io { .. }));
     }
 
     #[test]

@@ -11,15 +11,19 @@ use spec_format::ComparabilityIssue;
 use spec_model::RunResult;
 
 use super::codec::{Codec, CodecError, Reader, Writer};
-use crate::pipeline::{AnalysisSet, FilterReport};
+use crate::pipeline::{AnalysisSet, FilterReport, RawInput};
 use crate::table1::Table1;
 
-/// The raw corpus: `(origin, text)` per input file. Origin is the file name
-/// for directory sources, `None` for synthetic submissions.
+/// The raw corpus: `(origin, input)` per input file. Origin is the file
+/// name for directory sources, `None` for synthetic submissions. An input
+/// is either the report text or an [`RawInput::IoError`] record for a file
+/// that could not be read — degradation is part of the corpus identity, so
+/// a run that lost files cache-keys differently from one that read all of
+/// them.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CorpusArtifact {
     /// One entry per raw input, in corpus order.
-    pub items: Vec<(Option<String>, String)>,
+    pub items: Vec<(Option<String>, RawInput)>,
 }
 
 impl Codec for CorpusArtifact {
@@ -187,12 +191,15 @@ mod tests {
         let (valid, report) = stage1_validate(texts.iter().map(|t| (None::<String>, t)));
         let (indices, stage2) = stage2_split(&valid);
 
-        let corpus = CorpusArtifact {
-            items: texts
-                .iter()
-                .map(|t| (Some("x.txt".to_string()), t.clone()))
-                .collect(),
-        };
+        let mut items: Vec<(Option<String>, RawInput)> = texts
+            .iter()
+            .map(|t| (Some("x.txt".to_string()), RawInput::Text(t.clone())))
+            .collect();
+        items.push((
+            Some("gone.txt".to_string()),
+            RawInput::IoError("could not read file: EIO".to_string()),
+        ));
+        let corpus = CorpusArtifact { items };
         let back: CorpusArtifact = decode_from_slice(&encode_to_vec(&corpus)).unwrap();
         assert_eq!(back, corpus);
 

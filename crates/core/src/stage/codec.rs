@@ -514,6 +514,30 @@ struct_codec!(ParseFailureRecord {
     failure,
 });
 
+impl Codec for crate::pipeline::RawInput {
+    fn encode(&self, w: &mut Writer) {
+        use crate::pipeline::RawInput;
+        match self {
+            RawInput::Text(t) => {
+                0u8.encode(w);
+                t.encode(w);
+            }
+            RawInput::IoError(e) => {
+                1u8.encode(w);
+                e.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        use crate::pipeline::RawInput;
+        match u8::decode(r)? {
+            0 => Ok(RawInput::Text(String::decode(r)?)),
+            1 => Ok(RawInput::IoError(String::decode(r)?)),
+            t => Err(bad(format!("invalid RawInput tag {t}"))),
+        }
+    }
+}
+
 struct_codec!(FilterReport {
     raw,
     not_reports,

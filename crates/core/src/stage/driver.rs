@@ -4,18 +4,25 @@
 //!
 //! A stage's key is `fnv128(code version ‖ stage name ‖ upstream content
 //! hashes ‖ parameters)`. On a warm run the driver resolves upstream keys
-//! through header-only [`ArtifactCache::peek_hash`] reads, so e.g.
-//! `figures` after `analyze` decodes exactly one artifact (the rendered
-//! SVGs) and re-parses **nothing** — asserted by the stage-invocation
-//! counters in [`StageStats`].
+//! through checksum-verified [`ArtifactCache::verified_hash`] reads, so
+//! e.g. `figures` after `analyze` decodes exactly one artifact (the
+//! rendered SVGs) and re-parses **nothing** — asserted by the
+//! stage-invocation counters in [`StageStats`].
+//!
+//! Cache faults never abort a run: a corrupt or unreadable entry reads as
+//! a miss (and is quarantined), a failed store is skipped, and the stage
+//! recomputes — see [`super::cache`]. All driver I/O (corpus reads, cache,
+//! figure/CSV writers) flows through an injectable [`spec_vfs::Vfs`].
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use spec_model::RunResult;
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, SynthConfig};
+use spec_vfs::Vfs;
 
 use super::artifact::{
     assemble_set, ComparableArtifact, CorpusArtifact, DeriveArtifact, FilesArtifact,
@@ -29,7 +36,7 @@ use super::graph::{
 };
 use super::CODE_VERSION;
 use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
-use crate::pipeline::{AnalysisSet, FilterReport};
+use crate::pipeline::{AnalysisSet, FilterReport, RawInput};
 use crate::report::Study;
 
 /// Where the raw corpus comes from.
@@ -65,6 +72,7 @@ pub struct PipelineDriver {
     source: CorpusSource,
     settings: Settings,
     seed: u64,
+    vfs: Arc<dyn Vfs>,
     cache: Option<ArtifactCache>,
     stats: BTreeMap<StageId, StageStats>,
     hashes: BTreeMap<StageId, Hash128>,
@@ -90,6 +98,7 @@ impl PipelineDriver {
             source,
             settings,
             seed,
+            vfs: spec_vfs::default_vfs(),
             cache: None,
             stats: BTreeMap::new(),
             hashes: BTreeMap::new(),
@@ -116,9 +125,23 @@ impl PipelineDriver {
         self
     }
 
+    /// Replace the filesystem backend used for corpus reads and
+    /// figure/CSV writes (fault injection in tests). The cache keeps the
+    /// backend it was opened with — fault them independently.
+    #[must_use]
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> PipelineDriver {
+        self.vfs = vfs;
+        self
+    }
+
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&ArtifactCache> {
         self.cache.as_ref()
+    }
+
+    /// The filesystem backend used for corpus reads and export writes.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// Per-stage invocation counters for this driver's lifetime.
@@ -164,7 +187,7 @@ impl PipelineDriver {
             return Ok(h);
         }
         if let Some(cache) = &self.cache {
-            if let Some(h) = cache.peek_hash(&key)? {
+            if let Some(h) = cache.verified_hash(&key) {
                 self.stat_mut(id).hits += 1;
                 self.hashes.insert(id, h);
                 return Ok(h);
@@ -173,7 +196,7 @@ impl PipelineDriver {
         let value = compute(self)?;
         self.stat_mut(id).executed += 1;
         let h = match &self.cache {
-            Some(cache) => cache.store(&key, &value)?,
+            Some(cache) => cache.store(&key, &value),
             None => fnv128(&encode_to_vec(&value)),
         };
         self.hashes.insert(id, h);
@@ -194,7 +217,7 @@ impl PipelineDriver {
             return Ok(v);
         }
         if let Some(cache) = self.cache.clone() {
-            if let Some((value, h)) = cache.load::<T>(&key)? {
+            if let Some((value, h)) = cache.load::<T>(&key) {
                 if !self.hashes.contains_key(&id) {
                     self.stat_mut(id).hits += 1;
                 }
@@ -207,7 +230,7 @@ impl PipelineDriver {
         let value = compute(self)?;
         self.stat_mut(id).executed += 1;
         let h = match &self.cache {
-            Some(cache) => cache.store(&key, &value)?,
+            Some(cache) => cache.store(&key, &value),
             None => fnv128(&encode_to_vec(&value)),
         };
         self.hashes.insert(id, h);
@@ -234,30 +257,23 @@ impl PipelineDriver {
     fn generate_synthetic(config: &SynthConfig) -> CorpusArtifact {
         let dataset = generate_dataset(config);
         CorpusArtifact {
-            items: dataset.texts().map(|t| (None, t.to_string())).collect(),
+            items: dataset
+                .texts()
+                .map(|t| (None, RawInput::Text(t.to_string())))
+                .collect(),
         }
     }
 
-    fn read_dir_corpus(dir: &std::path::Path) -> spec_diag::Result<CorpusArtifact> {
-        let map_io =
-            |e: std::io::Error| spec_diag::TrendsError::io("ingest", &e).with_origin(dir.display().to_string());
-        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
-            .map_err(map_io)?
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(map_io)?
-            .into_iter()
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+    /// Read a directory corpus through the driver's [`Vfs`]. An unreadable
+    /// directory is a typed error; an unreadable *file* degrades into a
+    /// [`RawInput::IoError`] record that the Validate stage counts as an
+    /// `io-error` parse failure — one lost file never aborts the run.
+    fn read_dir_corpus(&self, dir: &std::path::Path) -> spec_diag::Result<CorpusArtifact> {
+        let files = crate::pipeline::list_report_files(&*self.vfs, dir)?;
+        let items = files
+            .iter()
+            .map(|path| crate::pipeline::read_input(&*self.vfs, path))
             .collect();
-        entries.sort();
-        let mut items = Vec::with_capacity(entries.len());
-        for path in entries {
-            let text = std::fs::read_to_string(&path).map_err(|e| {
-                spec_diag::TrendsError::io("ingest", &e).with_origin(path.display().to_string())
-            })?;
-            let origin = path.file_name().map(|n| n.to_string_lossy().into_owned());
-            items.push((origin, text));
-        }
         Ok(CorpusArtifact { items })
     }
 
@@ -276,7 +292,7 @@ impl PipelineDriver {
             CorpusSource::Dir(dir) => {
                 // Reading the files *is* the ingest work for a directory
                 // source; the content hash doubles as the cache key input.
-                let artifact = Self::read_dir_corpus(&dir)?;
+                let artifact = self.read_dir_corpus(&dir)?;
                 let h = fnv128(&encode_to_vec(&artifact));
                 self.stat_mut(StageId::Ingest).executed += 1;
                 self.hashes.insert(StageId::Ingest, h);
@@ -284,7 +300,12 @@ impl PipelineDriver {
                 Ok(h)
             }
             CorpusSource::Memory(items) => {
-                let artifact = CorpusArtifact { items };
+                let artifact = CorpusArtifact {
+                    items: items
+                        .into_iter()
+                        .map(|(origin, text)| (origin, RawInput::Text(text)))
+                        .collect(),
+                };
                 let h = fnv128(&encode_to_vec(&artifact));
                 self.hashes.insert(StageId::Ingest, h);
                 self.corpus = Some(Rc::new(artifact));
@@ -574,17 +595,22 @@ impl PipelineDriver {
         )
     }
 
-    /// Write all figure SVGs into `dir`; returns the written paths.
+    /// Write all figure SVGs into `dir`; returns the written paths. Each
+    /// file lands atomically; a permanent write failure (ENOSPC, EIO after
+    /// retries, torn write) escalates as a typed error — outputs are the
+    /// run's deliverable, so unlike cache faults they must never degrade
+    /// silently.
     pub fn write_figures(&mut self, dir: &std::path::Path) -> spec_diag::Result<Vec<PathBuf>> {
         let files = self.export_figures()?;
-        super::write_files(dir, &files.files)
+        super::write_files_vfs(&*self.vfs, dir, &files.files)
             .map_err(|e| spec_diag::TrendsError::io("export-figures", &e))
     }
 
-    /// Write all CSV exports into `dir`; returns the written paths.
+    /// Write all CSV exports into `dir`; returns the written paths. Same
+    /// atomicity and escalation contract as [`Self::write_figures`].
     pub fn write_data(&mut self, dir: &std::path::Path) -> spec_diag::Result<Vec<PathBuf>> {
         let files = self.export_data()?;
-        super::write_files(dir, &files.files)
+        super::write_files_vfs(&*self.vfs, dir, &files.files)
             .map_err(|e| spec_diag::TrendsError::io("export-data", &e))
     }
 }

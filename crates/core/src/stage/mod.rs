@@ -9,10 +9,15 @@
 //! ([`artifact`]), keyed by a content hash of (code version, stage id,
 //! upstream artifact hashes, parameters) and persisted in an on-disk
 //! [`ArtifactCache`] when `--cache-dir` is given. Warm runs resolve
-//! upstream stages through 20-byte header peeks and decode only the
-//! artifact actually requested — `figures` after `analyze` re-parses
-//! nothing, and its output is byte-identical to a cold run because export
-//! stages cache the fully rendered file contents.
+//! upstream stages by verifying each entry's full-payload checksum and
+//! decode only the artifact actually requested — `figures` after `analyze`
+//! re-parses nothing, and its output is byte-identical to a cold run
+//! because export stages cache the fully rendered file contents.
+//!
+//! The cache is self-healing (see [`cache`]): corrupt or torn entries are
+//! quarantined and transparently recomputed, failed cache I/O degrades to
+//! recomputation, and all disk access flows through an injectable
+//! [`spec_vfs::Vfs`] so the chaos suite can fault every path.
 
 pub mod artifact;
 pub mod cache;
@@ -24,7 +29,9 @@ pub use artifact::{
     assemble_set, ComparableArtifact, CorpusArtifact, DeriveArtifact, FilesArtifact,
     ValidateArtifact,
 };
-pub use cache::{fnv128, ArtifactCache, Fnv128, Hash128};
+pub use cache::{
+    fnv128, ArtifactCache, CacheHealth, Fnv128, FsckReport, Hash128, QUARANTINE_DIR,
+};
 pub use codec::{decode_from_slice, encode_to_vec, Codec, CodecError, Reader, Writer};
 pub use driver::{CorpusSource, PipelineDriver, StageStats};
 pub use graph::{
@@ -35,20 +42,33 @@ pub use graph::{
 /// Version tag folded into every cache key. Bump when any stage's output
 /// semantics or the codec layout change; old cache entries then read as
 /// misses instead of stale hits.
-pub const CODE_VERSION: &str = "spec-trends/stage-graph/1";
+/// (`/2`: the corpus artifact gained the `RawInput` tag byte.)
+pub const CODE_VERSION: &str = "spec-trends/stage-graph/2";
 
-/// Write rendered `(name, content)` files into `dir` (created if needed),
-/// returning the written paths in order.
+/// Write rendered `(name, content)` files into `dir` (created if needed)
+/// through `vfs`, returning the written paths in order. Each file lands
+/// atomically (temp + fsync + verified rename), so a crash or torn write
+/// mid-export can never leave a half-written figure or CSV under its
+/// final name.
+pub fn write_files_vfs(
+    vfs: &dyn spec_vfs::Vfs,
+    dir: &std::path::Path,
+    files: &[(String, String)],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    vfs.create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(files.len());
+    for (name, content) in files {
+        let path = dir.join(name);
+        vfs.atomic_write(&path, content.as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// [`write_files_vfs`] on the default (real, retrying) filesystem.
 pub fn write_files(
     dir: &std::path::Path,
     files: &[(String, String)],
 ) -> std::io::Result<Vec<std::path::PathBuf>> {
-    std::fs::create_dir_all(dir)?;
-    let mut paths = Vec::with_capacity(files.len());
-    for (name, content) in files {
-        let path = dir.join(name);
-        std::fs::write(&path, content)?;
-        paths.push(path);
-    }
-    Ok(paths)
+    write_files_vfs(&*spec_vfs::default_vfs(), dir, files)
 }

@@ -121,7 +121,8 @@ impl std::error::Error for NotAReport {}
 /// `Err(_) => not_reports` arm used to discard.
 ///
 /// `category` is a stable machine-readable slug (`"empty"`,
-/// `"binary-data"`, `"missing-header"`); `detail` is a human-readable
+/// `"binary-data"`, `"missing-header"`, `"io-error"`); `detail` is a
+/// human-readable
 /// explanation with the offending snippet; `line` is the 1-based line the
 /// diagnosis points at, when meaningful.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -135,6 +136,17 @@ pub struct ParseFailure {
 }
 
 impl ParseFailure {
+    /// A failure for an input that could not be *read* at all (I/O error,
+    /// vanished file, invalid UTF-8) — the graceful-degradation category:
+    /// ingest records the file and keeps going instead of aborting.
+    pub fn io_error(detail: impl Into<String>) -> ParseFailure {
+        ParseFailure {
+            category: "io-error",
+            detail: detail.into(),
+            line: None,
+        }
+    }
+
     /// Convert into the workspace-wide error type, attributed to `stage`.
     pub fn to_error(&self, stage: &'static str) -> spec_diag::TrendsError {
         spec_diag::TrendsError::new(
@@ -156,9 +168,12 @@ impl std::fmt::Display for ParseFailure {
 
 impl std::error::Error for ParseFailure {}
 
-/// Every category slug [`diagnose_non_report`] can produce, for consumers
-/// that need to re-intern decoded category strings back to `&'static str`.
-pub const PARSE_FAILURE_CATEGORIES: [&str; 3] = ["empty", "binary-data", "missing-header"];
+/// Every category slug a [`ParseFailure`] can carry, for consumers that
+/// need to re-intern decoded category strings back to `&'static str`:
+/// the three [`diagnose_non_report`] diagnoses plus `"io-error"`
+/// ([`ParseFailure::io_error`]) for inputs that could not be read.
+pub const PARSE_FAILURE_CATEGORIES: [&str; 4] =
+    ["empty", "binary-data", "missing-header", "io-error"];
 
 /// Shorten a line for inclusion in diagnostics.
 fn snippet(line: &str) -> String {

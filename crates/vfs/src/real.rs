@@ -1,0 +1,119 @@
+//! The `std::fs` backend.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::Vfs;
+
+/// Plain `std::fs` operations — the production backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn metadata_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        Ok(entries)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing its fd makes renames
+        // and creations inside it durable on POSIX filesystems.
+        std::fs::File::open(path)?.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spec_vfs_real_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn read_write_rename_remove() {
+        let dir = tmp_dir("ops");
+        let vfs = RealVfs;
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        vfs.write(&a, b"abc").unwrap();
+        assert_eq!(vfs.metadata_len(&a).unwrap(), 3);
+        assert_eq!(vfs.read_verified(&a).unwrap(), b"abc");
+        vfs.sync_file(&a).unwrap();
+        vfs.rename(&a, &b).unwrap();
+        assert_eq!(vfs.read_to_string(&b).unwrap(), "abc");
+        vfs.sync_dir(&dir).unwrap();
+        vfs.remove_file(&b).unwrap();
+        assert_eq!(
+            vfs.read(&b).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_dir_is_sorted() {
+        let dir = tmp_dir("sorted");
+        let vfs = RealVfs;
+        for name in ["c.txt", "a.txt", "b.txt"] {
+            vfs.write(&dir.join(name), b"x").unwrap();
+        }
+        let names: Vec<String> = vfs
+            .read_dir(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.txt", "b.txt", "c.txt"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_read_to_string_is_invalid_data() {
+        let dir = tmp_dir("utf8");
+        let vfs = RealVfs;
+        let p = dir.join("bin");
+        vfs.write(&p, &[0xFF, 0xFE, 0x00]).unwrap();
+        assert_eq!(
+            vfs.read_to_string(&p).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,7 +13,7 @@ use spec_power_trends::analysis::{load_from_dir, runs_to_frame};
 use spec_power_trends::frame::Agg;
 use spec_power_trends::synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir: PathBuf = std::env::args()
         .nth(1)
         .map(PathBuf::from)

@@ -10,6 +10,7 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`diag`] | `spec-diag` | the workspace-wide `TrendsError` diagnostics type |
+//! | [`vfs`] | `spec-vfs` | virtual filesystem: real backend, fault injection, retries |
 //! | [`model`] | `spec-model` | domain types: units, dates, CPUs, systems, runs |
 //! | [`stats`] | `tinystats` | descriptive stats, quantiles, OLS, correlations |
 //! | [`frame`] | `tinyframe` | columnar dataframe with parallel group-by |
@@ -44,6 +45,7 @@ pub use spec_model as model;
 pub use spec_sert as sert;
 pub use spec_ssj as ssj;
 pub use spec_synth as synth;
+pub use spec_vfs as vfs;
 pub use tinyframe as frame;
 pub use tinyplot as plot;
 pub use tinystats as stats;

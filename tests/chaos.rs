@@ -1,0 +1,291 @@
+//! Chaos suite: the pipeline under randomized filesystem fault schedules.
+//!
+//! The invariant pinned here is the PR's headline robustness contract —
+//! under **any** fault schedule, a run ends in exactly one of three ways,
+//! and silently-wrong output is impossible:
+//!
+//! 1. it exits with a typed [`spec_power_trends::diag::TrendsError`], or
+//! 2. its output is byte-identical to the fault-free run, or
+//! 3. (ingest only) its output reflects *recorded* degradation: every
+//!    divergence from the fault-free run is accompanied by an `io-error`
+//!    parse-failure record whose counts balance exactly.
+//!
+//! Three surfaces are attacked independently: the artifact cache (faults
+//! there must be fully absorbed — outcome 2 only), directory ingest
+//! (outcomes 1–3), and the figure writers (outcome 1 or 2, and any file
+//! that exists under its final name is intact — atomic writes never
+//! publish torn data).
+//!
+//! Deterministic fixed seeds always run; `CHAOS_SEED=N` adds one more
+//! (the CI chaos job sweeps several); the proptest blocks sweep random
+//! (seed, density) schedules on top.
+
+mod common;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spec_power_trends::analysis::{ArtifactCache, CorpusSource, PipelineDriver};
+use spec_power_trends::format::write_run;
+use spec_power_trends::model::linear_test_run;
+use spec_power_trends::vfs::{FaultVfs, RealVfs, Vfs};
+
+const N_REPORTS: u32 = 12;
+
+/// The deterministic seeds every run covers, plus an optional extra from
+/// the environment (the CI chaos job sets `CHAOS_SEED`).
+fn fixed_seeds() -> Vec<u64> {
+    let mut seeds = vec![7, 1337, 424242];
+    if let Ok(v) = std::env::var("CHAOS_SEED") {
+        if let Ok(n) = v.parse() {
+            seeds.push(n);
+        }
+    }
+    seeds
+}
+
+fn memory_corpus() -> Vec<(Option<String>, String)> {
+    let mut items: Vec<(Option<String>, String)> = (0..N_REPORTS)
+        .map(|i| (None, write_run(&linear_test_run(i, 1e6, 60.0, 300.0))))
+        .collect();
+    items.push((Some("junk.txt".to_string()), "not a report".to_string()));
+    items
+}
+
+fn memory_driver() -> PipelineDriver {
+    PipelineDriver::new(
+        CorpusSource::Memory(memory_corpus()),
+        common::fast_settings(),
+        7,
+    )
+}
+
+/// The fault-free figure files + cascade markdown, computed once.
+fn baseline() -> &'static (Vec<(String, String)>, String) {
+    static BASE: std::sync::OnceLock<(Vec<(String, String)>, String)> = std::sync::OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut d = memory_driver();
+        let files = d.export_figures().expect("fault-free run").files.clone();
+        let md = d.filter_report().expect("fault-free run").to_markdown();
+        (files, md)
+    })
+}
+
+fn unique_dir(tag: &str, seed: u64, density: u64) -> PathBuf {
+    // A process-wide counter keeps fixed-seed and proptest-sweep tests from
+    // colliding on a directory when they happen to draw the same schedule.
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("spec_chaos_{tag}_{seed}_{density}_{n}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ------------------------------------------------------------- cache ------
+
+/// Cache chaos: faults against the artifact cache must be *fully
+/// absorbed* — the cache degrades to recomputation, so the run succeeds
+/// with byte-identical output, and whatever state the faulty run left on
+/// disk must not poison a later clean run either.
+fn cache_chaos_case(seed: u64, density: u64) {
+    let (base_files, _) = baseline();
+    let dir = unique_dir("cache", seed, density);
+    std::fs::create_dir_all(&dir).expect("mk cache dir");
+    let fault: Arc<dyn Vfs> = Arc::new(FaultVfs::seeded(Arc::new(RealVfs), seed, density));
+
+    match ArtifactCache::open_with(&dir, fault) {
+        Err(err) => {
+            // Typed error creating the cache dir — outcome 1.
+            assert_eq!(err.stage, "cache", "seed {seed} density {density}: {err}");
+        }
+        Ok(cache) => {
+            let mut d = memory_driver().with_cache(cache);
+            let files = d
+                .export_figures()
+                .expect("cache faults must never abort the pipeline");
+            assert_eq!(
+                files.files, *base_files,
+                "seed {seed} density {density}: output diverged under cache faults"
+            );
+        }
+    }
+
+    // Whatever the faulty run persisted (partial stores, quarantined
+    // entries), a clean run over the same cache dir is still exact.
+    let clean = ArtifactCache::open(&dir).expect("clean reopen");
+    let mut d = memory_driver().with_cache(clean);
+    let files = d.export_figures().expect("clean run over survivor cache");
+    assert_eq!(
+        files.files, *base_files,
+        "seed {seed} density {density}: survivor cache poisoned a clean run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------- ingest -----
+
+fn write_report_dir(dir: &Path) -> Vec<String> {
+    std::fs::create_dir_all(dir).expect("mk data dir");
+    let mut names = Vec::new();
+    for i in 0..N_REPORTS {
+        let name = format!("r{i:02}.txt");
+        std::fs::write(dir.join(&name), write_run(&linear_test_run(i, 1e6, 60.0, 300.0)))
+            .expect("write report");
+        names.push(name);
+    }
+    names
+}
+
+/// Ingest chaos: a faulty directory read either fails typed (the listing
+/// itself), or degrades with exact accounting — every lost file shows up
+/// as an `io-error` record against a real file name, and the counters
+/// balance. Zero recorded io-errors means byte-identical accounting.
+fn ingest_chaos_case(seed: u64, density: u64) {
+    let dir = unique_dir("ingest", seed, density);
+    let names = write_report_dir(&dir);
+
+    // Fault-free cascade over the same files, for the no-degradation arm.
+    let mut clean = PipelineDriver::new(
+        CorpusSource::Dir(dir.clone()),
+        common::fast_settings(),
+        7,
+    );
+    let clean_md = clean.filter_report().expect("fault-free dir run").to_markdown();
+
+    let fault: Arc<dyn Vfs> = Arc::new(FaultVfs::seeded(Arc::new(RealVfs), seed, density));
+    let mut d = PipelineDriver::new(CorpusSource::Dir(dir.clone()), common::fast_settings(), 7)
+        .with_vfs(fault);
+    match d.filter_report() {
+        Err(err) => {
+            // Outcome 1: the directory listing itself failed.
+            assert_eq!(err.stage, "ingest", "seed {seed} density {density}: {err}");
+        }
+        Ok(report) => {
+            assert_eq!(
+                report.raw,
+                names.len(),
+                "every listed file must be accounted for"
+            );
+            assert_eq!(
+                report.not_reports,
+                report.parse_failures.len(),
+                "parse-failure records must match the not-report count"
+            );
+            assert_eq!(
+                report.raw,
+                report.valid + report.not_reports + report.stage1_total(),
+                "stage-1 accounting must balance"
+            );
+            let io_errors = report
+                .parse_failure_counts()
+                .get("io-error")
+                .copied()
+                .unwrap_or(0);
+            if io_errors == 0 {
+                // Outcome 2: no degradation recorded ⇒ exact output.
+                assert_eq!(
+                    report.to_markdown(),
+                    clean_md,
+                    "seed {seed} density {density}: silent divergence without io-error records"
+                );
+            } else {
+                // Outcome 3: every io-error names a real file and surfaces
+                // through `explain`.
+                for record in &report.parse_failures {
+                    let origin = record.origin.as_deref().expect("dir inputs have origins");
+                    assert!(
+                        names.iter().any(|n| n == origin),
+                        "io-error origin {origin:?} is not a corpus file"
+                    );
+                }
+                let explain = report.explain();
+                assert!(explain.contains("io-error"), "{explain}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------- export -----
+
+/// Export chaos: figure writing either succeeds with byte-identical files
+/// or fails with a typed error — and in *both* cases, any file that exists
+/// under its final name is intact. Atomic writes make torn exports
+/// unpublishable.
+fn export_chaos_case(seed: u64, density: u64) {
+    let (base_files, _) = baseline();
+    let out = unique_dir("export", seed, density);
+    let fault: Arc<dyn Vfs> = Arc::new(FaultVfs::seeded(Arc::new(RealVfs), seed, density));
+    let mut d = memory_driver().with_vfs(fault);
+
+    match d.write_figures(&out) {
+        Err(err) => {
+            assert_eq!(err.stage, "export-figures", "seed {seed} density {density}: {err}");
+        }
+        Ok(paths) => {
+            assert_eq!(paths.len(), base_files.len());
+        }
+    }
+    // Published files (if any) are exact — never torn, never partial.
+    for (name, content) in base_files {
+        let path = out.join(name);
+        if path.exists() {
+            assert_eq!(
+                std::fs::read(&path).expect("read exported file"),
+                content.as_bytes(),
+                "seed {seed} density {density}: {name} is torn or wrong"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+// ----------------------------------------------------------- harness ------
+
+#[test]
+fn cache_chaos_fixed_seeds() {
+    for seed in fixed_seeds() {
+        for density in [50, 200, 500] {
+            cache_chaos_case(seed, density);
+        }
+    }
+}
+
+#[test]
+fn ingest_chaos_fixed_seeds() {
+    for seed in fixed_seeds() {
+        for density in [50, 200, 500] {
+            ingest_chaos_case(seed, density);
+        }
+    }
+}
+
+#[test]
+fn export_chaos_fixed_seeds() {
+    for seed in fixed_seeds() {
+        for density in [50, 200, 500] {
+            export_chaos_case(seed, density);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cache_chaos_sweep(seed in 0u64..1_000_000, density in 1u64..600) {
+        cache_chaos_case(seed, density);
+    }
+
+    #[test]
+    fn ingest_chaos_sweep(seed in 0u64..1_000_000, density in 1u64..600) {
+        ingest_chaos_case(seed, density);
+    }
+
+    #[test]
+    fn export_chaos_sweep(seed in 0u64..1_000_000, density in 1u64..600) {
+        export_chaos_case(seed, density);
+    }
+}

@@ -1,6 +1,9 @@
 //! Shared fixtures for the integration tests: one cached fast-settings
 //! dataset per test binary.
 
+// Compiled once per test binary; not every binary uses every fixture.
+#![allow(dead_code)]
+
 use std::sync::OnceLock;
 
 use spec_power_trends::analysis::{load_from_texts, AnalysisSet};
