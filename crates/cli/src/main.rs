@@ -11,6 +11,10 @@
 //! spec-trends doctor --cache-dir DIR             fsck an artifact cache: verify
 //!                                                every entry, quarantine corrupt
 //!                                                ones, sweep orphaned temp files
+//! spec-trends stats [--data DIR] [--cache-dir D] run the full pipeline with
+//!                                                instrumentation on and print the
+//!                                                per-stage execution/cache table
+//!                                                plus every recorded metric
 //! ```
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
@@ -24,19 +28,27 @@
 //! `--threads N` pins the worker-pool size. Precedence: the flag overrides
 //! the `SPEC_TRENDS_THREADS` environment variable, which overrides the
 //! machine's available parallelism. Results are identical for any setting.
+//!
+//! Observability (see DESIGN.md §11): `--trace-out FILE` enables the
+//! `spec-obs` tracer for the run and writes a Chrome trace-event JSON —
+//! load it in `about://tracing` or Perfetto — with one span per executed
+//! stage (plus VFS, pool-shard and simulator spans). Setting
+//! `SPEC_TRENDS_TRACE=1` enables the same instrumentation without a flag
+//! and prints the metrics table to stderr after the run. Instrumentation
+//! is off by default and costs one atomic load per probe when disabled.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver};
+use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver, StageId};
 use spec_diag::TrendsError;
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor> \
-         [--out PATH] [--data DIR] [--seed N] [--cache-dir DIR] [--threads N]\n\
+        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats> \
+         [--out PATH] [--data DIR] [--seed N] [--cache-dir DIR] [--threads N] [--trace-out FILE]\n\
          \n\
          --cache-dir DIR  content-addressed artifact cache; warm runs skip every\n\
          \x20               stage whose inputs are unchanged (figures after analyze\n\
@@ -46,7 +58,11 @@ fn usage() -> ExitCode {
          --threads N   worker threads for generation and the filter cascade.\n\
          \x20             Precedence: --threads > SPEC_TRENDS_THREADS env var >\n\
          \x20             available CPU parallelism. Output is identical for any\n\
-         \x20             thread count."
+         \x20             thread count.\n\
+         --trace-out FILE  enable instrumentation and write a Chrome trace-event\n\
+         \x20               JSON (about://tracing / Perfetto) for this run.\n\
+         \x20               SPEC_TRENDS_TRACE=1 enables the same instrumentation\n\
+         \x20               without a flag; `stats` prints the metrics table."
     );
     ExitCode::from(2)
 }
@@ -58,6 +74,7 @@ struct Args {
     seed: u64,
     cache_dir: Option<PathBuf>,
     threads: Option<usize>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -71,12 +88,14 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut seed = 3u64;
     let mut cache_dir = None;
     let mut threads = None;
+    let mut trace_out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(args.next()?)),
             "--data" => data = Some(PathBuf::from(args.next()?)),
             "--seed" => seed = args.next()?.parse().ok()?,
             "--cache-dir" => cache_dir = Some(PathBuf::from(args.next()?)),
+            "--trace-out" => trace_out = Some(PathBuf::from(args.next()?)),
             "--threads" => {
                 let n: usize = args.next()?.parse().ok()?;
                 if n == 0 {
@@ -94,6 +113,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         seed,
         cache_dir,
         threads,
+        trace_out,
     })
 }
 
@@ -274,13 +294,56 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             print!("{}", report.to_text());
             Ok(())
         }
+        "stats" => {
+            // Instrumentation is forced on for `stats` (main() did it
+            // before any pipeline work); the run computes everything in
+            // memory and reports where the time and cache traffic went.
+            let mut driver = build_driver(args)?;
+            driver.export_figures()?;
+            driver.export_data()?;
+            println!("stage             executed  cache-hit");
+            let stats = driver.stats();
+            for id in StageId::all() {
+                let s = stats.get(&id).copied().unwrap_or_default();
+                println!("{:<18}{:>8}{:>11}", id.name(), s.executed, s.hits);
+            }
+            println!(
+                "total             {:>8}{:>11}",
+                driver.executed_total(),
+                driver.hits_total()
+            );
+            println!();
+            print!("{}", spec_obs::snapshot().to_table());
+            report_cache_activity(&driver);
+            Ok(())
+        }
         _ => Err(TrendsError::config("cli", format!("unknown command {:?}", args.command))),
     }
 }
 
-const COMMANDS: [&str; 9] = [
+const COMMANDS: [&str; 10] = [
     "generate", "analyze", "explain", "figures", "table1", "report", "export", "trends", "doctor",
+    "stats",
 ];
+
+/// Write the collected spans as Chrome trace-event JSON (atomically, like
+/// every other deliverable). A failed write is an error: the trace was the
+/// point of the run.
+fn write_trace(path: &std::path::Path) -> spec_diag::Result<()> {
+    let spans = spec_obs::take_spans();
+    let json = spec_obs::chrome_trace_json(&spans);
+    spec_vfs::default_vfs()
+        .atomic_write(path, json.as_bytes())
+        .map_err(|e| TrendsError::io("trace-out", &e).with_origin(path.display().to_string()))?;
+    eprintln!("wrote {} span(s) to {}", spans.len(), path.display());
+    if spec_obs::dropped_spans() > 0 {
+        eprintln!(
+            "note: {} span(s) dropped (ring buffer full)",
+            spec_obs::dropped_spans()
+        );
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
@@ -288,6 +351,13 @@ fn main() -> ExitCode {
     };
     if !COMMANDS.contains(&args.command.as_str()) {
         return usage();
+    }
+    // Enable instrumentation before any pipeline work: `--trace-out` and
+    // the `stats` command force it on; SPEC_TRENDS_TRACE=1 enables it for
+    // any command.
+    let env_traced = spec_obs::init_from_env();
+    if args.trace_out.is_some() || args.command == "stats" {
+        spec_obs::set_enabled(true);
     }
     if let Some(n) = args.threads {
         // Before any parallel work: the global pool is created lazily on
@@ -297,7 +367,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    match run_command(&args) {
+    let result = run_command(&args).and_then(|()| {
+        if let Some(path) = &args.trace_out {
+            write_trace(path)?;
+        }
+        if env_traced && args.trace_out.is_none() && args.command != "stats" {
+            // Env-toggled runs with nowhere to put a trace still report
+            // where the time went.
+            eprint!("{}", spec_obs::snapshot().to_table());
+        }
+        Ok(())
+    });
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("error: {err}");
@@ -379,5 +460,21 @@ mod tests {
     #[test]
     fn doctor_is_a_known_command() {
         assert!(COMMANDS.contains(&"doctor"));
+    }
+
+    #[test]
+    fn stats_is_a_known_command() {
+        assert!(COMMANDS.contains(&"stats"));
+    }
+
+    #[test]
+    fn trace_out_flag_parses() {
+        let args = parse(&["analyze", "--trace-out", "t.json"]).unwrap();
+        assert_eq!(
+            args.trace_out.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+        assert!(parse(&["analyze"]).unwrap().trace_out.is_none());
+        assert!(parse(&["analyze", "--trace-out"]).is_none());
     }
 }

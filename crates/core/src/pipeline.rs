@@ -18,6 +18,7 @@ use spec_format::{
     ValidityIssue,
 };
 use spec_model::RunResult;
+use spec_obs as obs;
 use spec_vfs::Vfs;
 
 /// One raw corpus input: either the report text, or the record that the
@@ -300,6 +301,13 @@ where
         }
     }
     report.valid = valid.len();
+    if obs::enabled() {
+        obs::count("ingest.inputs", report.raw as u64);
+        obs::count("ingest.valid", report.valid as u64);
+        for (category, n) in report.parse_failure_counts() {
+            obs::count(&format!("ingest.parse_failure.{category}"), n as u64);
+        }
+    }
     (valid, report)
 }
 
@@ -334,6 +342,12 @@ where
 {
     let ranges = tinypool::run_chunks(texts.len(), |_| {});
     let shards = tinypool::parallel_map(&ranges, |range| {
+        let mut sp = obs::span("ingest-shard");
+        if obs::enabled() {
+            sp.record("start", range.start);
+            sp.record("items", range.len());
+            sp.observe_into("ingest.shard_us");
+        }
         load_from_texts(texts[range.clone()].iter().map(AsRef::as_ref))
     });
     merge_shards(shards)
@@ -419,6 +433,12 @@ pub fn load_from_dir_vfs(vfs: &dyn Vfs, dir: &Path) -> spec_diag::Result<Analysi
     let entries = list_report_files(vfs, dir)?;
     let ranges = tinypool::run_chunks(entries.len(), |_| {});
     let shards = tinypool::parallel_map(&ranges, |range| {
+        let mut sp = obs::span("ingest-shard");
+        if obs::enabled() {
+            sp.record("start", range.start);
+            sp.record("items", range.len());
+            sp.observe_into("ingest.shard_us");
+        }
         let items: Vec<(Option<String>, RawInput)> = entries[range.clone()]
             .iter()
             .map(|path| read_input(vfs, path))

@@ -31,6 +31,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use spec_diag::TrendsError;
+use spec_obs as obs;
 use spec_vfs::Vfs;
 
 use super::codec::{decode_from_slice, encode_to_vec, Codec};
@@ -290,6 +291,7 @@ impl ArtifactCache {
         reason_name.push(".reason");
         let _ = self.vfs.write(&qdir.join(reason_name), reason.as_bytes());
         self.lock_health().quarantined += 1;
+        obs::count("cache.quarantined", 1);
     }
 
     /// Sweep `*.tmp` orphans left by crashed runs into quarantine.
@@ -306,6 +308,9 @@ impl ArtifactCache {
             }
         }
         self.lock_health().orphans_swept += swept;
+        if swept > 0 {
+            obs::count("cache.orphans_swept", swept as u64);
+        }
         swept
     }
 
@@ -316,24 +321,32 @@ impl ArtifactCache {
         let path = self.entry_path(key);
         let bytes = match self.vfs.read_verified(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                obs::count("cache.miss", 1);
+                return None;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
                 // The file is shorter than its metadata says: a short read
                 // or concurrent truncation. Quarantine and recompute.
                 self.quarantine(&path, &format!("short read: {e}"));
+                obs::count("cache.miss", 1);
                 return None;
             }
             Err(_) => {
                 // Unreadable (EIO after retries, permissions): leave it in
                 // place for `doctor`, count the degradation, recompute.
                 self.lock_health().read_errors += 1;
+                obs::count("cache.read_error", 1);
+                obs::count("cache.miss", 1);
                 return None;
             }
         };
         if let Some(reason) = entry_defect(&bytes) {
             self.quarantine(&path, &reason);
+            obs::count("cache.miss", 1);
             return None;
         }
+        obs::count("cache.hit", 1);
         let mut hash = [0u8; 16];
         hash.copy_from_slice(&bytes[4..HEADER_LEN]);
         let mut payload = bytes;
@@ -363,6 +376,7 @@ impl ArtifactCache {
                     &self.entry_path(key),
                     &format!("undecodable payload: {e}"),
                 );
+                obs::count("cache.decode_error", 1);
                 None
             }
         }
@@ -374,16 +388,26 @@ impl ArtifactCache {
     /// counted in [`CacheHealth`] and otherwise ignored — the pipeline
     /// continues uncached rather than aborting.
     pub fn store<T: Codec>(&self, key: &Hash128, value: &T) -> Hash128 {
-        let payload = encode_to_vec(value);
-        let content_hash = fnv128(&payload);
+        self.store_encoded(key, &encode_to_vec(value))
+    }
+
+    /// [`Self::store`] for an already-encoded payload. The driver encodes
+    /// each artifact exactly once (for sizing and hashing) and hands the
+    /// bytes here, so instrumentation never doubles the encode cost.
+    pub fn store_encoded(&self, key: &Hash128, payload: &[u8]) -> Hash128 {
+        let content_hash = fnv128(payload);
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&content_hash.to_bytes());
-        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(payload);
         let path = self.entry_path(key);
         let tmp = self.root.join(format!(".{}.tmp", key.hex()));
         if self.vfs.atomic_write_with(&tmp, &path, &bytes).is_err() {
             self.lock_health().write_errors += 1;
+            obs::count("cache.write_error", 1);
+        } else {
+            obs::count("cache.store", 1);
+            obs::count("cache.store_bytes", payload.len() as u64);
         }
         content_hash
     }

@@ -20,6 +20,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use spec_model::RunResult;
+use spec_obs as obs;
 use spec_ssj::Settings;
 use spec_synth::{generate_dataset, SynthConfig};
 use spec_vfs::Vfs;
@@ -76,6 +77,9 @@ pub struct PipelineDriver {
     cache: Option<ArtifactCache>,
     stats: BTreeMap<StageId, StageStats>,
     hashes: BTreeMap<StageId, Hash128>,
+    /// Encoded artifact sizes for executed stages; feeds the per-span
+    /// `in_bytes`/`out_bytes` fields (only populated while tracing).
+    sizes: BTreeMap<StageId, usize>,
     corpus: Option<Rc<CorpusArtifact>>,
     validate: Option<Rc<ValidateArtifact>>,
     comparable: Option<Rc<ComparableArtifact>>,
@@ -102,6 +106,7 @@ impl PipelineDriver {
             cache: None,
             stats: BTreeMap::new(),
             hashes: BTreeMap::new(),
+            sizes: BTreeMap::new(),
             corpus: None,
             validate: None,
             comparable: None,
@@ -163,6 +168,52 @@ impl PipelineDriver {
         self.stats.entry(id).or_default()
     }
 
+    fn note_cache_hit(&mut self, id: StageId) {
+        self.stat_mut(id).hits += 1;
+        if obs::enabled() {
+            obs::count(&format!("stage.{}.cache_hit", id.name()), 1);
+        }
+    }
+
+    /// Run a stage's compute function, encode its output once, and
+    /// store/hash the encoded payload. This is the single point every
+    /// stage execution flows through: `sp` is the stage span opened by the
+    /// `resolve_*` caller (before upstream resolution, so dependency spans
+    /// already nest inside it); on exit it carries the stage name,
+    /// input/output artifact sizes and the computed outcome, and the
+    /// per-stage `executed` counter lands in the metrics registry.
+    fn compute_stage<T: Codec>(
+        &mut self,
+        id: StageId,
+        key: Hash128,
+        mut sp: obs::Span,
+        compute: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<T>,
+    ) -> spec_diag::Result<(T, Hash128)> {
+        let value = compute(self)?;
+        let payload = encode_to_vec(&value);
+        let h = match &self.cache {
+            Some(cache) => cache.store_encoded(&key, &payload),
+            None => fnv128(&payload),
+        };
+        self.stat_mut(id).executed += 1;
+        if obs::enabled() {
+            self.sizes.insert(id, payload.len());
+            let in_bytes: u64 = id
+                .deps()
+                .iter()
+                .filter_map(|d| self.sizes.get(d))
+                .map(|&n| n as u64)
+                .sum();
+            sp.record("kind", "stage");
+            sp.record("outcome", "computed");
+            sp.record("in_bytes", in_bytes);
+            sp.record("out_bytes", payload.len());
+            sp.observe_into("stage.execute_us");
+            obs::count(&format!("stage.{}.executed", id.name()), 1);
+        }
+        Ok((value, h))
+    }
+
     fn stage_key(&self, id: StageId, deps: &[Hash128], salt: &[u8]) -> Hash128 {
         let mut h = Fnv128::new();
         h.update_field(CODE_VERSION.as_bytes());
@@ -176,50 +227,56 @@ impl PipelineDriver {
 
     /// Resolve a stage's content hash as cheaply as possible: memo → cache
     /// header peek → compute (and store).
+    ///
+    /// The stage span opens *before* `key_fn` runs, and key derivation is
+    /// what resolves upstream stages — so dependency spans nest inside
+    /// their dependent's span and the trace mirrors the stage graph. A
+    /// memo or cache hit cancels the span: only executed stages appear.
     fn resolve_hash<T: Codec>(
         &mut self,
         id: StageId,
-        key: Hash128,
+        key_fn: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<Hash128>,
         slot: fn(&mut PipelineDriver) -> &mut Option<Rc<T>>,
         compute: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<T>,
     ) -> spec_diag::Result<Hash128> {
         if let Some(&h) = self.hashes.get(&id) {
             return Ok(h);
         }
+        let mut sp = obs::span(id.name());
+        let key = key_fn(self)?;
         if let Some(cache) = &self.cache {
             if let Some(h) = cache.verified_hash(&key) {
-                self.stat_mut(id).hits += 1;
+                sp.cancel();
+                self.note_cache_hit(id);
                 self.hashes.insert(id, h);
                 return Ok(h);
             }
         }
-        let value = compute(self)?;
-        self.stat_mut(id).executed += 1;
-        let h = match &self.cache {
-            Some(cache) => cache.store(&key, &value),
-            None => fnv128(&encode_to_vec(&value)),
-        };
+        let (value, h) = self.compute_stage(id, key, sp, compute)?;
         self.hashes.insert(id, h);
         *slot(self) = Some(Rc::new(value));
         Ok(h)
     }
 
     /// Resolve a stage's artifact value: memo → cache decode → compute
-    /// (and store).
+    /// (and store). Same span discipline as [`Self::resolve_hash`].
     fn resolve_value<T: Codec>(
         &mut self,
         id: StageId,
-        key: Hash128,
+        key_fn: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<Hash128>,
         slot: fn(&mut PipelineDriver) -> &mut Option<Rc<T>>,
         compute: impl FnOnce(&mut PipelineDriver) -> spec_diag::Result<T>,
     ) -> spec_diag::Result<Rc<T>> {
         if let Some(v) = slot(self).clone() {
             return Ok(v);
         }
+        let mut sp = obs::span(id.name());
+        let key = key_fn(self)?;
         if let Some(cache) = self.cache.clone() {
             if let Some((value, h)) = cache.load::<T>(&key) {
+                sp.cancel();
                 if !self.hashes.contains_key(&id) {
-                    self.stat_mut(id).hits += 1;
+                    self.note_cache_hit(id);
                 }
                 self.hashes.insert(id, h);
                 let rc = Rc::new(value);
@@ -227,12 +284,7 @@ impl PipelineDriver {
                 return Ok(rc);
             }
         }
-        let value = compute(self)?;
-        self.stat_mut(id).executed += 1;
-        let h = match &self.cache {
-            Some(cache) => cache.store(&key, &value),
-            None => fnv128(&encode_to_vec(&value)),
-        };
+        let (value, h) = self.compute_stage(id, key, sp, compute)?;
         self.hashes.insert(id, h);
         let rc = Rc::new(value);
         *slot(self) = Some(rc.clone());
@@ -284,17 +336,31 @@ impl PipelineDriver {
         }
         match self.source.clone() {
             CorpusSource::Synthetic(config) => {
-                let key = self.synthetic_corpus_key(&config);
-                self.resolve_hash(StageId::Ingest, key, |me| &mut me.corpus, move |_| {
-                    Ok(Self::generate_synthetic(&config))
-                })
+                let key_config = config.clone();
+                self.resolve_hash(
+                    StageId::Ingest,
+                    move |me| Ok(me.synthetic_corpus_key(&key_config)),
+                    |me| &mut me.corpus,
+                    move |_| Ok(Self::generate_synthetic(&config)),
+                )
             }
             CorpusSource::Dir(dir) => {
                 // Reading the files *is* the ingest work for a directory
                 // source; the content hash doubles as the cache key input.
+                let mut sp = obs::span(StageId::Ingest.name());
                 let artifact = self.read_dir_corpus(&dir)?;
-                let h = fnv128(&encode_to_vec(&artifact));
+                let payload = encode_to_vec(&artifact);
+                let h = fnv128(&payload);
                 self.stat_mut(StageId::Ingest).executed += 1;
+                if obs::enabled() {
+                    self.sizes.insert(StageId::Ingest, payload.len());
+                    sp.record("kind", "stage");
+                    sp.record("outcome", "computed");
+                    sp.record("files", artifact.items.len());
+                    sp.record("out_bytes", payload.len());
+                    sp.observe_into("stage.execute_us");
+                    obs::count("stage.ingest.executed", 1);
+                }
                 self.hashes.insert(StageId::Ingest, h);
                 self.corpus = Some(Rc::new(artifact));
                 Ok(h)
@@ -320,10 +386,13 @@ impl PipelineDriver {
         }
         match self.source.clone() {
             CorpusSource::Synthetic(config) => {
-                let key = self.synthetic_corpus_key(&config);
-                self.resolve_value(StageId::Ingest, key, |me| &mut me.corpus, move |_| {
-                    Ok(Self::generate_synthetic(&config))
-                })
+                let key_config = config.clone();
+                self.resolve_value(
+                    StageId::Ingest,
+                    move |me| Ok(me.synthetic_corpus_key(&key_config)),
+                    |me| &mut me.corpus,
+                    move |_| Ok(Self::generate_synthetic(&config)),
+                )
             }
             CorpusSource::Dir(_) | CorpusSource::Memory(_) => {
                 self.corpus_hash()?;
@@ -346,8 +415,7 @@ impl PipelineDriver {
         if let Some(&h) = self.hashes.get(&StageId::Validate) {
             return Ok(h);
         }
-        let key = self.validate_key()?;
-        self.resolve_hash(StageId::Validate, key, |me| &mut me.validate, |me| {
+        self.resolve_hash(StageId::Validate, Self::validate_key, |me| &mut me.validate, |me| {
             let corpus = me.corpus()?;
             ValidateStage::run(&corpus)
         })
@@ -358,8 +426,7 @@ impl PipelineDriver {
         if let Some(v) = &self.validate {
             return Ok(v.clone());
         }
-        let key = self.validate_key()?;
-        self.resolve_value(StageId::Validate, key, |me| &mut me.validate, |me| {
+        self.resolve_value(StageId::Validate, Self::validate_key, |me| &mut me.validate, |me| {
             let corpus = me.corpus()?;
             ValidateStage::run(&corpus)
         })
@@ -374,8 +441,7 @@ impl PipelineDriver {
         if let Some(&h) = self.hashes.get(&StageId::Comparable) {
             return Ok(h);
         }
-        let key = self.comparable_key()?;
-        self.resolve_hash(StageId::Comparable, key, |me| &mut me.comparable, |me| {
+        self.resolve_hash(StageId::Comparable, Self::comparable_key, |me| &mut me.comparable, |me| {
             let validate = me.validate()?;
             ComparableStage::run(&validate)
         })
@@ -386,8 +452,7 @@ impl PipelineDriver {
         if let Some(c) = &self.comparable {
             return Ok(c.clone());
         }
-        let key = self.comparable_key()?;
-        self.resolve_value(StageId::Comparable, key, |me| &mut me.comparable, |me| {
+        self.resolve_value(StageId::Comparable, Self::comparable_key, |me| &mut me.comparable, |me| {
             let validate = me.validate()?;
             ComparableStage::run(&validate)
         })
@@ -449,8 +514,7 @@ macro_rules! figure_accessors {
                 if let Some(v) = &self.$slot {
                     return Ok(v.clone());
                 }
-                let key = self.figure_key(<$stage>::ID)?;
-                self.resolve_value(<$stage>::ID, key, |me| &mut me.$slot, |me| {
+                self.resolve_value(<$stage>::ID, |me| me.figure_key(<$stage>::ID), |me| &mut me.$slot, |me| {
                     let runs = me.$input()?;
                     <$stage>::run(&runs)
                 })
@@ -460,8 +524,7 @@ macro_rules! figure_accessors {
                 if let Some(&h) = self.hashes.get(&<$stage>::ID) {
                     return Ok(h);
                 }
-                let key = self.figure_key(<$stage>::ID)?;
-                self.resolve_hash(<$stage>::ID, key, |me| &mut me.$slot, |me| {
+                self.resolve_hash(<$stage>::ID, |me| me.figure_key(<$stage>::ID), |me| &mut me.$slot, |me| {
                     let runs = me.$input()?;
                     <$stage>::run(&runs)
                 })
@@ -498,10 +561,9 @@ impl PipelineDriver {
         if let Some(d) = &self.derive {
             return Ok(d.clone());
         }
-        let key = self.derive_key()?;
         let settings = self.settings.clone();
         let seed = self.seed;
-        self.resolve_value(StageId::Derive, key, |me| &mut me.derive, move |me| {
+        self.resolve_value(StageId::Derive, Self::derive_key, |me| &mut me.derive, move |me| {
             let runs = me.comparable_runs()?;
             DeriveStage::run((&runs, &settings, seed))
         })
@@ -511,10 +573,9 @@ impl PipelineDriver {
         if let Some(&h) = self.hashes.get(&StageId::Derive) {
             return Ok(h);
         }
-        let key = self.derive_key()?;
         let settings = self.settings.clone();
         let seed = self.seed;
-        self.resolve_hash(StageId::Derive, key, |me| &mut me.derive, move |me| {
+        self.resolve_hash(StageId::Derive, Self::derive_key, |me| &mut me.derive, move |me| {
             let runs = me.comparable_runs()?;
             DeriveStage::run((&runs, &settings, seed))
         })
@@ -566,10 +627,9 @@ impl PipelineDriver {
         if let Some(f) = &self.export_figures {
             return Ok(f.clone());
         }
-        let key = self.export_key(StageId::ExportFigures)?;
         self.resolve_value(
             StageId::ExportFigures,
-            key,
+            |me| me.export_key(StageId::ExportFigures),
             |me| &mut me.export_figures,
             |me| {
                 let study = me.study()?;
@@ -583,10 +643,9 @@ impl PipelineDriver {
         if let Some(f) = &self.export_data {
             return Ok(f.clone());
         }
-        let key = self.export_key(StageId::ExportData)?;
         self.resolve_value(
             StageId::ExportData,
-            key,
+            |me| me.export_key(StageId::ExportData),
             |me| &mut me.export_data,
             |me| {
                 let study = me.study()?;

@@ -1,14 +1,16 @@
 //! Number formatting/parsing in the SPEC report style (thousands separators,
 //! e.g. `10,262,499`).
 
-/// Format a non-negative value with `,` thousands separators and the given
-/// number of decimals.
+/// Format a value with `,` thousands separators and the given number of
+/// decimals.
 pub fn group_thousands(value: f64, decimals: usize) -> String {
     if !value.is_finite() {
         return "n/a".to_string();
     }
-    let negative = value < 0.0;
     let formatted = format!("{:.*}", decimals, value.abs());
+    // Sign of the *rounded* rendering, not the input: -0.2 at 0 decimals
+    // rounds to zero, and "-0" is not a number any report ever prints.
+    let negative = value < 0.0 && formatted.bytes().any(|b| b.is_ascii_digit() && b != b'0');
     let (int_part, frac_part) = match formatted.split_once('.') {
         Some((i, f)) => (i, Some(f)),
         None => (formatted.as_str(), None),
@@ -35,11 +37,44 @@ pub fn group_thousands(value: f64, decimals: usize) -> String {
 
 /// Parse a number that may contain `,` separators; returns `None` for
 /// unparsable input.
+///
+/// Separator placement is validated, not stripped blindly: the first digit
+/// group must be 1–3 digits and every following group exactly 3 (the only
+/// layout [`group_thousands`] produces), so a corrupted report field like
+/// `"1,0,0"` or `",5"` is rejected — and filtered with a
+/// `ParseFailureRecord` upstream — instead of silently mis-ingested as a
+/// different number.
 pub fn parse_grouped(s: &str) -> Option<f64> {
-    let cleaned: String = s.trim().chars().filter(|&c| c != ',').collect();
-    if cleaned.is_empty() {
+    let s = s.trim();
+    if s.is_empty() {
         return None;
     }
+    if !s.contains(',') {
+        // Comma-free numbers keep full `f64::from_str` syntax (exponents,
+        // inf/NaN spellings) exactly as before.
+        return s.parse().ok();
+    }
+    let rest = s.strip_prefix(['-', '+']).unwrap_or(s);
+    let (int_part, frac) = match rest.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (rest, None),
+    };
+    if let Some(f) = frac {
+        if f.is_empty() || !f.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+    }
+    let mut groups = int_part.split(',');
+    let first = groups.next()?;
+    if first.is_empty() || first.len() > 3 || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    for g in groups {
+        if g.len() != 3 || !g.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+    }
+    let cleaned: String = s.chars().filter(|&c| c != ',').collect();
     cleaned.parse().ok()
 }
 
@@ -69,6 +104,43 @@ mod tests {
         assert_eq!(parse_grouped("42"), Some(42.0));
         assert_eq!(parse_grouped(""), None);
         assert_eq!(parse_grouped("n/a"), None);
+    }
+
+    #[test]
+    fn negative_zero_drops_sign() {
+        // Regression: small negatives rounding to zero printed "-0".
+        assert_eq!(group_thousands(-0.2, 0), "0");
+        assert_eq!(group_thousands(-0.0004, 2), "0.00");
+        assert_eq!(group_thousands(-0.0, 3), "0.000");
+        // The sign survives as soon as any rendered digit is non-zero.
+        assert_eq!(group_thousands(-0.2, 1), "-0.2");
+        assert_eq!(group_thousands(-0.05, 1), "-0.1");
+        assert_eq!(group_thousands(-1.0, 0), "-1");
+    }
+
+    #[test]
+    fn misplaced_separators_are_rejected() {
+        // Regression: comma positions were stripped without validation, so
+        // corrupted fields parsed as a *different* number.
+        assert_eq!(parse_grouped("1,0,0"), None);
+        assert_eq!(parse_grouped(",5"), None);
+        assert_eq!(parse_grouped("1,2345"), None);
+        assert_eq!(parse_grouped("1234,567"), None);
+        assert_eq!(parse_grouped("1,23"), None);
+        assert_eq!(parse_grouped("1,"), None);
+        assert_eq!(parse_grouped("1,234,56"), None);
+        assert_eq!(parse_grouped("12,34.5"), None);
+        assert_eq!(parse_grouped("1,234."), None);
+        assert_eq!(parse_grouped("1,234.5.6"), None);
+        assert_eq!(parse_grouped("1,234.5e3"), None, "exponent after groups");
+        assert_eq!(parse_grouped("-,123"), None);
+        // Well-placed separators still parse, signs included.
+        assert_eq!(parse_grouped("-1,234.5"), Some(-1234.5));
+        assert_eq!(parse_grouped("+1,234"), Some(1234.0));
+        assert_eq!(parse_grouped("123,456,789"), Some(123_456_789.0));
+        // The comma-free path keeps full float syntax.
+        assert_eq!(parse_grouped("1e3"), Some(1000.0));
+        assert_eq!(parse_grouped("-0.5"), Some(-0.5));
     }
 
     #[test]

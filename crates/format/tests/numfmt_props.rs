@@ -1,0 +1,119 @@
+//! Property tests on the SPEC-style thousands formatting/parsing pair.
+//!
+//! The two directions are pinned against each other: everything
+//! `group_thousands` emits must survive `parse_grouped` at the formatting
+//! precision, and strings `group_thousands` could never produce (misplaced
+//! separators, malformed digit groups) must be rejected rather than
+//! reinterpreted as a different number.
+
+use proptest::prelude::*;
+use spec_format::numfmt::{group_thousands, parse_grouped};
+
+/// Assemble a grouped integer literal from digit-group lengths, e.g.
+/// `[2, 3, 3]` -> `"12,345,678"`. Digits cycle 1..=9 so no group is all
+/// zeros and the leading digit is never zero.
+fn render_groups(lens: &[usize]) -> String {
+    let mut digit = 1u8;
+    let mut out = String::new();
+    for (i, &len) in lens.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        for _ in 0..len {
+            out.push(char::from(b'0' + digit));
+            digit = if digit == 9 { 1 } else { digit + 1 };
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip_at_formatting_precision(v in -1e9f64..1e9, d in 0usize..4) {
+        let s = group_thousands(v, d);
+        let back = parse_grouped(&s);
+        prop_assert!(back.is_some(), "{v} formatted to unparsable {s:?}");
+        // Half an ULP of the last printed decimal, plus rounding slack on
+        // the decimal rendering itself.
+        let tol = 0.5 * 10f64.powi(-(d as i32)) * 1.000_000_1 + v.abs() * 1e-12;
+        let back = back.unwrap();
+        prop_assert!(
+            (back - v).abs() <= tol,
+            "{v} -> {s} -> {back} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn formatted_zero_is_never_signed(v in -0.4f64..0.4, d in 0usize..3) {
+        let s = group_thousands(v, d);
+        if s.bytes().all(|b| !b.is_ascii_digit() || b == b'0') {
+            prop_assert!(
+                !s.starts_with('-'),
+                "rounded-to-zero rendering kept its sign: {v} -> {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_grouping_parses(
+        first in 1usize..=3,
+        rest in prop::collection::vec(Just(3usize), 0..4),
+        frac in 0usize..4,
+        neg in any::<bool>(),
+    ) {
+        let mut lens = vec![first];
+        lens.extend(rest);
+        let mut s = render_groups(&lens);
+        if frac > 0 {
+            s.push('.');
+            for _ in 0..frac {
+                s.push('5');
+            }
+        }
+        if neg {
+            s.insert(0, '-');
+        }
+        let expected: f64 = s.replace(',', "").parse().unwrap();
+        prop_assert_eq!(parse_grouped(&s), Some(expected), "{}", s);
+    }
+
+    #[test]
+    fn misplaced_groups_are_rejected(
+        lens in prop::collection::vec(1usize..5, 2..5),
+    ) {
+        // Only run on layouts group_thousands cannot emit: some group after
+        // the first with width != 3, or a first group wider than 3.
+        let valid = lens[0] <= 3 && lens[1..].iter().all(|&l| l == 3);
+        prop_assume!(!valid);
+        let s = render_groups(&lens);
+        prop_assert_eq!(parse_grouped(&s), None, "accepted misplaced separators: {}", s);
+    }
+
+    #[test]
+    fn garbage_with_commas_is_rejected(s in "[0-9,]{0,12}") {
+        // Any comma-bearing string that is NOT a legal grouping must be
+        // rejected; legal ones must agree with the comma-stripped parse.
+        prop_assume!(s.contains(','));
+        let stripped = s.replace(',', "");
+        let legal = {
+            let groups: Vec<&str> = s.split(',').collect();
+            !groups[0].is_empty()
+                && groups[0].len() <= 3
+                && groups[1..].iter().all(|g| g.len() == 3)
+        };
+        match parse_grouped(&s) {
+            Some(v) => {
+                prop_assert!(legal, "accepted illegal grouping {:?} as {}", s, v);
+                prop_assert_eq!(Some(v), stripped.parse::<f64>().ok());
+            }
+            None => prop_assert!(!legal, "rejected legal grouping {:?}", s),
+        }
+    }
+
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,24}") {
+        let _ = parse_grouped(&s);
+    }
+}

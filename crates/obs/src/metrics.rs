@@ -1,0 +1,317 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket
+//! (power-of-two microsecond) histograms.
+//!
+//! Call sites use the free functions [`count`], [`set_gauge`] and
+//! [`observe_us`]; each checks [`crate::enabled`] *before* touching the
+//! registry lock, so the disabled path is one relaxed atomic load. The
+//! registry itself is a name-keyed map behind a mutex — held only to look
+//! up or insert the `Arc`'d cells, never across the increment.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Histogram bucket count: bucket `i` holds values whose bit length is
+/// `i` (i.e. `v in [2^(i-1), 2^i)`), with the top bucket open-ended.
+/// 20 buckets cover 0 µs .. ~0.5 s per observation, plenty for spans.
+pub(crate) const HIST_BUCKETS: usize = 20;
+
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Add `n` to the counter named `name`. No-op while disabled.
+pub fn count(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cell = {
+        let mut map = locked(&registry().counters);
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    };
+    cell.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Set the gauge named `name` to `v`. No-op while disabled.
+pub fn set_gauge(name: &str, v: i64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cell = {
+        let mut map = locked(&registry().gauges);
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(AtomicI64::new(0));
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    };
+    cell.store(v, Ordering::Relaxed);
+}
+
+/// Observe a microsecond value into the histogram named `name`.
+/// No-op while disabled.
+pub fn observe_us(name: &str, us: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cell = {
+        let mut map = locked(&registry().histograms);
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    };
+    cell.observe(us);
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (bucket `i` ≈ `[2^(i-1), 2^i)` µs).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (µs).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as a plain-text table (the body of
+    /// `spec-trends stats`). Empty sections are omitted.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (us):\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  count={} sum={} mean={:.1}",
+                    h.count,
+                    h.sum,
+                    h.mean_us()
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Copy every registered metric into a [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = locked(&reg.counters)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = locked(&reg.gauges)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let histograms = locked(&reg.histograms)
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                HistogramSnapshot {
+                    buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                    count: h.count.load(Ordering::Relaxed),
+                    sum: h.sum.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+pub(crate) fn clear() {
+    let reg = registry();
+    locked(&reg.counters).clear();
+    locked(&reg.gauges).clear();
+    locked(&reg.histograms).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_gate as lock;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _gate = lock();
+        crate::set_enabled(false);
+        crate::reset();
+        crate::set_enabled(true);
+        count("test.hits", 2);
+        count("test.hits", 3);
+        count("test.misses", 1);
+        set_gauge("test.level", -4);
+        set_gauge("test.level", 7);
+        crate::set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.hits"), Some(&5));
+        assert_eq!(snap.counters.get("test.misses"), Some(&1));
+        assert_eq!(snap.gauges.get("test.level"), Some(&7));
+    }
+
+    #[test]
+    fn disabled_metrics_are_noops() {
+        let _gate = lock();
+        crate::set_enabled(false);
+        crate::reset();
+        count("test.ghost", 1);
+        set_gauge("test.ghost", 1);
+        observe_us("test.ghost", 1);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let _gate = lock();
+        crate::set_enabled(false);
+        crate::reset();
+        crate::set_enabled(true);
+        observe_us("test.h", 0); // bucket 0
+        observe_us("test.h", 1); // bit length 1 -> bucket 1
+        observe_us("test.h", 2); // bit length 2 -> bucket 2
+        observe_us("test.h", 3); // bit length 2 -> bucket 2
+        observe_us("test.h", u64::MAX); // clamped to top bucket
+        crate::set_enabled(false);
+        let snap = snapshot();
+        let h = snap.histograms.get("test.h").expect("histogram");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1);
+        assert!((h.mean_us() - (6 + u64::MAX / 5) as f64) < 2.0);
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let _gate = lock();
+        crate::set_enabled(false);
+        crate::reset();
+        crate::set_enabled(true);
+        count("t.c", 9);
+        set_gauge("t.g", -2);
+        observe_us("t.h", 100);
+        crate::set_enabled(false);
+        let table = snapshot().to_table();
+        assert!(table.contains("counters:"));
+        assert!(table.contains("t.c"));
+        assert!(table.contains("gauges:"));
+        assert!(table.contains("-2"));
+        assert!(table.contains("histograms (us):"));
+        assert!(table.contains("count=1"));
+        assert!(!snapshot().to_table().is_empty());
+        crate::reset();
+        assert!(snapshot().to_table().contains("(no metrics recorded)"));
+    }
+}

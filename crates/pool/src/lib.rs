@@ -88,12 +88,17 @@ struct Job {
 }
 
 impl Job {
-    /// Claim and run chunks until the cursor is exhausted.
-    fn help(&self) {
+    /// Claim and run chunks until the cursor is exhausted. `worker` is the
+    /// helping worker's index (`None` for the submitting thread) — used
+    /// only for the per-worker chunk counters, which are batched locally
+    /// per job so the registry sees one update per (job, thread), not one
+    /// per chunk.
+    fn help(&self, worker: Option<usize>) {
+        let mut chunks_run: u64 = 0;
         loop {
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.n {
-                return;
+                break;
             }
             let end = (start + self.chunk).min(self.n);
             // SAFETY: `remaining > 0` (this chunk is unfinished), so the
@@ -104,9 +109,16 @@ impl Job {
                 let mut slot = self.panic.lock().unwrap();
                 slot.get_or_insert(payload);
             }
+            chunks_run += 1;
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let _guard = self.done_lock.lock().unwrap();
                 self.done_cv.notify_all();
+            }
+        }
+        if chunks_run > 0 && spec_obs::enabled() {
+            match worker {
+                Some(i) => spec_obs::count(&format!("pool.worker.{i}.chunks"), chunks_run),
+                None => spec_obs::count("pool.main.chunks", chunks_run),
             }
         }
     }
@@ -129,12 +141,19 @@ impl Shared {
         // Own deque from the back (LIFO: best cache affinity for the
         // latest submission), then steal from other fronts.
         if let Some(job) = self.queues[home].lock().unwrap().pop_back() {
+            if spec_obs::enabled() {
+                spec_obs::count(&format!("pool.worker.{home}.tasks"), 1);
+            }
             return Some(job);
         }
         let k = self.queues.len();
         for offset in 1..k {
             let victim = (home + offset) % k;
             if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                if spec_obs::enabled() {
+                    spec_obs::count(&format!("pool.worker.{home}.tasks"), 1);
+                    spec_obs::count(&format!("pool.worker.{home}.steals"), 1);
+                }
                 return Some(job);
             }
         }
@@ -145,7 +164,7 @@ impl Shared {
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     loop {
         match shared.take_job(index) {
-            Some(job) => job.help(),
+            Some(job) => job.help(Some(index)),
             None => {
                 let guard = shared.sleep_lock.lock().unwrap();
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -270,7 +289,7 @@ impl Pool {
 
         // The submitter helps until the cursor runs dry, then parks until
         // straggler chunks on other threads finish.
-        job.help();
+        job.help(None);
         let mut guard = job.done_lock.lock().unwrap();
         while job.remaining.load(Ordering::Acquire) > 0 {
             guard = job.done_cv.wait(guard).unwrap();

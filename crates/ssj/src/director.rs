@@ -61,6 +61,12 @@ pub fn simulate_run(
     settings: &Settings,
     seed: u64,
 ) -> SsjRun {
+    let mut sp = spec_obs::span("ssj-run");
+    if spec_obs::enabled() {
+        sp.record("seed", seed);
+        sp.record("calibration_intervals", u64::from(settings.calibration_intervals.max(1)));
+        sp.observe_into("ssj.run_us");
+    }
     let mut engine = Engine::new(system, model, settings, StdRng::seed_from_u64(seed));
 
     // Calibration: saturate, average the observed throughput.

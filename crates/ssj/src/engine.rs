@@ -91,7 +91,14 @@ impl<'a> Engine<'a> {
     }
 
     /// Simulate one measurement interval under the given offered load.
+    ///
+    /// Intervals are far too frequent for one span each (an analyze run
+    /// simulates tens of thousands and would flush every other span out of
+    /// the bounded trace ring), so the per-interval cost when tracing is
+    /// just the `ssj.intervals` counter and the `ssj.interval_us` timing
+    /// histogram; [`crate::simulate_run`] spans the whole benchmark run.
     pub fn run_interval(&mut self, load: OfferedLoad) -> IntervalResult {
+        let timer = spec_obs::enabled().then(std::time::Instant::now);
         let seconds = self.settings.interval_seconds.max(1);
         // Per-interval software jitter (JIT/GC state) applied to capacity.
         let jitter = 1.0 + normal(&mut self.rng) * self.settings.throughput_noise_rel;
@@ -170,6 +177,10 @@ impl<'a> Engine<'a> {
             power_log.record(self.meter.sample(&mut self.rng, wall));
         }
 
+        if let Some(t) = timer {
+            spec_obs::count("ssj.intervals", 1);
+            spec_obs::observe_us("ssj.interval_us", t.elapsed().as_micros() as u64);
+        }
         IntervalResult {
             seconds,
             ops_total,

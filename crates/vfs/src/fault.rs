@@ -276,6 +276,11 @@ impl FaultVfs {
             path: path.to_path_buf(),
             injected: fired.map(FaultKind::label),
         });
+        if spec_obs::enabled() {
+            if let Some(kind) = fired {
+                spec_obs::count(&format!("vfs.fault.{}", kind.label()), 1);
+            }
+        }
         fired
     }
 

@@ -131,6 +131,13 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
             }
             self.rename(tmp, path)?;
             if let Some(parent) = path.parent() {
+                // A bare relative filename has `Some("")` as its parent;
+                // the directory to sync is then the current one.
+                let parent = if parent.as_os_str().is_empty() {
+                    Path::new(".")
+                } else {
+                    parent
+                };
                 self.sync_dir(parent)?;
             }
             Ok(())
@@ -190,6 +197,22 @@ mod tests {
             .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_accepts_bare_relative_filename() {
+        // Regression: `Path::new("out.txt").parent()` is `Some("")`, and
+        // syncing "" failed with ENOENT *after* the rename — the file
+        // landed but the caller saw an error (hit by `--trace-out t.json`).
+        let dir = tmp_dir("atomic_bare");
+        let orig = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let result = RealVfs.atomic_write(Path::new("bare.txt"), b"payload");
+        let read_back = RealVfs.read_to_string(Path::new("bare.txt"));
+        std::env::set_current_dir(orig).unwrap();
+        result.unwrap();
+        assert_eq!(read_back.unwrap(), "payload");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

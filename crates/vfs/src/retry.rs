@@ -152,47 +152,86 @@ impl RetryVfs {
             clock,
         }
     }
+
+    /// Run one primitive under the retry policy. While tracing is enabled
+    /// each op gets a `vfs:<op>` span recording how many attempts it took,
+    /// and any op that needed a retry bumps the `vfs.retry.<op>` counter —
+    /// that is what makes a chaos run explainable after the fact.
+    fn run_op<T>(
+        &self,
+        span_name: &'static str,
+        retry_counter: &'static str,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        if !spec_obs::enabled() {
+            return self.policy.run(&*self.clock, op);
+        }
+        let mut sp = spec_obs::span(span_name);
+        let mut attempts: u64 = 0;
+        let result = self.policy.run(&*self.clock, || {
+            attempts += 1;
+            op()
+        });
+        sp.record("attempts", attempts);
+        if result.is_err() {
+            sp.record("outcome", "error");
+        }
+        if attempts > 1 {
+            spec_obs::count(retry_counter, attempts - 1);
+        }
+        result
+    }
 }
 
 impl Vfs for RetryVfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        self.policy.run(&*self.clock, || self.inner.read(path))
+        self.run_op("vfs:read", "vfs.retry.read", || self.inner.read(path))
     }
 
     fn metadata_len(&self, path: &Path) -> io::Result<u64> {
-        self.policy
-            .run(&*self.clock, || self.inner.metadata_len(path))
+        self.run_op("vfs:metadata", "vfs.retry.metadata", || {
+            self.inner.metadata_len(path)
+        })
     }
 
     fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
-        self.policy.run(&*self.clock, || self.inner.read_dir(path))
+        self.run_op("vfs:read-dir", "vfs.retry.read-dir", || {
+            self.inner.read_dir(path)
+        })
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
-        self.policy
-            .run(&*self.clock, || self.inner.write(path, data))
+        self.run_op("vfs:write", "vfs.retry.write", || self.inner.write(path, data))
     }
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
-        self.policy.run(&*self.clock, || self.inner.sync_file(path))
+        self.run_op("vfs:sync-file", "vfs.retry.sync-file", || {
+            self.inner.sync_file(path)
+        })
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        self.policy.run(&*self.clock, || self.inner.rename(from, to))
+        self.run_op("vfs:rename", "vfs.retry.rename", || {
+            self.inner.rename(from, to)
+        })
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        self.policy
-            .run(&*self.clock, || self.inner.remove_file(path))
+        self.run_op("vfs:remove", "vfs.retry.remove", || {
+            self.inner.remove_file(path)
+        })
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
-        self.policy
-            .run(&*self.clock, || self.inner.create_dir_all(path))
+        self.run_op("vfs:create-dir", "vfs.retry.create-dir", || {
+            self.inner.create_dir_all(path)
+        })
     }
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
-        self.policy.run(&*self.clock, || self.inner.sync_dir(path))
+        self.run_op("vfs:sync-dir", "vfs.retry.sync-dir", || {
+            self.inner.sync_dir(path)
+        })
     }
 }
 
