@@ -1,0 +1,183 @@
+//! Corpus-scaling benchmark: ingest throughput (reports/s) at the native
+//! 1017-report corpus and at 10× / 100× in-memory replications (10 170 and
+//! 101 700 reports), plus an owned-vs-interned parser comparison on the
+//! native corpus.
+//!
+//! Unlike the Criterion benches this is a plain `harness = false` binary:
+//! it times whole-corpus passes with `Instant`, samples peak RSS from
+//! `/proc/self/status`, and exports machine-readable results to
+//! `BENCH_ingest.json` at the repository root (override the path with
+//! `SPEC_BENCH_OUT`). Run it with:
+//!
+//! ```text
+//! cargo bench --bench corpus_scaling
+//! ```
+//!
+//! The scaled corpora come from `spec_synth::generate_dataset_scaled`: the
+//! 1017-report model is simulated once and replicated in memory with only
+//! the `Result Number:` line rewritten, so per-report parse cost is exactly
+//! representative at every scale and the filter-category mix is identical.
+
+use std::time::Instant;
+
+use spec_analysis::load_from_texts_parallel;
+use spec_bench::bench_settings;
+use spec_synth::{generate_dataset_scaled, SynthConfig};
+
+/// Peak resident set size in kilobytes (`VmHWM`), if the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+struct ScaleResult {
+    scale: u32,
+    reports: usize,
+    best_seconds: f64,
+    reports_per_s: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// Time `iters` full cascades over `texts`, returning the best wall time.
+/// The cascade's own output is sanity-checked so a silently broken parse
+/// cannot masquerade as a fast one.
+fn time_ingest(texts: &[&str], scale: u32, iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let set = load_from_texts_parallel(texts);
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(set.report.raw, 1017 * scale as usize, "raw count at ×{scale}");
+        assert_eq!(set.valid.len(), 960 * scale as usize, "valid count at ×{scale}");
+        assert_eq!(
+            set.comparable.len(),
+            676 * scale as usize,
+            "comparable count at ×{scale}"
+        );
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Owned vs interned single-thread parse+validate over the native corpus.
+fn parser_comparison(texts: &[&str]) -> (f64, f64) {
+    let time_pass = |f: &dyn Fn(&str) -> bool| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let mut ok = 0usize;
+            for t in texts {
+                if f(t) {
+                    ok += 1;
+                }
+            }
+            assert_eq!(ok, 960);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let owned = time_pass(&|t| {
+        spec_format::parse_run(t)
+            .ok()
+            .and_then(|p| spec_format::validate(&p).ok())
+            .is_some()
+    });
+    let interned = time_pass(&|t| {
+        spec_format::parse_run_interned(t)
+            .ok()
+            .and_then(|p| spec_format::validate_interned(&p).ok())
+            .is_some()
+    });
+    (owned, interned)
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("SPEC_BENCH_OUT") {
+        return std::path::PathBuf::from(p);
+    }
+    // crates/bench → repository root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ingest.json")
+}
+
+fn main() {
+    // `cargo bench` forwards harness flags (e.g. `--bench`); a compile-only
+    // gate (`cargo bench --no-run`) never reaches main.
+    let cfg = SynthConfig {
+        seed: 3,
+        settings: bench_settings(),
+    };
+
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for &(scale, iters) in &[(1u32, 5u32), (10, 3), (100, 1)] {
+        let dataset = generate_dataset_scaled(&cfg, scale);
+        let texts: Vec<&str> = dataset.texts().collect();
+        // One untimed warm-up pass per scale (interner + pool warm).
+        let _ = load_from_texts_parallel(&texts);
+        let best = time_ingest(&texts, scale, iters);
+        let reports = texts.len();
+        let result = ScaleResult {
+            scale,
+            reports,
+            best_seconds: best,
+            reports_per_s: reports as f64 / best,
+            peak_rss_kb: peak_rss_kb(),
+        };
+        println!(
+            "corpus_scaling/x{:<3}  {:>6} reports  {:>9.1} ms  {:>10.0} reports/s  peak RSS {}",
+            result.scale,
+            result.reports,
+            result.best_seconds * 1e3,
+            result.reports_per_s,
+            result
+                .peak_rss_kb
+                .map_or("n/a".to_string(), |kb| format!("{:.1} MiB", kb as f64 / 1024.0)),
+        );
+        results.push(result);
+    }
+
+    let base = generate_dataset_scaled(&cfg, 1);
+    let texts: Vec<&str> = base.texts().collect();
+    let (owned_s, interned_s) = parser_comparison(&texts);
+    println!(
+        "parser/owned     1017 reports  {:>9.1} ms  {:>10.0} reports/s",
+        owned_s * 1e3,
+        1017.0 / owned_s
+    );
+    println!(
+        "parser/interned  1017 reports  {:>9.1} ms  {:>10.0} reports/s  ({:.2}x)",
+        interned_s * 1e3,
+        1017.0 / interned_s,
+        owned_s / interned_s
+    );
+
+    // Hand-rolled JSON: the vendored serde is a no-op marker crate.
+    let mut json = String::from("{\n  \"bench\": \"corpus_scaling\",\n  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scale\": {}, \"reports\": {}, \"best_seconds\": {:.6}, \
+             \"reports_per_s\": {:.1}, \"peak_rss_kb\": {}}}{}\n",
+            r.scale,
+            r.reports,
+            r.best_seconds,
+            r.reports_per_s,
+            r.peak_rss_kb
+                .map_or("null".to_string(), |kb| kb.to_string()),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"parser\": {{\"owned_seconds\": {owned_s:.6}, \
+         \"interned_seconds\": {interned_s:.6}, \"speedup\": {:.3}}}\n}}\n",
+        owned_s / interned_s
+    ));
+    let path = out_path();
+    std::fs::write(&path, json).expect("write BENCH_ingest.json");
+    println!("wrote {}", path.display());
+}

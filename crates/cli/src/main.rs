@@ -1,7 +1,10 @@
 //! `spec-trends` — command-line front end for the SPEC Power trend study.
 //!
 //! ```text
-//! spec-trends generate --out DIR [--seed N]      write the 1017 synthetic report files
+//! spec-trends generate --out DIR [--seed N] [--scale K]
+//!                                                write the synthetic report files
+//!                                                (1017 × K; replicas differ only in
+//!                                                their Result Number line)
 //! spec-trends analyze [--data DIR] [--seed N]    run the full study, print the ledger
 //! spec-trends explain [--data DIR]               print the filter cascade, with per-file
 //!                                                parse-failure reasons
@@ -43,13 +46,16 @@ use std::process::ExitCode;
 use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver, StageId};
 use spec_diag::TrendsError;
 use spec_ssj::Settings;
-use spec_synth::{generate_dataset, write_dataset_to_dir, SynthConfig};
+use spec_synth::{generate_dataset_scaled, write_dataset_to_dir, SynthConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats> \
-         [--out PATH] [--data DIR] [--seed N] [--cache-dir DIR] [--threads N] [--trace-out FILE]\n\
+         [--out PATH] [--data DIR] [--seed N] [--scale K] [--cache-dir DIR] [--threads N] [--trace-out FILE]\n\
          \n\
+         --scale K     replicate the synthetic corpus K× in memory before\n\
+         \x20             writing (generate only): corpus-scaling runs at 10k/100k\n\
+         \x20             reports without K separate simulations.\n\
          --cache-dir DIR  content-addressed artifact cache; warm runs skip every\n\
          \x20               stage whose inputs are unchanged (figures after analyze\n\
          \x20               re-parses nothing and is byte-identical). Corrupt or\n\
@@ -72,6 +78,7 @@ struct Args {
     out: Option<PathBuf>,
     data: Option<PathBuf>,
     seed: u64,
+    scale: u32,
     cache_dir: Option<PathBuf>,
     threads: Option<usize>,
     trace_out: Option<PathBuf>,
@@ -86,6 +93,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut out = None;
     let mut data = None;
     let mut seed = 3u64;
+    let mut scale = 1u32;
     let mut cache_dir = None;
     let mut threads = None;
     let mut trace_out = None;
@@ -94,6 +102,12 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
             "--out" => out = Some(PathBuf::from(args.next()?)),
             "--data" => data = Some(PathBuf::from(args.next()?)),
             "--seed" => seed = args.next()?.parse().ok()?,
+            "--scale" => {
+                scale = args.next()?.parse().ok()?;
+                if scale == 0 {
+                    return None;
+                }
+            }
             "--cache-dir" => cache_dir = Some(PathBuf::from(args.next()?)),
             "--trace-out" => trace_out = Some(PathBuf::from(args.next()?)),
             "--threads" => {
@@ -111,6 +125,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         out,
         data,
         seed,
+        scale,
         cache_dir,
         threads,
         trace_out,
@@ -169,10 +184,13 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             let Some(out) = args.out.clone() else {
                 return Err(TrendsError::config("generate", "generate requires --out DIR"));
             };
-            let dataset = generate_dataset(&SynthConfig {
-                seed: args.seed,
-                ..SynthConfig::default()
-            });
+            let dataset = generate_dataset_scaled(
+                &SynthConfig {
+                    seed: args.seed,
+                    ..SynthConfig::default()
+                },
+                args.scale,
+            );
             let paths = write_dataset_to_dir(&dataset, &out)
                 .map_err(|e| TrendsError::io("generate", &e))?;
             println!("wrote {} report files to {}", paths.len(), out.display());
@@ -427,6 +445,18 @@ mod tests {
         assert!(parse(&["analyze", "--seed"]).is_none());
         assert!(parse(&["analyze", "--cache-dir"]).is_none());
         assert!(parse(&[]).is_none());
+    }
+
+    #[test]
+    fn scale_flag_validation() {
+        assert_eq!(parse(&["generate"]).unwrap().scale, 1);
+        assert_eq!(
+            parse(&["generate", "--scale", "10"]).unwrap().scale,
+            10
+        );
+        assert!(parse(&["generate", "--scale", "0"]).is_none());
+        assert!(parse(&["generate", "--scale", "many"]).is_none());
+        assert!(parse(&["generate", "--scale"]).is_none());
     }
 
     #[test]

@@ -75,8 +75,11 @@ pub fn runs_to_frame(runs: &[RunResult]) -> Frame {
         id.push(run.id as i64);
         year.push(run.hw_year() as i64);
         frac_year.push(run.dates.hw_available.fractional_year());
-        vendor.push(sys.cpu.vendor().label().to_string());
-        os_family.push(sys.os.family().label().to_string());
+        // Categorical columns intern to 4-byte tokens: the handful of
+        // distinct labels in a 100k-run corpus dedup to one allocation
+        // each, and group-bys over them compare tokens, not strings.
+        vendor.push(spec_intern::intern(sys.cpu.vendor().label()));
+        os_family.push(spec_intern::intern(sys.os.family().label()));
         nodes.push(sys.nodes as i64);
         chips.push(sys.chips as i64);
         cores_per_chip.push(sys.cpu.cores_per_chip as i64);
@@ -162,8 +165,8 @@ mod tests {
         let run = linear_test_run(9, 1e6, 60.0, 300.0);
         let f = runs_to_frame(std::slice::from_ref(&run));
         assert_eq!(f.i64s("year").unwrap()[0], 2020);
-        assert_eq!(f.strs("vendor").unwrap()[0], "Intel");
-        assert_eq!(f.strs("os_family").unwrap()[0], "Windows");
+        assert_eq!(f.syms("vendor").unwrap()[0].resolve(), "Intel");
+        assert_eq!(f.syms("os_family").unwrap()[0].resolve(), "Windows");
         assert!((f.f64s("per_socket_w").unwrap()[0] - 150.0).abs() < 1e-9);
         assert!((f.f64s("idle_fraction").unwrap()[0] - 0.2).abs() < 1e-12);
         assert!((f.f64s("extrap_quotient").unwrap()[0] - 1.0).abs() < 1e-9);

@@ -14,8 +14,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use spec_format::{
-    comparability_issues, parse_run_diagnosed, validate, ComparabilityIssue, ParseFailure,
-    ValidityIssue,
+    comparability_issues, parse_run_interned_diagnosed, validate_interned, ComparabilityIssue,
+    ParseFailure, ValidityIssue,
 };
 use spec_model::RunResult;
 use spec_obs as obs;
@@ -277,7 +277,11 @@ where
                 continue;
             }
         };
-        let parsed = match parse_run_diagnosed(text) {
+        // Zero-copy hot path: categorical fields land as 4-byte interned
+        // `Sym` tokens instead of per-field `String`s. The owned parser is
+        // retained for tools; `tests/interned_equivalence.rs` in spec-format
+        // pins the two paths field-by-field.
+        let parsed = match parse_run_interned_diagnosed(text) {
             Ok(p) => p,
             Err(failure) => {
                 report.not_reports += 1;
@@ -289,7 +293,7 @@ where
                 continue;
             }
         };
-        match validate(&parsed) {
+        match validate_interned(&parsed) {
             Ok(run) => valid.push(run),
             Err(issues) => {
                 let first = issues
@@ -307,6 +311,11 @@ where
         for (category, n) in report.parse_failure_counts() {
             obs::count(&format!("ingest.parse_failure.{category}"), n as u64);
         }
+        // Interner health: how many distinct strings the corpus collapsed
+        // to, and how many allocation bytes the token reuse avoided.
+        let interner = spec_intern::stats();
+        obs::set_gauge("ingest.interned_syms", interner.symbols as i64);
+        obs::set_gauge("ingest.alloc_bytes_saved", interner.bytes_saved as i64);
     }
     (valid, report)
 }

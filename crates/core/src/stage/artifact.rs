@@ -39,25 +39,16 @@ impl Codec for CorpusArtifact {
 
 /// Output of the Validate stage: the stage-1-valid runs plus a
 /// [`FilterReport`] whose stage-2 fields are still empty.
+///
+/// Its [`Codec`] impl (in [`super::codec`]) is dictionary-encoded: each
+/// distinct string is written once, and every run's categorical fields
+/// become 4-byte dictionary ids.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ValidateArtifact {
     /// Runs surviving parse + validity checks (the paper's 960).
     pub valid: Vec<RunResult>,
     /// Accounting through stage 1 (raw, not_reports + reasons, stage1).
     pub report: FilterReport,
-}
-
-impl Codec for ValidateArtifact {
-    fn encode(&self, w: &mut Writer) {
-        self.valid.encode(w);
-        self.report.encode(w);
-    }
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(ValidateArtifact {
-            valid: Codec::decode(r)?,
-            report: Codec::decode(r)?,
-        })
-    }
 }
 
 /// Output of the Comparable stage: which valid runs survive stage 2, by

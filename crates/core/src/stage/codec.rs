@@ -548,6 +548,196 @@ struct_codec!(FilterReport {
     comparable,
 });
 
+// ------------------------------------------- dictionary-encoded runs ---
+
+impl Codec for spec_intern::Sym {
+    /// A `Sym` encodes as its **resolved string**, never its token value:
+    /// token numerics depend on intern order within one process and must
+    /// not leak into cache bytes. Decoding re-interns in the reader's
+    /// process.
+    fn encode(&self, w: &mut Writer) {
+        let s = self.resolve();
+        s.len().encode(w);
+        w.buf.extend_from_slice(s.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(spec_intern::intern(&String::decode(r)?))
+    }
+}
+
+/// Encode-side string dictionary: distinct strings in first-use order.
+///
+/// The Validate artifact holds ~1000 runs whose nine-odd string fields
+/// (submitter, manufacturer, model, CPU name, OS name, JVM vendor …) draw
+/// from a few dozen distinct values. Writing each string once and 4-byte
+/// ids thereafter shrinks the artifact and makes warm decodes allocate one
+/// `String` per *distinct* value instead of one per field per run.
+#[derive(Default)]
+pub struct StringDict {
+    ids: std::collections::HashMap<String, u32>,
+    order: Vec<String>,
+}
+
+impl StringDict {
+    /// Id for `s`, assigning the next one on first use.
+    fn id(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.order.len() as u32;
+        self.ids.insert(s.to_owned(), id);
+        self.order.push(s.to_owned());
+        id
+    }
+}
+
+fn dict_str(w: &mut Writer, dict: &mut StringDict, s: &str) {
+    dict.id(s).encode(w);
+}
+
+fn undict_str(r: &mut Reader<'_>, dict: &[String]) -> Result<String, CodecError> {
+    let id = u32::decode(r)?;
+    dict.get(id as usize)
+        .cloned()
+        .ok_or_else(|| bad(format!("dictionary id {id} out of range ({})", dict.len())))
+}
+
+/// Encode one run with its string fields replaced by dictionary ids.
+/// Field order mirrors the plain [`Codec`] derivations above.
+pub fn encode_run_dict(run: &RunResult, w: &mut Writer, dict: &mut StringDict) {
+    run.id.encode(w);
+    dict_str(w, dict, &run.submitter);
+    let sys = &run.system;
+    dict_str(w, dict, &sys.manufacturer);
+    dict_str(w, dict, &sys.model);
+    dict_str(w, dict, &sys.form_factor);
+    sys.nodes.encode(w);
+    sys.chips.encode(w);
+    dict_str(w, dict, &sys.cpu.name);
+    dict_str(w, dict, &sys.cpu.microarchitecture);
+    sys.cpu.nominal.encode(w);
+    sys.cpu.max_boost.encode(w);
+    sys.cpu.cores_per_chip.encode(w);
+    sys.cpu.threads_per_core.encode(w);
+    sys.cpu.tdp.encode(w);
+    sys.cpu.vector_bits.encode(w);
+    sys.memory_gb.encode(w);
+    sys.dimm_count.encode(w);
+    sys.psu_rating.encode(w);
+    sys.psu_count.encode(w);
+    dict_str(w, dict, &sys.os.name);
+    dict_str(w, dict, &sys.jvm.vendor);
+    dict_str(w, dict, &sys.jvm.version);
+    sys.jvm_instances.encode(w);
+    run.dates.encode(w);
+    match &run.status {
+        RunStatus::Accepted => 0u8.encode(w),
+        RunStatus::NotAccepted(reason) => {
+            1u8.encode(w);
+            dict_str(w, dict, reason);
+        }
+    }
+    run.calibrated_max.encode(w);
+    run.levels.encode(w);
+    run.reported_overall.encode(w);
+}
+
+/// Decode one dictionary-encoded run. Ids outside the dictionary are a
+/// [`CodecError`] (corrupt or stale cache → treated as a miss).
+pub fn decode_run_dict(r: &mut Reader<'_>, dict: &[String]) -> Result<RunResult, CodecError> {
+    let id = u32::decode(r)?;
+    let submitter = undict_str(r, dict)?;
+    let manufacturer = undict_str(r, dict)?;
+    let model = undict_str(r, dict)?;
+    let form_factor = undict_str(r, dict)?;
+    let nodes = u32::decode(r)?;
+    let chips = u32::decode(r)?;
+    let cpu = Cpu {
+        name: undict_str(r, dict)?,
+        microarchitecture: undict_str(r, dict)?,
+        nominal: Megahertz::decode(r)?,
+        max_boost: Megahertz::decode(r)?,
+        cores_per_chip: u32::decode(r)?,
+        threads_per_core: u32::decode(r)?,
+        tdp: Watts::decode(r)?,
+        vector_bits: u32::decode(r)?,
+    };
+    let memory_gb = u32::decode(r)?;
+    let dimm_count = u32::decode(r)?;
+    let psu_rating = Watts::decode(r)?;
+    let psu_count = u32::decode(r)?;
+    let os = OsInfo::new(undict_str(r, dict)?);
+    let jvm = JvmInfo {
+        vendor: undict_str(r, dict)?,
+        version: undict_str(r, dict)?,
+    };
+    let jvm_instances = u32::decode(r)?;
+    let system = SystemConfig {
+        manufacturer,
+        model,
+        form_factor,
+        nodes,
+        chips,
+        cpu,
+        memory_gb,
+        dimm_count,
+        psu_rating,
+        psu_count,
+        os,
+        jvm,
+        jvm_instances,
+    };
+    let dates = RunDates::decode(r)?;
+    let status = match u8::decode(r)? {
+        0 => RunStatus::Accepted,
+        1 => RunStatus::NotAccepted(undict_str(r, dict)?),
+        t => return Err(bad(format!("invalid RunStatus tag {t}"))),
+    };
+    Ok(RunResult {
+        id,
+        submitter,
+        system,
+        dates,
+        status,
+        calibrated_max: SsjOps::decode(r)?,
+        levels: Vec::<LevelMeasurement>::decode(r)?,
+        reported_overall: OpsPerWatt::decode(r)?,
+    })
+}
+
+impl Codec for super::artifact::ValidateArtifact {
+    /// Layout: string dictionary (first-use order), run count, the
+    /// dictionary-encoded runs, then the [`FilterReport`]. Both passes are
+    /// single-sweep: the dictionary is built while the run bodies encode
+    /// into a side buffer, then written ahead of them.
+    fn encode(&self, w: &mut Writer) {
+        let mut dict = StringDict::default();
+        let mut body = Writer::new();
+        self.valid.len().encode(&mut body);
+        for run in &self.valid {
+            encode_run_dict(run, &mut body, &mut dict);
+        }
+        self.report.encode(&mut body);
+        dict.order.encode(w);
+        w.buf.extend_from_slice(&body.buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let dict = Vec::<String>::decode(r)?;
+        let n = usize::decode(r)?;
+        if n > r.buf.len().saturating_sub(r.pos) {
+            return Err(bad(format!("run count {n} exceeds remaining buffer")));
+        }
+        let mut valid = Vec::with_capacity(n);
+        for _ in 0..n {
+            valid.push(decode_run_dict(r, &dict)?);
+        }
+        Ok(super::artifact::ValidateArtifact {
+            valid,
+            report: FilterReport::decode(r)?,
+        })
+    }
+}
+
 // ---------------------------------------------------------------- stats ---
 
 struct_codec!(BoxStats {
@@ -827,5 +1017,53 @@ mod tests {
         let mut w = Writer::new();
         u64::MAX.encode(&mut w);
         assert!(decode_from_slice::<Vec<u64>>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn sym_codec_roundtrips_by_string() {
+        let sym = spec_intern::intern("Hewlett-Packard Company");
+        let back: spec_intern::Sym = decode_from_slice(&encode_to_vec(&sym)).expect("decode");
+        assert_eq!(back, sym);
+        assert_eq!(back.resolve(), "Hewlett-Packard Company");
+    }
+
+    #[test]
+    fn validate_artifact_dictionary_roundtrips_and_dedups() {
+        use super::super::artifact::ValidateArtifact;
+        let mut valid: Vec<RunResult> = (0..50)
+            .map(|i| linear_test_run(i, 1e6, 60.0, 300.0))
+            .collect();
+        valid[7].status = RunStatus::NotAccepted("oversubmitted".into());
+        let texts: Vec<String> = valid.iter().map(spec_format::write_run).collect();
+        let report = crate::pipeline::load_from_texts(&texts).report;
+        let artifact = ValidateArtifact { valid, report };
+
+        let bytes = encode_to_vec(&artifact);
+        let back: ValidateArtifact = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, artifact);
+
+        // Dictionary compression must bite: 50 runs share one submitter /
+        // manufacturer / CPU name, so the dictionary-encoded artifact is
+        // smaller than the plain per-field encoding of the same data.
+        let plain =
+            encode_to_vec(&artifact.valid).len() + encode_to_vec(&artifact.report).len();
+        assert!(
+            bytes.len() < plain,
+            "dictionary encoding did not dedup ({} vs {plain} bytes)",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn validate_artifact_rejects_out_of_range_dict_ids() {
+        use super::super::artifact::ValidateArtifact;
+        // Hand-built buffer: empty dictionary, one run whose submitter id
+        // dangles. Must be a clean decode error, not garbage data.
+        let mut w = Writer::new();
+        Vec::<String>::new().encode(&mut w);
+        1usize.encode(&mut w); // run count
+        1u32.encode(&mut w); // run.id
+        5u32.encode(&mut w); // submitter dict id — out of range
+        assert!(decode_from_slice::<ValidateArtifact>(&w.into_bytes()).is_err());
     }
 }

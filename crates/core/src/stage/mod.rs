@@ -42,8 +42,9 @@ pub use graph::{
 /// Version tag folded into every cache key. Bump when any stage's output
 /// semantics or the codec layout change; old cache entries then read as
 /// misses instead of stale hits.
-/// (`/2`: the corpus artifact gained the `RawInput` tag byte.)
-pub const CODE_VERSION: &str = "spec-trends/stage-graph/2";
+/// (`/2`: the corpus artifact gained the `RawInput` tag byte.
+/// `/3`: the Validate artifact switched to dictionary-encoded strings.)
+pub const CODE_VERSION: &str = "spec-trends/stage-graph/3";
 
 /// Write rendered `(name, content)` files into `dir` (created if needed)
 /// through `vfs`, returning the written paths in order. Each file lands

@@ -1,0 +1,339 @@
+//! Zero-copy parse stage: [`ParsedRunRef`], the interned, lifetime-free
+//! form of [`ParsedRun`].
+//!
+//! [`parse_run_interned`] walks the report text exactly like
+//! [`crate::parser::parse_run`] but stores every categorical text field —
+//! submitter, status, vendor, model, form factor, CPU name,
+//! microarchitecture, OS, JVM vendor/version, ambiguous date text — as a
+//! 4-byte [`Sym`] token from the global [`spec_intern`] table instead of
+//! an owned `String`. Since SPEC reports draw those fields from a tiny
+//! shared vocabulary, the hot ingest path performs **zero per-field heap
+//! allocation**: after the first report has seeded the interner, parsing a
+//! report allocates only the per-run level `Vec`.
+//!
+//! The owned parser is kept as an independent implementation; the
+//! vendored-proptest suite `tests/interned_equivalence.rs` proves the two
+//! agree field-by-field (and through validation) over synthetic corpora,
+//! including corrupted ones.
+
+use spec_intern::{intern, Sym};
+use spec_model::{LoadLevel, YearMonth};
+
+use crate::numfmt::parse_grouped;
+use crate::parser::{
+    classify_date, diagnose_non_report, first_uint, parse_level_row, starts_with_ignore_case,
+    DateClass, DateField, NotAReport, ParseFailure, ParsedRun,
+};
+
+/// A date field in interned form: like [`DateField`] but the ambiguous raw
+/// text is a [`Sym`], making the whole value `Copy`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DateSym {
+    /// Parsed successfully.
+    Parsed(YearMonth),
+    /// Present but ambiguous (two dates, "n/a", unparseable).
+    Ambiguous(Sym),
+    /// The line is missing entirely.
+    #[default]
+    Missing,
+}
+
+impl DateSym {
+    /// The parsed date, if clean.
+    pub fn ok(&self) -> Option<YearMonth> {
+        match self {
+            DateSym::Parsed(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Convert to the owned [`DateField`] form.
+    pub fn to_date_field(self) -> DateField {
+        match self {
+            DateSym::Parsed(d) => DateField::Parsed(d),
+            DateSym::Ambiguous(s) => DateField::Ambiguous(s.resolve().to_string()),
+            DateSym::Missing => DateField::Missing,
+        }
+    }
+}
+
+fn date_sym(raw: &str) -> DateSym {
+    match classify_date(raw) {
+        DateClass::Parsed(d) => DateSym::Parsed(d),
+        DateClass::Ambiguous(t) => DateSym::Ambiguous(intern(t)),
+        DateClass::Missing => DateSym::Missing,
+    }
+}
+
+/// Everything the parser could extract from one report, with categorical
+/// text fields interned. The interned twin of [`ParsedRun`]: same fields,
+/// same `Option` semantics, `Sym` where it had `String`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedRunRef {
+    /// spec.org result number.
+    pub id: Option<u32>,
+    /// Test sponsor / submitter.
+    pub submitter: Option<Sym>,
+    /// Raw status string (`"Accepted"` / `"Non-Compliant (…)"`).
+    pub status_raw: Option<Sym>,
+    /// Test date.
+    pub test_date: DateSym,
+    /// Publication date.
+    pub publication: DateSym,
+    /// Hardware availability date (the paper's trend axis).
+    pub hw_available: DateSym,
+    /// Software availability date.
+    pub sw_available: DateSym,
+    /// System manufacturer.
+    pub manufacturer: Option<Sym>,
+    /// System model.
+    pub model: Option<Sym>,
+    /// Form factor.
+    pub form_factor: Option<Sym>,
+    /// Node count; multi-node submissions report >1.
+    pub nodes: Option<u32>,
+    /// CPU marketing name.
+    pub cpu_name: Option<Sym>,
+    /// Microarchitecture from the characteristics line.
+    pub microarch: Option<Sym>,
+    /// SIMD width from the characteristics line.
+    pub vector_bits: Option<u32>,
+    /// TDP (per chip) from the characteristics line.
+    pub tdp_w: Option<f64>,
+    /// Max boost frequency from the characteristics line.
+    pub boost_mhz: Option<f64>,
+    /// Nominal frequency.
+    pub nominal_mhz: Option<f64>,
+    /// Total enabled cores.
+    pub total_cores: Option<u32>,
+    /// Populated chips (sockets).
+    pub chips: Option<u32>,
+    /// Cores per chip.
+    pub cores_per_chip: Option<u32>,
+    /// Total hardware threads.
+    pub total_threads: Option<u32>,
+    /// Threads per core.
+    pub threads_per_core: Option<u32>,
+    /// Installed memory (GB).
+    pub memory_gb: Option<u32>,
+    /// DIMM count.
+    pub dimm_count: Option<u32>,
+    /// PSU rating (W).
+    pub psu_rating_w: Option<f64>,
+    /// PSU count.
+    pub psu_count: Option<u32>,
+    /// Operating system name.
+    pub os_name: Option<Sym>,
+    /// JVM vendor.
+    pub jvm_vendor: Option<Sym>,
+    /// JVM version string.
+    pub jvm_version: Option<Sym>,
+    /// Number of JVM instances.
+    pub jvm_instances: Option<u32>,
+    /// Calibrated maximum throughput.
+    pub calibrated_max: Option<f64>,
+    /// Headline overall ssj_ops/W as printed.
+    pub reported_overall: Option<f64>,
+    /// Per-level rows: `(level, ssj_ops, watts)`.
+    pub levels: Vec<(LoadLevel, f64, f64)>,
+}
+
+impl ParsedRunRef {
+    /// Resolve every token into the owned [`ParsedRun`] form. Used by the
+    /// equivalence tests and by callers that need owned fields; the
+    /// pipeline itself validates the interned form directly.
+    pub fn to_parsed_run(&self) -> ParsedRun {
+        let own = |s: &Option<Sym>| s.map(|sym| sym.resolve().to_string());
+        ParsedRun {
+            id: self.id,
+            submitter: own(&self.submitter),
+            status_raw: own(&self.status_raw),
+            test_date: self.test_date.to_date_field(),
+            publication: self.publication.to_date_field(),
+            hw_available: self.hw_available.to_date_field(),
+            sw_available: self.sw_available.to_date_field(),
+            manufacturer: own(&self.manufacturer),
+            model: own(&self.model),
+            form_factor: own(&self.form_factor),
+            nodes: self.nodes,
+            cpu_name: own(&self.cpu_name),
+            microarch: own(&self.microarch),
+            vector_bits: self.vector_bits,
+            tdp_w: self.tdp_w,
+            boost_mhz: self.boost_mhz,
+            nominal_mhz: self.nominal_mhz,
+            total_cores: self.total_cores,
+            chips: self.chips,
+            cores_per_chip: self.cores_per_chip,
+            total_threads: self.total_threads,
+            threads_per_core: self.threads_per_core,
+            memory_gb: self.memory_gb,
+            dimm_count: self.dimm_count,
+            psu_rating_w: self.psu_rating_w,
+            psu_count: self.psu_count,
+            os_name: own(&self.os_name),
+            jvm_vendor: own(&self.jvm_vendor),
+            jvm_version: own(&self.jvm_version),
+            jvm_instances: self.jvm_instances,
+            calibrated_max: self.calibrated_max,
+            reported_overall: self.reported_overall,
+            levels: self.levels.clone(),
+        }
+    }
+}
+
+/// Mirror of the owned `parse_characteristics`, storing the
+/// microarchitecture as a token.
+fn parse_characteristics(run: &mut ParsedRunRef, value: &str) {
+    for part in value.split(';').map(str::trim) {
+        if starts_with_ignore_case(part, "simd") {
+            run.vector_bits = first_uint(part);
+        } else if starts_with_ignore_case(part, "tdp") {
+            run.tdp_w = first_uint(part).map(f64::from);
+        } else if starts_with_ignore_case(part, "max boost") {
+            run.boost_mhz = first_uint(part).map(f64::from);
+        } else if run.microarch.is_none() && !part.is_empty() {
+            run.microarch = Some(intern(part));
+        }
+    }
+}
+
+/// Parse one report into the interned form.
+///
+/// Same acceptance rule, line walk and field semantics as
+/// [`crate::parser::parse_run`]; categorical values are interned instead
+/// of copied.
+pub fn parse_run_interned(text: &str) -> Result<ParsedRunRef, NotAReport> {
+    if !text.contains("SPECpower_ssj2008") {
+        return Err(NotAReport);
+    }
+    let mut run = ParsedRunRef {
+        levels: Vec::with_capacity(11),
+        ..ParsedRunRef::default()
+    };
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        // Results-summary rows have a pipe-separated shape.
+        if line.contains('|') {
+            if let Some(row) = parse_level_row(line) {
+                run.levels.push(row);
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            // Headline metric line: "SPECpower_ssj2008 = 15,112 overall …".
+            if let Some(rest) = line.strip_prefix("SPECpower_ssj2008 =") {
+                run.reported_overall =
+                    parse_grouped(rest.split_whitespace().next().unwrap_or(""));
+            }
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "Result Number" => run.id = first_uint(value),
+            "Test Sponsor" => run.submitter = Some(intern(value)),
+            "Status" => run.status_raw = Some(intern(value)),
+            "Test Date" => run.test_date = date_sym(value),
+            "Publication" => run.publication = date_sym(value),
+            "Hardware Availability" => run.hw_available = date_sym(value),
+            "Software Availability" => run.sw_available = date_sym(value),
+            "Hardware Vendor" => run.manufacturer = Some(intern(value)),
+            "Model" => run.model = Some(intern(value)),
+            "Form Factor" => run.form_factor = Some(intern(value)),
+            "Nodes" => run.nodes = first_uint(value),
+            "CPU Name" => run.cpu_name = Some(intern(value)),
+            "CPU Characteristics" => parse_characteristics(&mut run, value),
+            "CPU Frequency (MHz)" => run.nominal_mhz = parse_grouped(value),
+            "CPU(s) Enabled" => {
+                // "256 cores, 2 chips, 128 cores/chip"
+                for part in value.split(',').map(str::trim) {
+                    if part.ends_with("cores/chip") {
+                        run.cores_per_chip = first_uint(part);
+                    } else if part.ends_with("chips") || part.ends_with("chip") {
+                        run.chips = first_uint(part);
+                    } else if part.ends_with("cores") || part.ends_with("core") {
+                        run.total_cores = first_uint(part);
+                    }
+                }
+            }
+            "Hardware Threads" => {
+                // "512 (2 / core)"
+                run.total_threads = first_uint(value);
+                if let Some(paren) = value.split_once('(') {
+                    run.threads_per_core = first_uint(paren.1);
+                }
+            }
+            "Memory Amount (GB)" => run.memory_gb = first_uint(value),
+            "Number of DIMMs" => run.dimm_count = first_uint(value),
+            "Power Supply Rating (W)" => run.psu_rating_w = parse_grouped(value),
+            "Number of Power Supplies" => run.psu_count = first_uint(value),
+            "Operating System" => run.os_name = Some(intern(value)),
+            "JVM Vendor" => run.jvm_vendor = Some(intern(value)),
+            "JVM Version" => run.jvm_version = Some(intern(value)),
+            "JVM Instances" => run.jvm_instances = first_uint(value),
+            "Calibrated Maximum" => {
+                run.calibrated_max =
+                    parse_grouped(value.split_whitespace().next().unwrap_or(""))
+            }
+            _ => {}
+        }
+    }
+    Ok(run)
+}
+
+/// Interned twin of [`crate::parser::parse_run_diagnosed`]: same
+/// acceptance rule, categorized [`ParseFailure`] on rejection.
+pub fn parse_run_interned_diagnosed(text: &str) -> Result<ParsedRunRef, ParseFailure> {
+    parse_run_interned(text).map_err(|NotAReport| diagnose_non_report(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_run;
+    use crate::writer::write_run;
+    use spec_model::linear_test_run;
+
+    #[test]
+    fn interned_parse_matches_owned_on_canonical_output() {
+        let run = linear_test_run(42, 1_000_000.0, 60.0, 300.0);
+        let text = write_run(&run);
+        let owned = parse_run(&text).unwrap();
+        let interned = parse_run_interned(&text).unwrap();
+        assert_eq!(interned.to_parsed_run(), owned);
+    }
+
+    #[test]
+    fn interned_fields_are_tokens() {
+        let run = linear_test_run(42, 1_000_000.0, 60.0, 300.0);
+        let parsed = parse_run_interned(&write_run(&run)).unwrap();
+        assert_eq!(parsed.submitter.unwrap().resolve(), "TestCorp");
+        assert_eq!(parsed.cpu_name.unwrap().resolve(), "Intel Xeon Test 1234");
+        // Interning the same report again yields identical tokens.
+        let again = parse_run_interned(&write_run(&run)).unwrap();
+        assert_eq!(parsed.submitter, again.submitter);
+        assert_eq!(parsed.cpu_name, again.cpu_name);
+    }
+
+    #[test]
+    fn rejects_non_reports_like_owned() {
+        assert_eq!(parse_run_interned("hello world").unwrap_err(), NotAReport);
+        let failure = parse_run_interned_diagnosed("").unwrap_err();
+        assert_eq!(failure.category, "empty");
+    }
+
+    #[test]
+    fn ambiguous_dates_intern_raw_text() {
+        let text = "SPECpower_ssj2008 Report\nTest Date: Jun-2014 or Jul-2014\n";
+        let parsed = parse_run_interned(text).unwrap();
+        match parsed.test_date {
+            DateSym::Ambiguous(s) => assert_eq!(s.resolve(), "Jun-2014 or Jul-2014"),
+            other => panic!("expected ambiguous, got {other:?}"),
+        }
+        assert_eq!(
+            parsed.test_date.to_date_field(),
+            DateField::Ambiguous("Jun-2014 or Jul-2014".into())
+        );
+    }
+}

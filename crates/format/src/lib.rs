@@ -14,23 +14,31 @@
 //!
 //! [`writer::write_run`] renders the canonical report; write→parse→validate
 //! round-trips are property-tested in `tests/`.
+//!
+//! The hot ingest path uses the zero-copy twins
+//! [`interned::parse_run_interned`] / [`validity::validate_interned`],
+//! which store categorical fields as 4-byte [`spec_intern::Sym`] tokens
+//! instead of owned `String`s; `tests/interned_equivalence.rs` proves the
+//! interned and owned paths agree field-by-field over synthetic corpora.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod interned;
 pub mod numfmt;
 pub mod parser;
 pub mod validity;
 pub mod writer;
 
+pub use interned::{parse_run_interned, parse_run_interned_diagnosed, DateSym, ParsedRunRef};
 pub use numfmt::{group_thousands, parse_grouped};
 pub use parser::{
     diagnose_non_report, parse_run, parse_run_diagnosed, DateField, NotAReport, ParseFailure,
     ParsedRun, PARSE_FAILURE_CATEGORIES,
 };
 pub use validity::{
-    comparability_error, comparability_issues, cpu_name_ambiguous, validate, validity_error,
-    ComparabilityIssue, ValidityIssue,
+    comparability_error, comparability_issues, cpu_name_ambiguous, validate, validate_interned,
+    validity_error, ComparabilityIssue, ValidityIssue,
 };
 pub use writer::write_run;

@@ -35,7 +35,7 @@ impl DateField {
 }
 
 /// Everything the parser could extract from one report, all optional.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ParsedRun {
     /// spec.org result number.
     pub id: Option<u32>,
@@ -229,46 +229,106 @@ pub fn parse_run_diagnosed(text: &str) -> Result<ParsedRun, ParseFailure> {
     parse_run(text).map_err(|NotAReport| diagnose_non_report(text))
 }
 
-fn parse_date_field(raw: &str) -> DateField {
+/// How a raw date value classifies, borrowing the trimmed slice instead of
+/// allocating: shared by the owned ([`DateField`]) and interned
+/// (`DateSym`) date representations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DateClass<'a> {
+    /// Parsed successfully.
+    Parsed(YearMonth),
+    /// Present but ambiguous; carries the trimmed raw text.
+    Ambiguous(&'a str),
+    /// Empty value.
+    Missing,
+}
+
+/// Case-insensitive substring search without allocating a lowered copy.
+pub(crate) fn contains_ignore_case(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return true;
+    }
+    if h.len() < n.len() {
+        return false;
+    }
+    h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
+/// Case-insensitive prefix test without allocating a lowered copy.
+pub(crate) fn starts_with_ignore_case(s: &str, prefix: &str) -> bool {
+    s.len() >= prefix.len() && s.as_bytes()[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+}
+
+/// Classify a date value without allocating. Two alternatives
+/// ("Jun-2014 or Jul-2014") or placeholders are ambiguous.
+pub(crate) fn classify_date(raw: &str) -> DateClass<'_> {
     let trimmed = raw.trim();
     if trimmed.is_empty() {
-        return DateField::Missing;
+        return DateClass::Missing;
     }
-    // Two alternatives ("Jun-2014 or Jul-2014") or placeholders are ambiguous.
-    let lowered = trimmed.to_ascii_lowercase();
-    if lowered.contains(" or ") || lowered == "n/a" || lowered == "tbd" || lowered == "unknown" {
-        return DateField::Ambiguous(trimmed.to_string());
+    if contains_ignore_case(trimmed, " or ")
+        || trimmed.eq_ignore_ascii_case("n/a")
+        || trimmed.eq_ignore_ascii_case("tbd")
+        || trimmed.eq_ignore_ascii_case("unknown")
+    {
+        return DateClass::Ambiguous(trimmed);
     }
     match YearMonth::parse(trimmed) {
-        Ok(d) => DateField::Parsed(d),
-        Err(_) => DateField::Ambiguous(trimmed.to_string()),
+        Ok(d) => DateClass::Parsed(d),
+        Err(_) => DateClass::Ambiguous(trimmed),
     }
 }
 
-fn first_uint(s: &str) -> Option<u32> {
-    let start = s.find(|c: char| c.is_ascii_digit())?;
-    let digits: String = s[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == ',')
-        .filter(|c| *c != ',')
-        .collect();
-    digits.parse().ok()
+fn parse_date_field(raw: &str) -> DateField {
+    // Owning only on the ambiguous *outcome* — the old code allocated a
+    // lowercase copy of every date value plus a redundant `to_string` on
+    // the cold path.
+    match classify_date(raw) {
+        DateClass::Parsed(d) => DateField::Parsed(d),
+        DateClass::Ambiguous(t) => DateField::Ambiguous(t.to_string()),
+        DateClass::Missing => DateField::Missing,
+    }
 }
 
-/// Parse a load-level row of the results summary.
-fn parse_level_row(line: &str) -> Option<(LoadLevel, f64, f64)> {
-    let cells: Vec<&str> = line.split('|').map(str::trim).collect();
-    if cells.len() < 4 {
-        return None;
+pub(crate) fn first_uint(s: &str) -> Option<u32> {
+    // Accumulate digits in place instead of collecting them into a String
+    // first; `,` separators are skipped exactly as before, and overflow
+    // rejects like the old `str::parse` did.
+    let bytes = s.as_bytes();
+    let start = bytes.iter().position(u8::is_ascii_digit)?;
+    let mut value: u64 = 0;
+    for &b in &bytes[start..] {
+        if b == b',' {
+            continue;
+        }
+        if !b.is_ascii_digit() {
+            break;
+        }
+        value = value * 10 + u64::from(b - b'0');
+        if value > u64::from(u32::MAX) {
+            return None;
+        }
     }
-    let level = if cells[0].eq_ignore_ascii_case("active idle") {
+    u32::try_from(value).ok()
+}
+
+/// Parse a load-level row of the results summary with an in-place splitter
+/// (no per-row `Vec<&str>` collect).
+pub(crate) fn parse_level_row(line: &str) -> Option<(LoadLevel, f64, f64)> {
+    let mut cells = line.split('|').map(str::trim);
+    let level_cell = cells.next()?;
+    let _target = cells.next()?;
+    let ops_cell = cells.next()?;
+    let watts_cell = cells.next()?;
+    let level = if level_cell.eq_ignore_ascii_case("active idle") {
         LoadLevel::ActiveIdle
     } else {
-        let pct = cells[0].strip_suffix('%')?.trim().parse::<u8>().ok()?;
+        let pct = level_cell.strip_suffix('%')?.trim().parse::<u8>().ok()?;
         LoadLevel::Percent(pct)
     };
-    let ops = parse_grouped(cells[2]).unwrap_or(f64::NAN);
-    let watts = parse_grouped(cells[3]).unwrap_or(f64::NAN);
+    let ops = parse_grouped(ops_cell).unwrap_or(f64::NAN);
+    let watts = parse_grouped(watts_cell).unwrap_or(f64::NAN);
     Some((level, ops, watts))
 }
 
@@ -276,12 +336,11 @@ fn parse_level_row(line: &str) -> Option<(LoadLevel, f64, f64)> {
 /// `"Bergamo; SIMD 256-bit; TDP 360 W; max boost 3100 MHz"`.
 fn parse_characteristics(run: &mut ParsedRun, value: &str) {
     for part in value.split(';').map(str::trim) {
-        let lower = part.to_ascii_lowercase();
-        if lower.starts_with("simd") {
+        if starts_with_ignore_case(part, "simd") {
             run.vector_bits = first_uint(part);
-        } else if lower.starts_with("tdp") {
+        } else if starts_with_ignore_case(part, "tdp") {
             run.tdp_w = first_uint(part).map(f64::from);
-        } else if lower.starts_with("max boost") {
+        } else if starts_with_ignore_case(part, "max boost") {
             run.boost_mhz = first_uint(part).map(f64::from);
         } else if run.microarch.is_none() && !part.is_empty() {
             run.microarch = Some(part.to_string());

@@ -13,7 +13,8 @@ use spec_model::{
     RunDates, RunResult, RunStatus, ServerBrand, SsjOps, SystemConfig, Watts, YearMonth,
 };
 
-use crate::parser::{DateField, ParsedRun};
+use crate::interned::ParsedRunRef;
+use crate::parser::ParsedRun;
 
 /// Why a parsed run is excluded from the 960-run dataset (stage one).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
@@ -99,14 +100,83 @@ pub fn cpu_name_ambiguous(name: &str) -> bool {
         || lower.starts_with('(')
 }
 
-fn date_issue(fields: [&DateField; 4]) -> Option<ValidityIssue> {
-    if fields
-        .iter()
-        .any(|f| matches!(f, DateField::Ambiguous(_) | DateField::Missing))
-    {
-        return Some(ValidityIssue::AmbiguousDate);
+/// Shared date check: `None` entries are ambiguous/missing fields. Both
+/// the owned and interned validators feed their four date fields through
+/// this single implementation so the cascade cannot drift between paths.
+fn check_dates(
+    test: Option<YearMonth>,
+    publication: Option<YearMonth>,
+    hw_available: Option<YearMonth>,
+    sw_available: Option<YearMonth>,
+) -> Result<RunDates, ValidityIssue> {
+    match (test, publication, hw_available, sw_available) {
+        (Some(test), Some(publication), Some(hw_available), Some(sw_available)) => {
+            let d = RunDates {
+                test,
+                publication,
+                hw_available,
+                sw_available,
+            };
+            if d.is_plausible() {
+                Ok(d)
+            } else {
+                Err(ValidityIssue::ImplausibleDate)
+            }
+        }
+        _ => Err(ValidityIssue::AmbiguousDate),
     }
-    None
+}
+
+/// Shared core/thread bookkeeping check.
+fn core_thread_issue(
+    chips: Option<u32>,
+    cores_per_chip: Option<u32>,
+    total_cores: Option<u32>,
+    total_threads: Option<u32>,
+    threads_per_core: Option<u32>,
+) -> Option<ValidityIssue> {
+    match (
+        chips,
+        cores_per_chip,
+        total_cores,
+        total_threads,
+        threads_per_core,
+    ) {
+        (Some(chips), Some(cpc), Some(total_cores), Some(total_threads), Some(tpc)) => {
+            if !(1..=2).contains(&tpc) || cpc == 0 || cpc > 400 || chips == 0 || chips > 16 {
+                Some(ValidityIssue::ImplausibleCoreThread)
+            } else if chips * cpc != total_cores || total_cores * tpc != total_threads {
+                Some(ValidityIssue::InconsistentCoreThread)
+            } else {
+                None
+            }
+        }
+        _ => Some(ValidityIssue::Malformed),
+    }
+}
+
+/// Shared measurement check: all eleven standard levels present with
+/// finite values and positive power.
+fn collect_levels(
+    rows: &[(LoadLevel, f64, f64)],
+    calibrated_max: Option<f64>,
+) -> Result<Vec<LevelMeasurement>, ValidityIssue> {
+    let mut levels = Vec::with_capacity(11);
+    for expected in LoadLevel::standard() {
+        match rows.iter().find(|(lvl, _, _)| *lvl == expected) {
+            Some(&(level, ops, watts)) if ops.is_finite() && watts.is_finite() && watts > 0.0 => {
+                let calibrated = calibrated_max.unwrap_or(f64::NAN);
+                levels.push(LevelMeasurement {
+                    level,
+                    target_ops: SsjOps(calibrated * level.fraction()),
+                    actual_ops: SsjOps(ops),
+                    avg_power: Watts(watts),
+                });
+            }
+            _ => return Err(ValidityIssue::Malformed),
+        }
+    }
+    Ok(levels)
 }
 
 /// Validate a parsed run, producing either a clean [`RunResult`] or the list
@@ -122,27 +192,15 @@ pub fn validate(parsed: &ParsedRun) -> Result<RunResult, Vec<ValidityIssue>> {
     }
 
     // Dates: ambiguity first, plausibility second.
-    let dates = [
-        &parsed.test_date,
-        &parsed.publication,
-        &parsed.hw_available,
-        &parsed.sw_available,
-    ];
     let mut run_dates: Option<RunDates> = None;
-    if let Some(issue) = date_issue(dates) {
-        issues.push(issue);
-    } else {
-        let d = RunDates {
-            test: parsed.test_date.ok().expect("checked"),
-            publication: parsed.publication.ok().expect("checked"),
-            hw_available: parsed.hw_available.ok().expect("checked"),
-            sw_available: parsed.sw_available.ok().expect("checked"),
-        };
-        if !d.is_plausible() {
-            issues.push(ValidityIssue::ImplausibleDate);
-        } else {
-            run_dates = Some(d);
-        }
+    match check_dates(
+        parsed.test_date.ok(),
+        parsed.publication.ok(),
+        parsed.hw_available.ok(),
+        parsed.sw_available.ok(),
+    ) {
+        Ok(d) => run_dates = Some(d),
+        Err(issue) => issues.push(issue),
     }
 
     // CPU name.
@@ -158,46 +216,24 @@ pub fn validate(parsed: &ParsedRun) -> Result<RunResult, Vec<ValidityIssue>> {
     }
 
     // Core/thread bookkeeping.
-    match (
+    if let Some(issue) = core_thread_issue(
         parsed.chips,
         parsed.cores_per_chip,
         parsed.total_cores,
         parsed.total_threads,
         parsed.threads_per_core,
     ) {
-        (Some(chips), Some(cpc), Some(total_cores), Some(total_threads), Some(tpc)) => {
-            if !(1..=2).contains(&tpc) || cpc == 0 || cpc > 400 || chips == 0 || chips > 16 {
-                issues.push(ValidityIssue::ImplausibleCoreThread);
-            } else if chips * cpc != total_cores || total_cores * tpc != total_threads {
-                issues.push(ValidityIssue::InconsistentCoreThread);
-            }
-        }
-        _ => issues.push(ValidityIssue::Malformed),
+        issues.push(issue);
     }
 
     // Measurements: all eleven levels with finite values.
-    let mut levels = Vec::with_capacity(11);
-    for expected in LoadLevel::standard() {
-        match parsed
-            .levels
-            .iter()
-            .find(|(lvl, _, _)| *lvl == expected)
-        {
-            Some(&(level, ops, watts)) if ops.is_finite() && watts.is_finite() && watts > 0.0 => {
-                let calibrated = parsed.calibrated_max.unwrap_or(f64::NAN);
-                levels.push(LevelMeasurement {
-                    level,
-                    target_ops: SsjOps(calibrated * level.fraction()),
-                    actual_ops: SsjOps(ops),
-                    avg_power: Watts(watts),
-                });
-            }
-            _ => {
-                issues.push(ValidityIssue::Malformed);
-                break;
-            }
+    let levels = match collect_levels(&parsed.levels, parsed.calibrated_max) {
+        Ok(levels) => levels,
+        Err(issue) => {
+            issues.push(issue);
+            Vec::new()
         }
-    }
+    };
 
     // Remaining required scalar fields.
     let required_ok = parsed.nominal_mhz.is_some()
@@ -260,6 +296,134 @@ pub fn validate(parsed: &ParsedRun) -> Result<RunResult, Vec<ValidityIssue>> {
     })
 }
 
+/// Validate an interned run: the zero-copy twin of [`validate`].
+///
+/// Operates on [`ParsedRunRef`] tokens directly — the hot ingest path
+/// allocates owned strings only when a run *passes* and a [`RunResult`]
+/// is assembled (or when issues are collected on rejection). The date,
+/// core/thread and level checks are the same shared helpers [`validate`]
+/// uses; the string-shaped checks resolve tokens to `&'static str`
+/// without copying. Equivalence with the owned path is property-tested in
+/// `tests/interned_equivalence.rs`.
+pub fn validate_interned(parsed: &ParsedRunRef) -> Result<RunResult, Vec<ValidityIssue>> {
+    let mut issues = Vec::new();
+
+    // Review status.
+    match parsed.status_raw.map(|s| s.resolve()) {
+        Some(s) if s.starts_with("Accepted") => {}
+        Some(_) => issues.push(ValidityIssue::NotAccepted),
+        None => issues.push(ValidityIssue::Malformed),
+    }
+
+    // Dates: ambiguity first, plausibility second.
+    let mut run_dates: Option<RunDates> = None;
+    match check_dates(
+        parsed.test_date.ok(),
+        parsed.publication.ok(),
+        parsed.hw_available.ok(),
+        parsed.sw_available.ok(),
+    ) {
+        Ok(d) => run_dates = Some(d),
+        Err(issue) => issues.push(issue),
+    }
+
+    // CPU name.
+    match parsed.cpu_name.map(|s| s.resolve()) {
+        None => issues.push(ValidityIssue::Malformed),
+        Some(name) if cpu_name_ambiguous(name) => issues.push(ValidityIssue::AmbiguousCpuName),
+        Some(_) => {}
+    }
+
+    // Node count.
+    if parsed.nodes.is_none() {
+        issues.push(ValidityIssue::MissingNodeCount);
+    }
+
+    // Core/thread bookkeeping.
+    if let Some(issue) = core_thread_issue(
+        parsed.chips,
+        parsed.cores_per_chip,
+        parsed.total_cores,
+        parsed.total_threads,
+        parsed.threads_per_core,
+    ) {
+        issues.push(issue);
+    }
+
+    // Measurements: all eleven levels with finite values.
+    let levels = match collect_levels(&parsed.levels, parsed.calibrated_max) {
+        Ok(levels) => levels,
+        Err(issue) => {
+            issues.push(issue);
+            Vec::new()
+        }
+    };
+
+    // Remaining required scalar fields.
+    let required_ok = parsed.nominal_mhz.is_some()
+        && parsed.calibrated_max.is_some()
+        && parsed.manufacturer.is_some()
+        && parsed.model.is_some()
+        && parsed.os_name.is_some();
+    if !required_ok {
+        issues.push(ValidityIssue::Malformed);
+    }
+
+    issues.sort_unstable();
+    issues.dedup();
+    if !issues.is_empty() {
+        return Err(issues);
+    }
+
+    // Assemble the clean run: the only point strings are copied, and only
+    // for the ~94% of the corpus that survives stage one.
+    let owned = |s: Option<spec_intern::Sym>| {
+        s.map(|sym| sym.resolve().to_string()).unwrap_or_default()
+    };
+    let cpu = Cpu {
+        name: owned(parsed.cpu_name),
+        microarchitecture: owned(parsed.microarch),
+        nominal: Megahertz(parsed.nominal_mhz.expect("checked")),
+        max_boost: Megahertz(
+            parsed
+                .boost_mhz
+                .unwrap_or_else(|| parsed.nominal_mhz.expect("checked")),
+        ),
+        cores_per_chip: parsed.cores_per_chip.expect("checked"),
+        threads_per_core: parsed.threads_per_core.expect("checked"),
+        tdp: Watts(parsed.tdp_w.unwrap_or(f64::NAN)),
+        vector_bits: parsed.vector_bits.unwrap_or(128),
+    };
+    let system = SystemConfig {
+        manufacturer: owned(parsed.manufacturer),
+        model: owned(parsed.model),
+        form_factor: owned(parsed.form_factor),
+        nodes: parsed.nodes.expect("checked"),
+        chips: parsed.chips.expect("checked"),
+        cpu,
+        memory_gb: parsed.memory_gb.unwrap_or(0),
+        dimm_count: parsed.dimm_count.unwrap_or(0),
+        psu_rating: Watts(parsed.psu_rating_w.unwrap_or(f64::NAN)),
+        psu_count: parsed.psu_count.unwrap_or(1),
+        os: OsInfo::new(owned(parsed.os_name)),
+        jvm: JvmInfo {
+            vendor: owned(parsed.jvm_vendor),
+            version: owned(parsed.jvm_version),
+        },
+        jvm_instances: parsed.jvm_instances.unwrap_or(1),
+    };
+    Ok(RunResult {
+        id: parsed.id.unwrap_or(0),
+        submitter: owned(parsed.submitter),
+        system,
+        dates: run_dates.expect("no date issues recorded"),
+        status: RunStatus::Accepted,
+        calibrated_max: SsjOps(parsed.calibrated_max.expect("checked")),
+        levels,
+        reported_overall: OpsPerWatt(parsed.reported_overall.unwrap_or(f64::NAN)),
+    })
+}
+
 /// Convert stage-1 validity issues into the workspace-wide error type,
 /// attributed to the `validate` stage.
 pub fn validity_error(issues: &[ValidityIssue]) -> spec_diag::TrendsError {
@@ -309,7 +473,7 @@ pub fn plausible_hw_window() -> (YearMonth, YearMonth) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_run;
+    use crate::parser::{parse_run, DateField};
     use crate::writer::write_run;
     use spec_model::linear_test_run;
 

@@ -1,0 +1,226 @@
+//! Interned parse ≡ owned parse, field by field, over synthetic corpora.
+//!
+//! The zero-copy path (`parse_run_interned` + `validate_interned`) is an
+//! independent implementation of the owned path (`parse_run` + `validate`);
+//! nothing but these tests stops the two from drifting — so they are pinned
+//! against each other on clean reports, on a proptest-driven corruption
+//! sweep, and on the full synthetic 1017-report dataset with its planted
+//! anomalies.
+
+use proptest::prelude::*;
+use spec_format::{
+    parse_run, parse_run_diagnosed, parse_run_interned, parse_run_interned_diagnosed, validate,
+    validate_interned, NotAReport,
+};
+use spec_model::linear_test_run;
+use spec_synth::{generate_dataset, SynthConfig};
+
+/// The equivalence oracle: both parsers must agree on acceptance, every
+/// extracted field, the diagnosis category, and the validation outcome.
+fn assert_equivalent(text: &str) {
+    match (parse_run(text), parse_run_interned(text)) {
+        (Ok(owned), Ok(interned)) => {
+            // Compare the Debug renderings: field-by-field like derived
+            // `PartialEq`, but NaN-tolerant (garbled numeric cells parse to
+            // NaN on both paths, and `NaN != NaN` would flag equal runs).
+            assert_eq!(
+                format!("{:#?}", interned.to_parsed_run()),
+                format!("{owned:#?}"),
+                "field mismatch for text:\n{text}"
+            );
+            assert_eq!(
+                format!("{:#?}", validate_interned(&interned)),
+                format!("{:#?}", validate(&owned)),
+                "validation mismatch for text:\n{text}"
+            );
+        }
+        (Err(NotAReport), Err(NotAReport)) => {
+            let od = parse_run_diagnosed(text).expect_err("owned rejected");
+            let id = parse_run_interned_diagnosed(text).expect_err("interned rejected");
+            assert_eq!(od, id, "diagnosis mismatch for text:\n{text}");
+        }
+        (owned, interned) => panic!(
+            "acceptance disagrees: owned={:?} interned={:?} for text:\n{text}",
+            owned.map(|_| ()),
+            interned.map(|_| ())
+        ),
+    }
+}
+
+/// Replace the value of `key: …` lines, returning the rebuilt text.
+fn set_value(text: &str, key: &str, new_value: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        match line.split_once(':') {
+            Some((k, _)) if k.trim() == key => {
+                out.push_str(k);
+                out.push_str(": ");
+                out.push_str(new_value);
+            }
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Drop every line whose trimmed form starts with `prefix`.
+fn drop_lines(text: &str, prefix: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if !line.trim_start().starts_with(prefix) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One corruption step, selected by `op` and parameterised by `k`. The set
+/// covers every stage-1 filter category plus structural damage (truncation,
+/// dropped/duplicated lines, control bytes, separator garbage).
+fn corrupt(text: &str, op: u32, k: usize) -> String {
+    match op % 16 {
+        0 => text.to_string(),
+        1 => set_value(text, "Test Date", "Jun-2014 or Jul-2014"),
+        2 => set_value(text, "Hardware Availability", "n/a"),
+        3 => set_value(text, "Status", "Non-Compliant (review failed)"),
+        4 => set_value(text, "CPU Name", "Intel Xeon E5-2670 / E5-2680"),
+        5 => set_value(text, "CPU Name", "unknown"),
+        6 => drop_lines(text, "Nodes:"),
+        7 => {
+            // Delete the k-th line.
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let drop = k % lines.len();
+            let mut out = String::with_capacity(text.len());
+            for (i, line) in lines.iter().enumerate() {
+                if i != drop {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        8 => set_value(text, "Hardware Threads", "abc (garbled)"),
+        9 => {
+            // Truncate at a char boundary near k.
+            if text.is_empty() {
+                return String::new();
+            }
+            let mut cut = k % text.len();
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_string()
+        }
+        10 => {
+            // Drop the first few lines (may remove the header).
+            let skip = 1 + k % 4;
+            let mut out = String::with_capacity(text.len());
+            for line in text.lines().skip(skip) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out
+        }
+        11 => set_value(text, "Calibrated Maximum", "1,0,0 ssj_ops"),
+        12 => String::new(),
+        13 => format!("\u{1}{text}"),
+        14 => {
+            // Duplicate the k-th line.
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let dup = k % lines.len();
+            let mut out = String::with_capacity(text.len() + lines[dup].len() + 1);
+            for (i, line) in lines.iter().enumerate() {
+                out.push_str(line);
+                out.push('\n');
+                if i == dup {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        _ => {
+            // Garble a level row: swap its pipes' payload for junk.
+            let mut out = String::with_capacity(text.len());
+            let mut garbled = false;
+            for line in text.lines() {
+                if !garbled && line.contains('|') {
+                    out.push_str("100% | 99.9% | garbage | -");
+                    garbled = true;
+                } else {
+                    out.push_str(line);
+                }
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn corrupted_reports_parse_identically(
+        id in 1u32..100_000,
+        max_ops in 1e4f64..1e7,
+        idle_w in 20.0f64..200.0,
+        max_w in 150.0f64..900.0,
+        op_a in 0u32..16,
+        op_b in 0u32..16,
+        k_a in 0usize..4096,
+        k_b in 0usize..4096,
+    ) {
+        let base = spec_format::write_run(&linear_test_run(id, max_ops, idle_w, max_w));
+        let once = corrupt(&base, op_a, k_a);
+        assert_equivalent(&once);
+        // Stacked corruptions exercise interactions (e.g. truncation after
+        // a date swap).
+        let twice = corrupt(&once, op_b, k_b);
+        assert_equivalent(&twice);
+    }
+}
+
+#[test]
+fn full_synthetic_dataset_parses_identically() {
+    // The real corpus: 1017 submissions including every planted stage-1
+    // anomaly and stage-2 category the generator knows about.
+    let cfg = SynthConfig {
+        seed: 3,
+        settings: spec_ssj::Settings {
+            interval_seconds: 8,
+            calibration_intervals: 1,
+            ..spec_ssj::Settings::default()
+        },
+    };
+    let dataset = generate_dataset(&cfg);
+    assert_eq!(dataset.submissions.len(), 1017);
+    for submission in &dataset.submissions {
+        assert_equivalent(&submission.text);
+    }
+}
+
+#[test]
+fn degenerate_inputs_parse_identically() {
+    for text in [
+        "",
+        "   \n\t\n",
+        "no header at all",
+        "SPECpower_ssj2008", // header only
+        "SPECpower_ssj2008 =",
+        "SPECpower_ssj2008 = 1,234 overall",
+        "SPECpower_ssj2008\n|||\n| | | |\n",
+        "SPECpower_ssj2008\nTest Date: TBD\nCPU Name:\n",
+        "SPECpower_ssj2008\nKey without value\n: value without key\n",
+    ] {
+        assert_equivalent(text);
+    }
+}

@@ -1,11 +1,16 @@
 //! Typed columns.
 //!
-//! Four physical types cover the analysis: `f64` (measurements; `NaN` is the
-//! missing value), `i64` (counts, years), `str` (names, labels) and `bool`
-//! (flags). Columns are plain `Vec`s — the dataset is hundreds to thousands
-//! of rows, so simplicity beats compression.
+//! Five physical types cover the analysis: `f64` (measurements; `NaN` is the
+//! missing value), `i64` (counts, years), `str` (names, labels), `bool`
+//! (flags) and `sym` (dictionary-encoded categoricals: 4-byte interned
+//! [`Sym`] tokens for the vendor/OS-style columns whose values repeat, so
+//! group-bys compare tokens instead of hashing strings). Columns are plain
+//! `Vec`s — the dataset is hundreds to thousands of rows, so simplicity
+//! beats compression.
 
 use std::fmt;
+
+use spec_intern::Sym;
 
 /// The data type of a column.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -18,6 +23,8 @@ pub enum DType {
     Str,
     /// Boolean.
     Bool,
+    /// Interned categorical string (4-byte token).
+    Sym,
 }
 
 impl DType {
@@ -28,6 +35,7 @@ impl DType {
             DType::I64 => "i64",
             DType::Str => "str",
             DType::Bool => "bool",
+            DType::Sym => "sym",
         }
     }
 }
@@ -44,6 +52,8 @@ pub enum Value {
     Str(String),
     /// Boolean cell.
     Bool(bool),
+    /// Interned categorical cell.
+    Sym(Sym),
 }
 
 impl fmt::Display for Value {
@@ -59,13 +69,19 @@ impl fmt::Display for Value {
             Value::I64(x) => write!(f, "{x}"),
             Value::Str(s) => f.write_str(s),
             Value::Bool(b) => write!(f, "{b}"),
+            Value::Sym(s) => f.write_str(s.resolve()),
         }
     }
 }
 
 /// A group-by key cell: like [`Value`] but hashable/ordered, so floats are
 /// excluded (group keys must be discrete).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+///
+/// `Sym` keys hash and compare for equality on the 4-byte token (sound:
+/// the interner is injective), but *order* by the resolved string — so a
+/// dictionary-encoded column groups fast yet sorts exactly like the owned
+/// `Str` column it replaced.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum KeyValue {
     /// Integer key.
     I64(i64),
@@ -73,6 +89,40 @@ pub enum KeyValue {
     Str(String),
     /// Boolean key.
     Bool(bool),
+    /// Interned categorical key.
+    Sym(Sym),
+}
+
+impl KeyValue {
+    /// Variant rank for cross-type comparisons (declaration order, matching
+    /// the previously derived `Ord`).
+    fn rank(&self) -> u8 {
+        match self {
+            KeyValue::I64(_) => 0,
+            KeyValue::Str(_) => 1,
+            KeyValue::Bool(_) => 2,
+            KeyValue::Sym(_) => 3,
+        }
+    }
+}
+
+impl Ord for KeyValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (KeyValue::I64(a), KeyValue::I64(b)) => a.cmp(b),
+            (KeyValue::Str(a), KeyValue::Str(b)) => a.cmp(b),
+            (KeyValue::Bool(a), KeyValue::Bool(b)) => a.cmp(b),
+            // Token order is allocation order, not string order: resolve.
+            (KeyValue::Sym(a), KeyValue::Sym(b)) => a.resolve().cmp(b.resolve()),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for KeyValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl fmt::Display for KeyValue {
@@ -81,6 +131,7 @@ impl fmt::Display for KeyValue {
             KeyValue::I64(x) => write!(f, "{x}"),
             KeyValue::Str(s) => f.write_str(s),
             KeyValue::Bool(b) => write!(f, "{b}"),
+            KeyValue::Sym(s) => f.write_str(s.resolve()),
         }
     }
 }
@@ -96,6 +147,8 @@ pub enum Column {
     Str(Vec<String>),
     /// Boolean data.
     Bool(Vec<bool>),
+    /// Dictionary-encoded categorical data (interned tokens).
+    Sym(Vec<Sym>),
 }
 
 impl Column {
@@ -106,6 +159,7 @@ impl Column {
             Column::I64(v) => v.len(),
             Column::Str(v) => v.len(),
             Column::Bool(v) => v.len(),
+            Column::Sym(v) => v.len(),
         }
     }
 
@@ -121,6 +175,7 @@ impl Column {
             Column::I64(_) => DType::I64,
             Column::Str(_) => DType::Str,
             Column::Bool(_) => DType::Bool,
+            Column::Sym(_) => DType::Sym,
         }
     }
 
@@ -131,6 +186,7 @@ impl Column {
             Column::I64(v) => v.get(i).map(|&x| Value::I64(x)),
             Column::Str(v) => v.get(i).map(|s| Value::Str(s.clone())),
             Column::Bool(v) => v.get(i).map(|&x| Value::Bool(x)),
+            Column::Sym(v) => v.get(i).map(|&s| Value::Sym(s)),
         }
     }
 
@@ -141,6 +197,7 @@ impl Column {
             Column::I64(v) => v.get(i).map(|&x| KeyValue::I64(x)),
             Column::Str(v) => v.get(i).map(|s| KeyValue::Str(s.clone())),
             Column::Bool(v) => v.get(i).map(|&x| KeyValue::Bool(x)),
+            Column::Sym(v) => v.get(i).map(|&s| KeyValue::Sym(s)),
         }
     }
 
@@ -159,6 +216,7 @@ impl Column {
             Column::I64(v) => Column::I64(pick(v, mask)),
             Column::Str(v) => Column::Str(pick(v, mask)),
             Column::Bool(v) => Column::Bool(pick(v, mask)),
+            Column::Sym(v) => Column::Sym(pick(v, mask)),
         }
     }
 
@@ -172,6 +230,7 @@ impl Column {
             Column::I64(v) => Column::I64(pick(v, indices)),
             Column::Str(v) => Column::Str(pick(v, indices)),
             Column::Bool(v) => Column::Bool(pick(v, indices)),
+            Column::Sym(v) => Column::Sym(pick(v, indices)),
         }
     }
 
@@ -207,6 +266,14 @@ impl Column {
         }
     }
 
+    /// View as `&[Sym]`, if that is the physical type.
+    pub fn as_sym(&self) -> Option<&[Sym]> {
+        match self {
+            Column::Sym(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Numeric view: `f64` as-is, `i64` lossily converted; `None` otherwise.
     pub fn to_f64_vec(&self) -> Option<Vec<f64>> {
         match self {
@@ -229,6 +296,8 @@ impl Column {
             Column::I64(v) => v[a].cmp(&v[b]),
             Column::Str(v) => v[a].cmp(&v[b]),
             Column::Bool(v) => v[a].cmp(&v[b]),
+            // Sort order follows the resolved strings, exactly like `Str`.
+            Column::Sym(v) => v[a].resolve().cmp(v[b].resolve()),
         }
     }
 }
@@ -260,6 +329,12 @@ impl From<Vec<&str>> for Column {
 impl From<Vec<bool>> for Column {
     fn from(v: Vec<bool>) -> Self {
         Column::Bool(v)
+    }
+}
+
+impl From<Vec<Sym>> for Column {
+    fn from(v: Vec<Sym>) -> Self {
+        Column::Sym(v)
     }
 }
 
@@ -330,5 +405,41 @@ mod tests {
         assert_eq!(Value::F64(f64::NAN).to_string(), "");
         assert_eq!(Value::Str("hi".into()).to_string(), "hi");
         assert_eq!(KeyValue::I64(7).to_string(), "7");
+    }
+
+    #[test]
+    fn sym_columns_behave_like_str() {
+        let a = spec_intern::intern("AMD");
+        let b = spec_intern::intern("Intel");
+        let c: Column = vec![a, b, a].into();
+        assert_eq!(c.dtype(), DType::Sym);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), Some(Value::Sym(b)));
+        assert_eq!(c.get(1).map(|v| v.to_string()), Some("Intel".to_string()));
+        assert_eq!(c.key(0), Some(KeyValue::Sym(a)));
+        assert_eq!(c.as_sym(), Some(&[a, b, a][..]));
+        assert_eq!(c.to_f64_vec(), None);
+        assert_eq!(
+            c.filter(&[true, false, true]),
+            Column::Sym(vec![a, a])
+        );
+        assert_eq!(c.take(&[1, 1]), Column::Sym(vec![b, b]));
+    }
+
+    #[test]
+    fn sym_keys_order_by_resolved_string() {
+        use std::cmp::Ordering;
+        // Intern in reverse-alphabetical order so token order disagrees
+        // with string order.
+        let z = spec_intern::intern("zeta-vendor");
+        let a = spec_intern::intern("alpha-vendor");
+        assert_eq!(KeyValue::Sym(a).cmp(&KeyValue::Sym(z)), Ordering::Less);
+        assert_eq!(KeyValue::Sym(z).cmp(&KeyValue::Sym(a)), Ordering::Greater);
+        assert_eq!(KeyValue::Sym(a).cmp(&KeyValue::Sym(a)), Ordering::Equal);
+        let col: Column = vec![z, a].into();
+        assert_eq!(col.cmp_rows(1, 0), Ordering::Less);
+        // Cross-variant comparisons keep the declared rank order.
+        assert!(KeyValue::I64(1) < KeyValue::Str("x".into()));
+        assert!(KeyValue::Bool(true) < KeyValue::Sym(a));
     }
 }

@@ -60,6 +60,7 @@ impl Frame {
                 .iter()
                 .map(|v| match v {
                     Value::Str(s) => escape(s),
+                    Value::Sym(s) => escape(s.resolve()),
                     other => other.to_string(),
                 })
                 .collect();
@@ -98,6 +99,7 @@ impl Frame {
                 DType::I64 => Column::I64(Vec::new()),
                 DType::Str => Column::Str(Vec::new()),
                 DType::Bool => Column::Bool(Vec::new()),
+                DType::Sym => Column::Sym(Vec::new()),
             })
             .collect();
         for (lineno, line) in lines.enumerate() {
@@ -126,6 +128,7 @@ impl Frame {
                         FrameError::Csv(format!("line {}: bad int {field:?}", lineno + 2))
                     })?),
                     Column::Str(v) => v.push(field.clone()),
+                    Column::Sym(v) => v.push(spec_intern::intern(field)),
                     Column::Bool(v) => v.push(match field.as_str() {
                         "true" => true,
                         "false" => false,
@@ -189,6 +192,21 @@ mod tests {
         assert_eq!(g.bools("ok").unwrap(), f.bools("ok").unwrap());
         assert_eq!(g.f64s("watts").unwrap()[0], 119.5);
         assert!(g.f64s("watts").unwrap()[1].is_nan());
+    }
+
+    #[test]
+    fn sym_roundtrip_renders_resolved_strings() {
+        let syms: Vec<spec_intern::Sym> = ["Dell Inc.", "SUSE, Linux"]
+            .iter()
+            .map(|s| spec_intern::intern(s))
+            .collect();
+        let f = Frame::from_columns([("vendor", Column::Sym(syms))]).unwrap();
+        let csv = f.to_csv();
+        // Sym cells serialise exactly like Str cells (quoting included).
+        assert_eq!(csv, "vendor\nDell Inc.\n\"SUSE, Linux\"\n");
+        let g = Frame::from_csv(&csv, &[("vendor", DType::Sym)]).unwrap();
+        let names: Vec<&str> = g.syms("vendor").unwrap().iter().map(|s| s.resolve()).collect();
+        assert_eq!(names, vec!["Dell Inc.", "SUSE, Linux"]);
     }
 
     #[test]

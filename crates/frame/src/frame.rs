@@ -137,6 +137,16 @@ impl Frame {
         })
     }
 
+    /// Borrow an interned-symbol column's data.
+    pub fn syms(&self, name: &str) -> Result<&[spec_intern::Sym]> {
+        let col = self.column(name)?;
+        col.as_sym().ok_or_else(|| FrameError::TypeMismatch {
+            column: name.to_string(),
+            expected: "sym",
+            got: col.dtype().name(),
+        })
+    }
+
     /// Borrow a boolean column's data.
     pub fn bools(&self, name: &str) -> Result<&[bool]> {
         let col = self.column(name)?;
@@ -240,6 +250,7 @@ impl Frame {
                 (Column::I64(a), Column::I64(b)) => a.extend_from_slice(b),
                 (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
                 (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+                (Column::Sym(a), Column::Sym(b)) => a.extend_from_slice(b),
                 (mine, theirs) => {
                     return Err(FrameError::TypeMismatch {
                         column: "vstack".into(),

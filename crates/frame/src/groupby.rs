@@ -73,7 +73,10 @@ pub struct GroupBy<'a> {
 }
 
 impl Frame {
-    /// Group rows by one or more discrete columns (i64/str/bool).
+    /// Group rows by one or more discrete columns (i64/str/bool/sym).
+    ///
+    /// Sym keys hash and compare their 4-byte interned tokens while
+    /// grouping; only the final key-order sort resolves the strings.
     ///
     /// Float key columns are rejected with a type error.
     pub fn group_by(&self, keys: &[&str]) -> Result<GroupBy<'_>> {
@@ -211,6 +214,15 @@ fn rebuild_key_column(cells: &[KeyValue]) -> Column {
                 })
                 .collect(),
         ),
+        Some(KeyValue::Sym(_)) => Column::Sym(
+            cells
+                .iter()
+                .map(|k| match k {
+                    KeyValue::Sym(s) => *s,
+                    _ => unreachable!("homogeneous key column"),
+                })
+                .collect(),
+        ),
         None => Column::I64(Vec::new()),
     }
 }
@@ -341,6 +353,32 @@ mod tests {
         let sizes = g.map_groups(|sub| sub.n_rows());
         assert_eq!(sizes[0].1, 2);
         assert_eq!(sizes[1].1, 3);
+    }
+
+    #[test]
+    fn sym_keys_group_like_strings() {
+        let syms: Vec<spec_intern::Sym> = ["Intel", "AMD", "Intel", "Intel", "AMD"]
+            .iter()
+            .map(|s| spec_intern::intern(s))
+            .collect();
+        let f = Frame::from_columns([
+            ("vendor", Column::Sym(syms)),
+            (
+                "watts",
+                Column::from(vec![100.0, 110.0, 200.0, 220.0, f64::NAN]),
+            ),
+        ])
+        .unwrap();
+        let out = f
+            .group_by(&["vendor"])
+            .unwrap()
+            .agg(&[("watts", Agg::Count)])
+            .unwrap();
+        // Key order is by resolved string, matching the Str-column behavior.
+        let vendors = out.syms("vendor").unwrap();
+        let names: Vec<&str> = vendors.iter().map(|s| s.resolve()).collect();
+        assert_eq!(names, vec!["AMD", "Intel"]);
+        assert_eq!(out.f64s("watts_count").unwrap(), &[2.0, 3.0]);
     }
 
     #[test]

@@ -96,6 +96,14 @@ impl Frame {
                 Column::Bool(v) => Column::Bool(
                     matches.iter().map(|m| m.is_some() && v[m.unwrap()]).collect(),
                 ),
+                Column::Sym(v) => Column::Sym(
+                    // Unmatched rows get the interned empty string, mirroring
+                    // the Str column's `String::new()` fill.
+                    matches
+                        .iter()
+                        .map(|m| m.map_or_else(|| spec_intern::intern(""), |i| v[i]))
+                        .collect(),
+                ),
             };
             out.add_column(out_name, joined)?;
         }

@@ -1,0 +1,108 @@
+//! Interner concurrency: many threads interning an overlapping vocabulary
+//! must agree on every token, and resolution must be stable across shards.
+
+use std::collections::HashMap;
+use std::sync::Barrier;
+
+use spec_intern::{intern, try_resolve, Sym, SHARDS};
+
+/// A vocabulary large enough to hit every shard, with SPEC-like shapes.
+fn vocabulary() -> Vec<String> {
+    let mut v = Vec::new();
+    for i in 0..400 {
+        v.push(format!("Vendor-{i}"));
+        v.push(format!("Xeon Platinum {}", 8000 + i));
+        v.push(format!("SUSE Linux Enterprise Server {i}"));
+    }
+    v
+}
+
+#[test]
+fn many_threads_agree_on_every_token() {
+    let vocab = vocabulary();
+    let n_threads = 16;
+    let barrier = Barrier::new(n_threads);
+    let maps: Vec<HashMap<String, Sym>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let vocab = &vocab;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut seen = HashMap::new();
+                    // Each thread walks the vocabulary from a different
+                    // offset, repeatedly, so first-intern races happen on
+                    // different strings in different threads.
+                    for round in 0..50 {
+                        for i in 0..vocab.len() {
+                            let s = &vocab[(i + t * 37 + round) % vocab.len()];
+                            let sym = intern(s);
+                            if let Some(&prev) = seen.get(s) {
+                                assert_eq!(prev, sym, "token changed for {s:?}");
+                            } else {
+                                seen.insert(s.clone(), sym);
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+
+    // Every thread resolved every string to the same token.
+    let reference = &maps[0];
+    for (i, map) in maps.iter().enumerate() {
+        assert_eq!(map.len(), vocab.len());
+        for (s, sym) in map {
+            assert_eq!(reference.get(s), Some(sym), "thread {i} disagrees on {s:?}");
+            assert_eq!(sym.resolve(), s.as_str());
+        }
+    }
+}
+
+#[test]
+fn tokens_are_unique_across_shards() {
+    // Distinct strings must never collide on the packed token, even when
+    // they land in different shards with the same local index.
+    let vocab = vocabulary();
+    let mut by_token: HashMap<u32, &str> = HashMap::new();
+    for s in &vocab {
+        let sym = intern(s);
+        if let Some(prev) = by_token.insert(sym.as_u32(), s) {
+            panic!("token collision: {prev:?} and {s:?}");
+        }
+    }
+    // The vocabulary is large enough that every shard should be populated.
+    let mut shard_seen = vec![false; SHARDS];
+    for tok in by_token.keys() {
+        shard_seen[(*tok as usize) % SHARDS] = true;
+    }
+    assert!(
+        shard_seen.iter().filter(|&&s| s).count() >= SHARDS / 2,
+        "vocabulary clustered into too few shards: {shard_seen:?}"
+    );
+}
+
+#[test]
+fn resolve_is_stable_under_concurrent_growth() {
+    // Readers resolving old symbols while writers append new ones.
+    let stable: Vec<Sym> = (0..64).map(|i| intern(&format!("stable-{i}"))).collect();
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let stable = &stable;
+            scope.spawn(move || {
+                for i in 0..2000 {
+                    intern(&format!("growth-{t}-{i}"));
+                    let sym = stable[i % stable.len()];
+                    assert_eq!(sym.resolve(), format!("stable-{}", i % stable.len()));
+                }
+            });
+        }
+    });
+    for (i, sym) in stable.iter().enumerate() {
+        assert_eq!(try_resolve(*sym), Some(sym.resolve()));
+        assert_eq!(sym.resolve(), format!("stable-{i}"));
+    }
+}

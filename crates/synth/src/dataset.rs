@@ -334,6 +334,61 @@ pub fn generate_dataset(cfg: &SynthConfig) -> GeneratedDataset {
     GeneratedDataset { submissions }
 }
 
+/// Rewrite the `Result Number:` line of a rendered report. Anomaly texts
+/// that lost the line are returned unchanged (their replicas then parse to
+/// the same id, which only the ground-truth bookkeeping cares about).
+fn rewrite_result_number(text: &str, id: u32) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for line in text.lines() {
+        match line.split_once(':') {
+            Some((key, _)) if key.trim() == "Result Number" => {
+                out.push_str(key);
+                out.push_str(": ");
+                out.push_str(&id.to_string());
+            }
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The corpus-scaling mode: generate the base dataset once, then replicate
+/// it `scale`× entirely in memory.
+///
+/// Replica `k` (1-based replicas; `k = 0` is the base copy) of submission
+/// `id` gets the corpus-unique id `k·N + id` where `N` is the base corpus
+/// size, with the report's `Result Number:` line rewritten to match. Every
+/// other byte of every report is identical to its base copy, so each filter
+/// category's count scales by *exactly* `scale` — category rates are
+/// invariant (pinned by `tests/scale_invariance.rs` at the workspace root).
+pub fn generate_dataset_scaled(cfg: &SynthConfig, scale: u32) -> GeneratedDataset {
+    let base = generate_dataset(cfg);
+    if scale <= 1 {
+        return base;
+    }
+    let n = base.submissions.len() as u32;
+    let mut submissions = Vec::with_capacity(base.submissions.len() * scale as usize);
+    submissions.extend(base.submissions.iter().cloned());
+    for k in 1..scale {
+        for s in &base.submissions {
+            let id = k * n + s.id;
+            let mut truth = s.truth.clone();
+            if let Some(t) = truth.as_mut() {
+                t.id = id;
+            }
+            submissions.push(Submission {
+                id,
+                year: s.year,
+                category: s.category,
+                text: rewrite_result_number(&s.text, id),
+                truth,
+            });
+        }
+    }
+    GeneratedDataset { submissions }
+}
+
 /// Write the dataset's report files into a directory as
 /// `power_ssj2008-NNNN.txt`, returning the paths written.
 pub fn write_dataset_to_dir(
@@ -370,6 +425,56 @@ mod tests {
     fn slot_plan_covers_1017() {
         let slots = plan_slots(&market::submission_plan());
         assert_eq!(slots.len(), 1017);
+    }
+
+    #[test]
+    fn scale_one_is_the_base_dataset() {
+        let cfg = tiny_cfg();
+        let base = generate_dataset(&cfg);
+        let scaled = generate_dataset_scaled(&cfg, 1);
+        assert_eq!(scaled.submissions.len(), base.submissions.len());
+        for (a, b) in scaled.submissions.iter().zip(&base.submissions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.text, b.text);
+        }
+    }
+
+    #[test]
+    fn scaled_dataset_multiplies_every_category_exactly() {
+        use std::collections::HashMap;
+        let cfg = tiny_cfg();
+        let base = generate_dataset(&cfg);
+        let scaled = generate_dataset_scaled(&cfg, 3);
+        assert_eq!(scaled.submissions.len(), base.submissions.len() * 3);
+
+        let count = |ds: &GeneratedDataset| {
+            let mut by_cat: HashMap<Category, usize> = HashMap::new();
+            for s in &ds.submissions {
+                *by_cat.entry(s.category).or_insert(0) += 1;
+            }
+            by_cat
+        };
+        let base_counts = count(&base);
+        for (cat, n) in count(&scaled) {
+            assert_eq!(n, base_counts[&cat] * 3, "{cat:?}");
+        }
+
+        // Ids are corpus-unique and replicas carry the rewritten id in
+        // both the report text and the ground truth.
+        let mut seen = std::collections::HashSet::new();
+        for s in &scaled.submissions {
+            assert!(seen.insert(s.id), "duplicate id {}", s.id);
+            if let Some(t) = &s.truth {
+                assert_eq!(t.id, s.id);
+            }
+        }
+        let n = base.submissions.len();
+        let replica = &scaled.submissions[n]; // first replica of submission 1
+        assert_eq!(replica.id, n as u32 + 1);
+        assert!(
+            replica.text.contains(&format!("Result Number: {}", replica.id)),
+            "replica text must carry its own result number"
+        );
     }
 
     #[test]

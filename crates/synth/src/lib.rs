@@ -25,7 +25,8 @@ pub mod market;
 pub mod params;
 
 pub use dataset::{
-    generate_dataset, write_dataset_to_dir, Category, GeneratedDataset, Submission, SynthConfig,
+    generate_dataset, generate_dataset_scaled, write_dataset_to_dir, Category, GeneratedDataset,
+    Submission, SynthConfig,
 };
 pub use lineup::{Generation, Sku};
 pub use market::{submission_plan, AnomalyKind, YearPlan};

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite, and a warning-free clippy
-# pass. The `format`, `core`, `diag`, `vfs` and `obs` library crates
-# additionally deny `clippy::unwrap_used` at the crate level (see their
-# `lib.rs`), so any new `unwrap()` in parsing, pipeline, IO or
-# observability code fails this script.
+# pass. The `format`, `core`, `diag`, `vfs`, `obs` and `intern` library
+# crates additionally deny `clippy::unwrap_used` at the crate level (see
+# their `lib.rs`), so any new `unwrap()` in parsing, pipeline, IO,
+# observability or interner code fails this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`diag`] | `spec-diag` | the workspace-wide `TrendsError` diagnostics type |
 //! | [`obs`] | `spec-obs` | observability: span tracing, metrics registry, trace export |
+//! | [`intern`] | `spec-intern` | lock-sharded global string interner with `Copy` 4-byte `Sym` tokens |
 //! | [`vfs`] | `spec-vfs` | virtual filesystem: real backend, fault injection, retries |
 //! | [`model`] | `spec-model` | domain types: units, dates, CPUs, systems, runs |
 //! | [`stats`] | `tinystats` | descriptive stats, quantiles, OLS, correlations |
@@ -42,6 +43,7 @@ pub use spec_analysis as analysis;
 pub use spec_cpu2017 as cpu2017;
 pub use spec_diag as diag;
 pub use spec_format as format;
+pub use spec_intern as intern;
 pub use spec_model as model;
 pub use spec_obs as obs;
 pub use spec_sert as sert;

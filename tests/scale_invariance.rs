@@ -1,0 +1,82 @@
+//! Corpus-scaling invariants for the §II cascade.
+//!
+//! `generate_dataset_scaled` replicates the native 1017-report corpus in
+//! memory with only the `Result Number:` line rewritten, so two properties
+//! must hold end-to-end:
+//!
+//! 1. every filter-cascade category count scales by *exactly* the
+//!    replication factor — category rates are invariant; and
+//! 2. ingest over the scaled corpus stays deterministic for any thread
+//!    count, like every other parallel path in the pipeline.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use spec_power_trends::analysis::load_from_texts_parallel;
+use spec_power_trends::synth::{generate_dataset_scaled, GeneratedDataset, SynthConfig};
+use tinypool::Pool;
+
+const SCALE: u32 = 10;
+
+/// The cached ×10 corpus (seed 3, fast settings — same base as
+/// `common::dataset`).
+fn scaled() -> &'static GeneratedDataset {
+    static DS: OnceLock<GeneratedDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        generate_dataset_scaled(
+            &SynthConfig {
+                seed: 3,
+                settings: common::fast_settings(),
+            },
+            SCALE,
+        )
+    })
+}
+
+#[test]
+fn category_rates_are_invariant_at_scale_10() {
+    let native = &common::analysis_set().report;
+    let texts: Vec<&str> = scaled().texts().collect();
+    assert_eq!(texts.len(), 1017 * SCALE as usize);
+    let at_scale = load_from_texts_parallel(&texts).report;
+
+    // Replicas are byte-identical up to the Result Number line, so every
+    // count multiplies exactly — rates match to the last digit, well
+    // inside any tolerance.
+    assert_eq!(at_scale.raw, native.raw * SCALE as usize);
+    assert_eq!(at_scale.not_reports, native.not_reports * SCALE as usize);
+    assert_eq!(at_scale.valid, native.valid * SCALE as usize);
+    assert_eq!(at_scale.comparable, native.comparable * SCALE as usize);
+    for (issue, &n) in &native.stage1 {
+        assert_eq!(at_scale.stage1[issue], n * SCALE as usize, "{issue:?}");
+    }
+    assert_eq!(at_scale.stage1.len(), native.stage1.len());
+    for (issue, &n) in &native.stage2 {
+        assert_eq!(at_scale.stage2[issue], n * SCALE as usize, "{issue:?}");
+    }
+    assert_eq!(at_scale.stage2.len(), native.stage2.len());
+
+    // The rate view the satellite asks for, spelled out: per-category
+    // stage-1 rejection rates agree to floating-point exactness.
+    for (issue, &n) in &native.stage1 {
+        let native_rate = n as f64 / native.raw as f64;
+        let scaled_rate = at_scale.stage1[issue] as f64 / at_scale.raw as f64;
+        assert!(
+            (native_rate - scaled_rate).abs() < 1e-12,
+            "{issue:?}: {native_rate} vs {scaled_rate}"
+        );
+    }
+}
+
+#[test]
+fn scaled_ingest_is_identical_across_thread_counts() {
+    let texts: Vec<&str> = scaled().texts().collect();
+    let baseline = Pool::new(1).install(|| load_from_texts_parallel(&texts));
+    for threads in [2usize, 8] {
+        let set = Pool::new(threads).install(|| load_from_texts_parallel(&texts));
+        assert_eq!(set.report, baseline.report, "{threads} threads");
+        assert_eq!(set.valid, baseline.valid, "{threads} threads");
+        assert_eq!(set.comparable, baseline.comparable, "{threads} threads");
+    }
+}
