@@ -1,11 +1,11 @@
-//! Corpus-scaling benchmark: ingest throughput (reports/s) at the native
-//! 1017-report corpus and at 10× / 100× in-memory replications (10 170 and
-//! 101 700 reports), plus an owned-vs-interned parser comparison on the
+//! Corpus-scaling benchmark: streaming ingest throughput (reports/s) at the
+//! native 1017-report corpus and at ×10 / ×100 / ×1000 replications (up to
+//! ~1.02M reports), plus an owned-vs-interned parser comparison on the
 //! native corpus.
 //!
 //! Unlike the Criterion benches this is a plain `harness = false` binary:
-//! it times whole-corpus passes with `Instant`, samples peak RSS from
-//! `/proc/self/status`, and exports machine-readable results to
+//! it times whole-corpus passes with `Instant`, samples peak RSS via
+//! `spec_obs::peak_rss_kb`, and exports machine-readable results to
 //! `BENCH_ingest.json` at the repository root (override the path with
 //! `SPEC_BENCH_OUT`). Run it with:
 //!
@@ -13,27 +13,26 @@
 //! cargo bench --bench corpus_scaling
 //! ```
 //!
-//! The scaled corpora come from `spec_synth::generate_dataset_scaled`: the
-//! 1017-report model is simulated once and replicated in memory with only
-//! the `Result Number:` line rewritten, so per-report parse cost is exactly
-//! representative at every scale and the filter-category mix is identical.
+//! The 1017-report model is simulated **once**; every scale streams its
+//! replicas through `spec_synth::for_each_scaled_batch` (only the
+//! `Result Number:` line differs per replica) into
+//! `spec_analysis::stream::StreamIngest` with spill enabled, so the
+//! corpus is never materialized and peak memory is the batch plus the
+//! resident-segment budget at every scale — the ×1000 run would be
+//! several gigabytes materialized.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use spec_analysis::load_from_texts_parallel;
+use spec_analysis::stream::{SpillConfig, StreamConfig, StreamIngest};
 use spec_bench::bench_settings;
-use spec_synth::{generate_dataset_scaled, SynthConfig};
+use spec_synth::{for_each_scaled_batch, generate_dataset, GeneratedDataset, SynthConfig};
 
-/// Peak resident set size in kilobytes (`VmHWM`), if the platform exposes it.
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
-        }
-    }
-    None
-}
+/// Reports per [`StreamIngest::push_batch`] call.
+const BATCH_REPORTS: usize = 4096;
+
+/// Combined resident-segment budget across the valid + comparable stores.
+const MAX_RESIDENT_BYTES: usize = 96 * 1024 * 1024;
 
 struct ScaleResult {
     scale: u32,
@@ -41,27 +40,61 @@ struct ScaleResult {
     best_seconds: f64,
     reports_per_s: f64,
     peak_rss_kb: Option<u64>,
+    segments_spilled: usize,
+    spill_bytes: u64,
 }
 
-/// Time `iters` full cascades over `texts`, returning the best wall time.
-/// The cascade's own output is sanity-checked so a silently broken parse
-/// cannot masquerade as a fast one.
-fn time_ingest(texts: &[&str], scale: u32, iters: u32) -> f64 {
+fn spill_dir(scale: u32) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "spec-corpus-scaling-{}-x{scale}",
+        std::process::id()
+    ))
+}
+
+/// Time `iters` streaming cascades over the ×`scale` corpus, returning the
+/// best wall time plus spill gauges from the last pass. The accumulated
+/// filter report is sanity-checked so a silently broken parse cannot
+/// masquerade as a fast one.
+fn time_ingest_streaming(
+    base: &GeneratedDataset,
+    scale: u32,
+    iters: u32,
+) -> (f64, usize, u64) {
     let mut best = f64::INFINITY;
+    let mut segments_spilled = 0usize;
+    let mut spill_bytes = 0u64;
     for _ in 0..iters {
+        let dir = spill_dir(scale);
+        let _ = std::fs::remove_dir_all(&dir);
         let start = Instant::now();
-        let set = load_from_texts_parallel(texts);
+        let mut ingest = StreamIngest::new(&StreamConfig {
+            segment_rows: tinyframe::DEFAULT_SEGMENT_ROWS,
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                max_resident_bytes: MAX_RESIDENT_BYTES,
+            }),
+        })
+        .expect("create spill dirs");
+        for_each_scaled_batch(base, scale, BATCH_REPORTS, |batch| ingest.push_batch(batch))
+            .expect("streaming ingest");
         let dt = start.elapsed().as_secs_f64();
-        assert_eq!(set.report.raw, 1017 * scale as usize, "raw count at ×{scale}");
-        assert_eq!(set.valid.len(), 960 * scale as usize, "valid count at ×{scale}");
+        let report = ingest.report();
+        assert_eq!(report.raw, 1017 * scale as usize, "raw count at ×{scale}");
+        assert_eq!(report.valid, 960 * scale as usize, "valid count at ×{scale}");
         assert_eq!(
-            set.comparable.len(),
+            report.comparable,
             676 * scale as usize,
             "comparable count at ×{scale}"
         );
+        segments_spilled = ingest.valid_features().segments_spilled()
+            + ingest.comparable_features().segments_spilled();
+        spill_bytes = ingest.valid_features().spill_bytes_written()
+            + ingest.comparable_features().spill_bytes_written();
         best = best.min(dt);
+        drop(ingest);
+        let _ = std::fs::remove_dir_all(&dir);
     }
-    best
+    (best, segments_spilled, spill_bytes)
 }
 
 /// Owned vs interned single-thread parse+validate over the native corpus.
@@ -114,23 +147,29 @@ fn main() {
         settings: bench_settings(),
     };
 
+    // Generate the base corpus exactly once; every scale streams replicas
+    // of it.
+    let base = generate_dataset(&cfg);
+    assert_eq!(base.submissions.len(), 1017);
+
+    // One untimed warm-up pass (interner + pool + allocator warm).
+    let _ = time_ingest_streaming(&base, 1, 1);
+
     let mut results: Vec<ScaleResult> = Vec::new();
-    for &(scale, iters) in &[(1u32, 5u32), (10, 3), (100, 1)] {
-        let dataset = generate_dataset_scaled(&cfg, scale);
-        let texts: Vec<&str> = dataset.texts().collect();
-        // One untimed warm-up pass per scale (interner + pool warm).
-        let _ = load_from_texts_parallel(&texts);
-        let best = time_ingest(&texts, scale, iters);
-        let reports = texts.len();
+    for &(scale, iters) in &[(1u32, 5u32), (10, 3), (100, 1), (1000, 1)] {
+        let (best, segments_spilled, spill_bytes) = time_ingest_streaming(&base, scale, iters);
+        let reports = 1017 * scale as usize;
         let result = ScaleResult {
             scale,
             reports,
             best_seconds: best,
             reports_per_s: reports as f64 / best,
-            peak_rss_kb: peak_rss_kb(),
+            peak_rss_kb: spec_obs::peak_rss_kb(),
+            segments_spilled,
+            spill_bytes,
         };
         println!(
-            "corpus_scaling/x{:<3}  {:>6} reports  {:>9.1} ms  {:>10.0} reports/s  peak RSS {}",
+            "corpus_scaling/x{:<4} {:>7} reports  {:>9.1} ms  {:>10.0} reports/s  peak RSS {}  spilled {} segs / {:.1} MiB",
             result.scale,
             result.reports,
             result.best_seconds * 1e3,
@@ -138,11 +177,12 @@ fn main() {
             result
                 .peak_rss_kb
                 .map_or("n/a".to_string(), |kb| format!("{:.1} MiB", kb as f64 / 1024.0)),
+            result.segments_spilled,
+            result.spill_bytes as f64 / (1024.0 * 1024.0),
         );
         results.push(result);
     }
 
-    let base = generate_dataset_scaled(&cfg, 1);
     let texts: Vec<&str> = base.texts().collect();
     let (owned_s, interned_s) = parser_comparison(&texts);
     println!(
@@ -158,17 +198,31 @@ fn main() {
     );
 
     // Hand-rolled JSON: the vendored serde is a no-op marker crate.
-    let mut json = String::from("{\n  \"bench\": \"corpus_scaling\",\n  \"scales\": [\n");
+    let mut json = String::from("{\n  \"bench\": \"corpus_scaling\",\n");
+    json.push_str("  \"mode\": \"streaming\",\n");
+    json.push_str(&format!(
+        "  \"code_version\": \"{}\",\n",
+        spec_analysis::stage::CODE_VERSION
+    ));
+    json.push_str(&format!("  \"threads\": {},\n", tinypool::current_threads()));
+    json.push_str(&format!("  \"batch_reports\": {BATCH_REPORTS},\n"));
+    json.push_str(&format!(
+        "  \"max_resident_bytes\": {MAX_RESIDENT_BYTES},\n"
+    ));
+    json.push_str("  \"scales\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"scale\": {}, \"reports\": {}, \"best_seconds\": {:.6}, \
-             \"reports_per_s\": {:.1}, \"peak_rss_kb\": {}}}{}\n",
+             \"reports_per_s\": {:.1}, \"peak_rss_kb\": {}, \
+             \"segments_spilled\": {}, \"spill_bytes\": {}}}{}\n",
             r.scale,
             r.reports,
             r.best_seconds,
             r.reports_per_s,
             r.peak_rss_kb
                 .map_or("null".to_string(), |kb| kb.to_string()),
+            r.segments_spilled,
+            r.spill_bytes,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -18,6 +18,14 @@
 //!                                                instrumentation on and print the
 //!                                                per-stage execution/cache table
 //!                                                plus every recorded metric
+//! spec-trends ingest [--data DIR] [--scale K] [--max-resident-mb M]
+//!                                                stream the corpus through the
+//!                                                segmented column store; report
+//!                                                throughput, peak RSS and the
+//!                                                spill gauges. With
+//!                                                --max-resident-mb, cold segments
+//!                                                spill to disk so ×1000 (~1M
+//!                                                reports) runs in bounded memory
 //! ```
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
@@ -43,19 +51,29 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use spec_analysis::stream::{SpillConfig, StreamConfig, StreamIngest};
 use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver, StageId};
 use spec_diag::TrendsError;
 use spec_ssj::Settings;
-use spec_synth::{generate_dataset_scaled, write_dataset_to_dir, SynthConfig};
+use spec_synth::{
+    for_each_scaled_batch, generate_dataset, generate_dataset_scaled, write_dataset_to_dir,
+    SynthConfig,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats> \
-         [--out PATH] [--data DIR] [--seed N] [--scale K] [--cache-dir DIR] [--threads N] [--trace-out FILE]\n\
+        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats|ingest> \
+         [--out PATH] [--data DIR] [--seed N] [--scale K] [--cache-dir DIR] [--threads N] [--trace-out FILE] \
+         [--max-resident-mb M]\n\
          \n\
-         --scale K     replicate the synthetic corpus K× in memory before\n\
-         \x20             writing (generate only): corpus-scaling runs at 10k/100k\n\
-         \x20             reports without K separate simulations.\n\
+         --scale K     replicate the synthetic corpus K×: `generate` writes the\n\
+         \x20             replicas, `ingest` streams them without materializing\n\
+         \x20             the corpus (corpus-scaling runs at 10k/100k/1M reports\n\
+         \x20             without K separate simulations).\n\
+         --max-resident-mb M  (ingest) bound the resident segment set: cold\n\
+         \x20             segments spill, checksummed, to a temp directory and\n\
+         \x20             reload on demand, so peak memory stays near M plus one\n\
+         \x20             batch regardless of corpus size.\n\
          --cache-dir DIR  content-addressed artifact cache; warm runs skip every\n\
          \x20               stage whose inputs are unchanged (figures after analyze\n\
          \x20               re-parses nothing and is byte-identical). Corrupt or\n\
@@ -82,6 +100,7 @@ struct Args {
     cache_dir: Option<PathBuf>,
     threads: Option<usize>,
     trace_out: Option<PathBuf>,
+    max_resident_mb: Option<usize>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -97,6 +116,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut cache_dir = None;
     let mut threads = None;
     let mut trace_out = None;
+    let mut max_resident_mb = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(args.next()?)),
@@ -110,6 +130,13 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
             }
             "--cache-dir" => cache_dir = Some(PathBuf::from(args.next()?)),
             "--trace-out" => trace_out = Some(PathBuf::from(args.next()?)),
+            "--max-resident-mb" => {
+                let mb: usize = args.next()?.parse().ok()?;
+                if mb == 0 {
+                    return None;
+                }
+                max_resident_mb = Some(mb);
+            }
             "--threads" => {
                 let n: usize = args.next()?.parse().ok()?;
                 if n == 0 {
@@ -129,6 +156,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         cache_dir,
         threads,
         trace_out,
+        max_resident_mb,
     })
 }
 
@@ -176,6 +204,104 @@ fn report_cache_activity(driver: &PipelineDriver) {
             );
         }
     }
+}
+
+/// Reports per streaming-ingest batch (matches the corpus-scaling bench).
+const INGEST_BATCH_REPORTS: usize = 4096;
+
+/// `spec-trends ingest`: stream the corpus through the segmented column
+/// store and report throughput plus the out-of-core gauges. Without
+/// `--data`, streams the synthetic corpus at `--scale` without ever
+/// materializing it (×1000 ≈ 1M reports in bounded memory); with `--data`,
+/// streams the directory's report files batch-by-batch. `--max-resident-mb`
+/// bounds the resident segment set by spilling cold segments to a
+/// temporary directory (removed on exit).
+fn run_ingest(args: &Args) -> spec_diag::Result<()> {
+    let spill_dir = std::env::temp_dir().join(format!("spec-trends-ingest-{}", std::process::id()));
+    let config = StreamConfig {
+        segment_rows: tinyframe::DEFAULT_SEGMENT_ROWS,
+        spill: args.max_resident_mb.map(|mb| SpillConfig {
+            dir: spill_dir.clone(),
+            max_resident_bytes: mb * 1024 * 1024,
+        }),
+    };
+    let data_err = |e: tinyframe::FrameError| {
+        TrendsError::new(
+            "ingest",
+            spec_diag::ErrorKind::Data {
+                detail: e.to_string(),
+            },
+        )
+    };
+    let mut ingest = StreamIngest::new(&config).map_err(|e| TrendsError::io("ingest", &e))?;
+    let start = std::time::Instant::now();
+    let result = match &args.data {
+        Some(dir) => {
+            eprintln!("streaming report files from {}", dir.display());
+            let vfs = spec_vfs::default_vfs();
+            let paths = spec_analysis::list_report_files(vfs.as_ref(), dir)?;
+            paths.chunks(INGEST_BATCH_REPORTS).try_for_each(|chunk| {
+                let items: Vec<_> = chunk
+                    .iter()
+                    .map(|p| spec_analysis::read_input(vfs.as_ref(), p))
+                    .collect();
+                ingest.push_input_batch(&items)
+            })
+        }
+        None => {
+            eprintln!(
+                "streaming synthetic dataset (seed {}, scale ×{})",
+                args.seed, args.scale
+            );
+            let base = generate_dataset(&SynthConfig {
+                seed: args.seed,
+                ..SynthConfig::default()
+            });
+            for_each_scaled_batch(&base, args.scale, INGEST_BATCH_REPORTS, |batch| {
+                ingest.push_batch(batch)
+            })
+        }
+    };
+    let outcome = result.map_err(data_err).map(|()| {
+        let seconds = start.elapsed().as_secs_f64();
+        let report = ingest.report();
+        println!("{}", report.to_markdown());
+        println!(
+            "ingested {} report(s) in {} batch(es): {:.2} s, {:.0} reports/s",
+            report.raw,
+            ingest.batches(),
+            seconds,
+            report.raw as f64 / seconds.max(1e-9),
+        );
+        let (resident, spilled, resident_bytes, spill_bytes) = {
+            let v = ingest.valid_features();
+            let (vr, vs, vb, vw) = (
+                v.segments_resident(),
+                v.segments_spilled(),
+                v.resident_bytes(),
+                v.spill_bytes_written(),
+            );
+            let c = ingest.comparable_features();
+            (
+                vr + c.segments_resident(),
+                vs + c.segments_spilled(),
+                vb + c.resident_bytes(),
+                vw + c.spill_bytes_written(),
+            )
+        };
+        println!(
+            "segments: {resident} resident ({:.1} MiB), {spilled} spilled ({:.1} MiB written)",
+            resident_bytes as f64 / (1024.0 * 1024.0),
+            spill_bytes as f64 / (1024.0 * 1024.0),
+        );
+        if let Some(kb) = spec_obs::peak_rss_kb() {
+            println!("peak RSS: {:.1} MiB (VmHWM)", kb as f64 / 1024.0);
+        }
+    });
+    if config.spill.is_some() {
+        let _ = std::fs::remove_dir_all(&spill_dir);
+    }
+    outcome
 }
 
 fn run_command(args: &Args) -> spec_diag::Result<()> {
@@ -303,6 +429,7 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             report_cache_activity(&driver);
             Ok(())
         }
+        "ingest" => run_ingest(args),
         "doctor" => {
             let Some(dir) = args.cache_dir.clone() else {
                 return Err(TrendsError::config("doctor", "doctor requires --cache-dir DIR"));
@@ -339,9 +466,9 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
     }
 }
 
-const COMMANDS: [&str; 10] = [
+const COMMANDS: [&str; 11] = [
     "generate", "analyze", "explain", "figures", "table1", "report", "export", "trends", "doctor",
-    "stats",
+    "stats", "ingest",
 ];
 
 /// Write the collected spans as Chrome trace-event JSON (atomically, like
@@ -495,6 +622,34 @@ mod tests {
     #[test]
     fn stats_is_a_known_command() {
         assert!(COMMANDS.contains(&"stats"));
+    }
+
+    #[test]
+    fn ingest_is_a_known_command() {
+        assert!(COMMANDS.contains(&"ingest"));
+    }
+
+    #[test]
+    fn max_resident_mb_flag_validation() {
+        assert_eq!(parse(&["ingest"]).unwrap().max_resident_mb, None);
+        assert_eq!(
+            parse(&["ingest", "--max-resident-mb", "128"])
+                .unwrap()
+                .max_resident_mb,
+            Some(128)
+        );
+        assert!(parse(&["ingest", "--max-resident-mb", "0"]).is_none());
+        assert!(parse(&["ingest", "--max-resident-mb", "big"]).is_none());
+        assert!(parse(&["ingest", "--max-resident-mb"]).is_none());
+    }
+
+    #[test]
+    fn ingest_streams_the_synthetic_corpus_with_spill() {
+        // 1 MiB resident budget forces eviction through the real spill
+        // store even at ×1; a failure anywhere in the cascade surfaces
+        // as an error here.
+        let args = parse(&["ingest", "--max-resident-mb", "1"]).unwrap();
+        run_command(&args).unwrap();
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! (σ 0.3 vs 0.5 GHz). This module reproduces that exploration.
 
 use spec_model::{CpuVendor, RunResult};
+use tinyframe::DEFAULT_SEGMENT_ROWS;
 use tinystats::{CorrelationMatrix, Summary};
 
-use crate::features::runs_to_frame;
+use crate::features::runs_to_seg_frame;
 
 /// Features correlated against the idle fraction.
 pub const CORRELATED_FEATURES: [&str; 8] = [
@@ -67,7 +68,7 @@ pub fn explore(comparable: &[RunResult], since_year: i32) -> IdleCorrelationRepo
         .filter(|r| r.hw_year() >= since_year)
         .cloned()
         .collect();
-    let frame = runs_to_frame(&recent);
+    let mut frame = runs_to_seg_frame(&recent, DEFAULT_SEGMENT_ROWS);
 
     let columns: Vec<(&str, Vec<f64>)> = CORRELATED_FEATURES
         .iter()
@@ -88,7 +89,7 @@ pub fn explore(comparable: &[RunResult], since_year: i32) -> IdleCorrelationRepo
             .filter(|r| r.system.cpu.vendor() == vendor)
             .cloned()
             .collect();
-        let sub_frame = runs_to_frame(&subset);
+        let mut sub_frame = runs_to_seg_frame(&subset, DEFAULT_SEGMENT_ROWS);
         let sub_columns: Vec<(&str, Vec<f64>)> = CORRELATED_FEATURES
             .iter()
             .map(|&name| (name, sub_frame.numeric(name).expect("feature column")))

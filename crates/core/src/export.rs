@@ -3,26 +3,29 @@
 
 use std::path::{Path, PathBuf};
 
-use tinyframe::{Agg, Column, Frame};
+use tinyframe::{Agg, Column, Frame, DEFAULT_SEGMENT_ROWS};
 
-use crate::features::runs_to_frame;
+use crate::features::runs_to_seg_frame;
 use crate::report::Study;
 
 /// Build the per-year summary table (one row per year): run counts, mean
 /// per-socket power, mean idle fraction, median overall efficiency.
+///
+/// Runs through the segmented store's streaming group-by, which is
+/// bit-identical to the in-memory `group_by(..).agg(..)` path.
 pub fn yearly_summary(study: &Study) -> Frame {
-    let frame = runs_to_frame(&study.set.comparable);
-    frame
-        .group_by(&["year"])
-        .expect("year column is discrete")
-        .agg(&[
-            ("overall_eff", Agg::Count),
-            ("per_socket_w", Agg::Mean),
-            ("idle_fraction", Agg::Mean),
-            ("overall_eff", Agg::Median),
-            ("extrap_quotient", Agg::Mean),
-        ])
-        .expect("numeric aggregates")
+    runs_to_seg_frame(&study.set.comparable, DEFAULT_SEGMENT_ROWS)
+        .group_agg(
+            &["year"],
+            &[
+                ("overall_eff", Agg::Count),
+                ("per_socket_w", Agg::Mean),
+                ("idle_fraction", Agg::Mean),
+                ("overall_eff", Agg::Median),
+                ("extrap_quotient", Agg::Mean),
+            ],
+        )
+        .expect("numeric aggregates over feature columns")
 }
 
 /// Markdown rendering of [`yearly_summary`].
@@ -75,12 +78,21 @@ impl Study {
             files.push((name.to_string(), content));
         };
 
-        // Full per-run feature table (the master processed dataset).
+        // Full per-run feature table (the master processed dataset),
+        // rendered segment-by-segment so the full table is never
+        // materialized as one frame.
         save(
             "comparable_runs.csv",
-            runs_to_frame(&self.set.comparable).to_csv(),
+            runs_to_seg_frame(&self.set.comparable, DEFAULT_SEGMENT_ROWS)
+                .to_csv()
+                .expect("resident segments render"),
         );
-        save("valid_runs.csv", runs_to_frame(&self.set.valid).to_csv());
+        save(
+            "valid_runs.csv",
+            runs_to_seg_frame(&self.set.valid, DEFAULT_SEGMENT_ROWS)
+                .to_csv()
+                .expect("resident segments render"),
+        );
 
         // Figure 1: shares per year.
         {

@@ -4,7 +4,7 @@
 //! exploration. Missing/derived-undefined values become `NaN`.
 
 use spec_model::{LoadLevel, RunResult};
-use tinyframe::{Column, Frame};
+use tinyframe::{Column, Frame, SegFrame};
 
 /// Column names produced by [`runs_to_frame`], in order.
 pub const FEATURE_COLUMNS: [&str; 24] = [
@@ -142,6 +142,34 @@ pub fn runs_to_frame(runs: &[RunResult]) -> Frame {
         ("rel_eff_90", Column::from(rel90)),
     ])
     .expect("columns share length by construction")
+}
+
+/// Build the feature table as a segmented store: parallel shards fill
+/// private segment arenas (each a run of `runs_to_frame` chunks at
+/// `segment_rows` granularity) and the merge splices them in shard order,
+/// so row order — and therefore every downstream aggregate — is identical
+/// to `runs_to_frame(runs)` for any thread count.
+pub fn runs_to_seg_frame(runs: &[RunResult], segment_rows: usize) -> SegFrame {
+    let segment_rows = segment_rows.max(1);
+    let mut seg = SegFrame::new(segment_rows);
+    if runs.is_empty() {
+        seg.append_frame(runs_to_frame(&[]))
+            .expect("fresh store adopts the feature schema");
+        return seg;
+    }
+    let ranges = tinypool::run_chunks(runs.len(), |_| {});
+    let arenas: Vec<Vec<Frame>> = tinypool::parallel_map(&ranges, |range| {
+        runs[range.clone()]
+            .chunks(segment_rows)
+            .map(runs_to_frame)
+            .collect()
+    });
+    for arena in arenas {
+        for frame in arena {
+            seg.push_sealed(frame).expect("uniform feature schema");
+        }
+    }
+    seg
 }
 
 #[cfg(test)]

@@ -41,11 +41,12 @@ pub mod pipeline;
 pub mod proportionality;
 pub mod report;
 pub mod stage;
+pub mod stream;
 pub mod table1;
 
 pub use correlation::{explore, IdleCorrelationReport, VendorStats};
 pub use export::{yearly_summary, yearly_summary_markdown};
-pub use features::{runs_to_frame, FEATURE_COLUMNS};
+pub use features::{runs_to_frame, runs_to_seg_frame, FEATURE_COLUMNS};
 pub use pipeline::{
     list_report_files, load_from_dir, load_from_dir_vfs, load_from_inputs, load_from_named_texts,
     load_from_texts, load_from_texts_parallel, read_input, stage1_validate,

@@ -705,31 +705,73 @@ pub fn decode_run_dict(r: &mut Reader<'_>, dict: &[String]) -> Result<RunResult,
     })
 }
 
-impl Codec for super::artifact::ValidateArtifact {
-    /// Layout: string dictionary (first-use order), run count, the
-    /// dictionary-encoded runs, then the [`FilterReport`]. Both passes are
-    /// single-sweep: the dictionary is built while the run bodies encode
-    /// into a side buffer, then written ahead of them.
-    fn encode(&self, w: &mut Writer) {
+/// Runs per artifact segment: matches the frame layer's
+/// [`tinyframe::DEFAULT_SEGMENT_ROWS`] so the Validate artifact streams in
+/// the same granularity as the column store it feeds.
+pub const ARTIFACT_SEGMENT_RUNS: usize = 64 * 1024;
+
+/// Segmented Validate-artifact encoding with an explicit segment size
+/// (tests shrink it to cover multi-segment layouts cheaply; production
+/// always passes [`ARTIFACT_SEGMENT_RUNS`]).
+pub(crate) fn encode_validate_segmented(
+    artifact: &super::artifact::ValidateArtifact,
+    w: &mut Writer,
+    segment_runs: usize,
+) {
+    let segment_runs = segment_runs.max(1);
+    let chunks: Vec<&[RunResult]> = if artifact.valid.is_empty() {
+        Vec::new()
+    } else {
+        artifact.valid.chunks(segment_runs).collect()
+    };
+    chunks.len().encode(w);
+    for chunk in chunks {
         let mut dict = StringDict::default();
         let mut body = Writer::new();
-        self.valid.len().encode(&mut body);
-        for run in &self.valid {
+        chunk.len().encode(&mut body);
+        for run in chunk {
             encode_run_dict(run, &mut body, &mut dict);
         }
-        self.report.encode(&mut body);
         dict.order.encode(w);
         w.buf.extend_from_slice(&body.buf);
     }
+    artifact.report.encode(w);
+}
+
+impl Codec for super::artifact::ValidateArtifact {
+    /// Segmented layout: segment count, then per segment a fresh string
+    /// dictionary (first-use order), its run count and the
+    /// dictionary-encoded runs; the [`FilterReport`] trails. Each segment
+    /// covers at most [`ARTIFACT_SEGMENT_RUNS`] runs, so encode-side
+    /// dictionary state and decode-side dictionary lifetime stay bounded
+    /// regardless of corpus scale, and a ×1000 corpus never needs one
+    /// giant dictionary resident while the rest of the buffer streams.
+    fn encode(&self, w: &mut Writer) {
+        encode_validate_segmented(self, w, ARTIFACT_SEGMENT_RUNS);
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let dict = Vec::<String>::decode(r)?;
-        let n = usize::decode(r)?;
-        if n > r.buf.len().saturating_sub(r.pos) {
-            return Err(bad(format!("run count {n} exceeds remaining buffer")));
+        let n_segments = usize::decode(r)?;
+        if n_segments > r.buf.len().saturating_sub(r.pos) {
+            return Err(bad(format!(
+                "segment count {n_segments} exceeds remaining buffer"
+            )));
         }
-        let mut valid = Vec::with_capacity(n);
-        for _ in 0..n {
-            valid.push(decode_run_dict(r, &dict)?);
+        let mut valid = Vec::new();
+        for _ in 0..n_segments {
+            let dict = Vec::<String>::decode(r)?;
+            let n = usize::decode(r)?;
+            if n > ARTIFACT_SEGMENT_RUNS {
+                return Err(bad(format!(
+                    "segment run count {n} exceeds segment capacity {ARTIFACT_SEGMENT_RUNS}"
+                )));
+            }
+            if n > r.buf.len().saturating_sub(r.pos) {
+                return Err(bad(format!("run count {n} exceeds remaining buffer")));
+            }
+            valid.reserve(n);
+            for _ in 0..n {
+                valid.push(decode_run_dict(r, &dict)?);
+            }
         }
         Ok(super::artifact::ValidateArtifact {
             valid,
@@ -1057,13 +1099,51 @@ mod tests {
     #[test]
     fn validate_artifact_rejects_out_of_range_dict_ids() {
         use super::super::artifact::ValidateArtifact;
-        // Hand-built buffer: empty dictionary, one run whose submitter id
-        // dangles. Must be a clean decode error, not garbage data.
+        // Hand-built buffer: one segment with an empty dictionary and one
+        // run whose submitter id dangles. Must be a clean decode error,
+        // not garbage data.
         let mut w = Writer::new();
+        1usize.encode(&mut w); // segment count
         Vec::<String>::new().encode(&mut w);
         1usize.encode(&mut w); // run count
         1u32.encode(&mut w); // run.id
         5u32.encode(&mut w); // submitter dict id — out of range
+        assert!(decode_from_slice::<ValidateArtifact>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn validate_artifact_multi_segment_roundtrips() {
+        use super::super::artifact::ValidateArtifact;
+        let valid: Vec<RunResult> = (0..25)
+            .map(|i| linear_test_run(i, 1e6, 60.0, 300.0))
+            .collect();
+        let texts: Vec<String> = valid.iter().map(spec_format::write_run).collect();
+        let report = crate::pipeline::load_from_texts(&texts).report;
+        let artifact = ValidateArtifact { valid, report };
+
+        // Force many segments (segment size 4 → 7 segments for 25 runs),
+        // each with its own dictionary; the decoder never sees the segment
+        // size, so the standard decode path must reassemble it exactly.
+        let mut w = Writer::new();
+        encode_validate_segmented(&artifact, &mut w, 4);
+        let back: ValidateArtifact = decode_from_slice(&w.into_bytes()).expect("decode");
+        assert_eq!(back, artifact);
+
+        // Empty artifact → zero segments, still round-trips.
+        let empty = ValidateArtifact {
+            valid: Vec::new(),
+            report: crate::pipeline::load_from_texts(Vec::<String>::new()).report,
+        };
+        let back: ValidateArtifact =
+            decode_from_slice(&encode_to_vec(&empty)).expect("decode empty");
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn validate_artifact_rejects_oversized_segment_count() {
+        use super::super::artifact::ValidateArtifact;
+        let mut w = Writer::new();
+        u64::MAX.encode(&mut w); // segment count far beyond the buffer
         assert!(decode_from_slice::<ValidateArtifact>(&w.into_bytes()).is_err());
     }
 }

@@ -44,7 +44,7 @@ pub use graph::{
 /// misses instead of stale hits.
 /// (`/2`: the corpus artifact gained the `RawInput` tag byte.
 /// `/3`: the Validate artifact switched to dictionary-encoded strings.)
-pub const CODE_VERSION: &str = "spec-trends/stage-graph/3";
+pub const CODE_VERSION: &str = "spec-trends/stage-graph/4";
 
 /// Write rendered `(name, content)` files into `dir` (created if needed)
 /// through `vfs`, returning the written paths in order. Each file lands

@@ -1,0 +1,362 @@
+//! Streaming batched ingest: the out-of-core path past the ×100 memory wall.
+//!
+//! [`crate::pipeline::load_from_texts`] holds every report text, every
+//! parsed [`RunResult`] and (downstream) the whole feature frame in memory
+//! at once, which is what capped corpus scaling near ×100. This module
+//! ingests the corpus in bounded batches instead: each batch is sharded
+//! across the `tinypool` workers, each shard runs the full §II cascade and
+//! renders its survivors into segment-sized feature frames (a private
+//! *segment arena*), and the shard arenas are adopted into two
+//! [`SegFrame`] stores — one for stage-1-valid runs, one for comparable
+//! runs — in shard order. With spill enabled the stores evict cold
+//! segments through `spec-vfs`, so peak memory is the batch size plus the
+//! resident-set budget regardless of corpus scale.
+//!
+//! Correctness contract: ingesting any batch split of a corpus produces a
+//! [`FilterReport`] and feature tables **bit-identical** to the monolithic
+//! [`crate::pipeline::load_from_texts`] +
+//! [`crate::features::runs_to_frame`] path. This holds because stage 1 is
+//! per-input, stage 2 is per-run ([`stage2_split`] inspects each run
+//! independently), and [`FilterReport::merge`] is associative with
+//! index offsetting.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use spec_model::RunResult;
+use spec_obs as obs;
+use tinyframe::{Frame, SegFrame, VfsSegmentStore, DEFAULT_SEGMENT_ROWS};
+
+use crate::features::runs_to_frame;
+use crate::pipeline::{
+    stage1_validate, stage1_validate_inputs, stage2_split, FilterReport, RawInput,
+};
+
+/// Spill configuration for [`StreamIngest`].
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Directory for spilled segments; `valid/` and `comparable/` subdirs
+    /// are created beneath it.
+    pub dir: PathBuf,
+    /// Combined resident-bytes budget across both feature stores.
+    pub max_resident_bytes: usize,
+}
+
+/// Configuration for [`StreamIngest`].
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Rows per sealed segment in the feature stores.
+    pub segment_rows: usize,
+    /// Spill cold segments through `spec-vfs` when set; otherwise every
+    /// segment stays resident.
+    pub spill: Option<SpillConfig>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+            spill: None,
+        }
+    }
+}
+
+/// Incremental ingest state: push batches of report texts, read off the
+/// accumulated [`FilterReport`] and segmented feature tables at any point.
+#[derive(Debug)]
+pub struct StreamIngest {
+    valid: SegFrame,
+    comparable: SegFrame,
+    report: FilterReport,
+    batches: usize,
+}
+
+fn frame_to_io(err: tinyframe::FrameError) -> io::Error {
+    io::Error::other(err)
+}
+
+/// Per-shard stage-2 + feature-arena construction shared by the text and
+/// input batch paths.
+type Shard = (FilterReport, Vec<Frame>, Vec<Frame>);
+
+fn shard_arenas(valid: Vec<RunResult>, mut report: FilterReport, segment_rows: usize) -> Shard {
+    let (indices, stage2) = stage2_split(&valid);
+    report.comparable = indices.len();
+    report.stage2 = stage2;
+    let comparable: Vec<RunResult> = indices.iter().map(|&i| valid[i as usize].clone()).collect();
+    let valid_arena: Vec<Frame> = valid.chunks(segment_rows).map(runs_to_frame).collect();
+    let comp_arena: Vec<Frame> = comparable.chunks(segment_rows).map(runs_to_frame).collect();
+    (report, valid_arena, comp_arena)
+}
+
+impl StreamIngest {
+    /// Fresh ingest state. Creates the spill directories when spill is
+    /// configured; the valid store gets the larger slice (3/5) of the
+    /// budget since every comparable run is also valid.
+    pub fn new(config: &StreamConfig) -> io::Result<StreamIngest> {
+        let segment_rows = config.segment_rows.max(1);
+        let mut valid = SegFrame::new(segment_rows);
+        let mut comparable = SegFrame::new(segment_rows);
+        // Adopt the feature schema up front so an all-rejected corpus
+        // still renders the same header row as the monolithic path.
+        valid
+            .append_frame(runs_to_frame(&[]))
+            .map_err(frame_to_io)?;
+        comparable
+            .append_frame(runs_to_frame(&[]))
+            .map_err(frame_to_io)?;
+        if let Some(spill) = &config.spill {
+            let valid_store = VfsSegmentStore::open_default(spill.dir.join("valid"))?;
+            let comp_store = VfsSegmentStore::open_default(spill.dir.join("comparable"))?;
+            let valid_budget = spill.max_resident_bytes / 5 * 3;
+            let comp_budget = spill.max_resident_bytes.saturating_sub(valid_budget);
+            valid
+                .enable_spill(Arc::new(valid_store), valid_budget)
+                .map_err(frame_to_io)?;
+            comparable
+                .enable_spill(Arc::new(comp_store), comp_budget)
+                .map_err(frame_to_io)?;
+        }
+        Ok(StreamIngest {
+            valid,
+            comparable,
+            report: FilterReport::default(),
+            batches: 0,
+        })
+    }
+
+    /// Ingest one batch of report texts.
+    ///
+    /// The batch is sharded across the worker pool; each shard runs
+    /// stage 1 + stage 2 and builds its segment arena of feature frames,
+    /// and arenas are merged in shard order, so the result is identical
+    /// for any batch split and any thread count.
+    pub fn push_batch<S>(&mut self, texts: &[S]) -> tinyframe::Result<()>
+    where
+        S: AsRef<str> + Sync,
+    {
+        let segment_rows = self.valid.segment_rows();
+        let mut sp = obs::span("stream-batch");
+        let ranges = tinypool::run_chunks(texts.len(), |_| {});
+        let shards: Vec<Shard> = tinypool::parallel_map(&ranges, |range| {
+            let (valid, report) = stage1_validate(
+                texts[range.clone()]
+                    .iter()
+                    .map(|t| (None::<String>, t.as_ref())),
+            );
+            shard_arenas(valid, report, segment_rows)
+        });
+        self.merge_shards(shards)?;
+        if obs::enabled() {
+            sp.record("items", texts.len());
+            sp.observe_into("ingest.stream_batch_us");
+            obs::count("ingest.stream_batches", 1);
+        }
+        Ok(())
+    }
+
+    /// [`Self::push_batch`] over owned `(origin, input)` pairs — the
+    /// directory-ingest form, where an unreadable file arrives as an
+    /// [`RawInput::IoError`] and is accounted as an `io-error` parse
+    /// failure instead of aborting the stream.
+    pub fn push_input_batch(
+        &mut self,
+        items: &[(Option<String>, RawInput)],
+    ) -> tinyframe::Result<()> {
+        let segment_rows = self.valid.segment_rows();
+        let mut sp = obs::span("stream-batch");
+        let ranges = tinypool::run_chunks(items.len(), |_| {});
+        let shards: Vec<Shard> = tinypool::parallel_map(&ranges, |range| {
+            let (valid, report) = stage1_validate_inputs(
+                items[range.clone()]
+                    .iter()
+                    .map(|(origin, input)| (origin.clone(), input.as_ref())),
+            );
+            shard_arenas(valid, report, segment_rows)
+        });
+        self.merge_shards(shards)?;
+        if obs::enabled() {
+            sp.record("items", items.len());
+            sp.observe_into("ingest.stream_batch_us");
+            obs::count("ingest.stream_batches", 1);
+        }
+        Ok(())
+    }
+
+    fn merge_shards(&mut self, shards: Vec<Shard>) -> tinyframe::Result<()> {
+        for (report, valid_arena, comp_arena) in shards {
+            self.report.merge(&report);
+            for frame in valid_arena {
+                self.valid.append_frame(frame)?;
+            }
+            for frame in comp_arena {
+                self.comparable.append_frame(frame)?;
+            }
+        }
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Accumulated filter accounting over every batch so far.
+    pub fn report(&self) -> &FilterReport {
+        &self.report
+    }
+
+    /// Number of batches ingested.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// The segmented feature table of stage-1-valid runs.
+    pub fn valid_features(&mut self) -> &mut SegFrame {
+        &mut self.valid
+    }
+
+    /// The segmented feature table of comparable runs.
+    pub fn comparable_features(&mut self) -> &mut SegFrame {
+        &mut self.comparable
+    }
+
+    /// Tear down into `(valid, comparable, report)`.
+    pub fn into_parts(self) -> (SegFrame, SegFrame, FilterReport) {
+        (self.valid, self.comparable, self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::load_from_texts;
+    use spec_format::write_run;
+    use spec_model::linear_test_run;
+
+    fn corpus(n: u32) -> Vec<String> {
+        let mut texts: Vec<String> = (0..n)
+            .map(|i| {
+                write_run(&linear_test_run(
+                    i,
+                    1e6 + i as f64 * 1e3,
+                    50.0 + (i % 7) as f64,
+                    300.0,
+                ))
+            })
+            .collect();
+        if n > 3 {
+            texts[3] = "junk that is not a report".into();
+        }
+        if n > 11 {
+            let mut sparc = linear_test_run(999, 1e6, 60.0, 300.0);
+            sparc.system.cpu.name = "SPARC T3-1".into();
+            texts[11] = write_run(&sparc);
+        }
+        texts
+    }
+
+    #[test]
+    fn streaming_matches_monolithic_for_any_batch_split() {
+        let texts = corpus(40);
+        let legacy = load_from_texts(&texts);
+        let want_valid = runs_to_frame(&legacy.valid).to_csv();
+        let want_comp = runs_to_frame(&legacy.comparable).to_csv();
+        for batch in [1usize, 7, 40] {
+            let mut ingest = StreamIngest::new(&StreamConfig {
+                segment_rows: 16,
+                spill: None,
+            })
+            .unwrap();
+            for chunk in texts.chunks(batch) {
+                ingest.push_batch(chunk).unwrap();
+            }
+            assert_eq!(ingest.report(), &legacy.report, "batch={batch}");
+            assert_eq!(
+                ingest.valid_features().to_csv().unwrap(),
+                want_valid,
+                "batch={batch}"
+            );
+            assert_eq!(
+                ingest.comparable_features().to_csv().unwrap(),
+                want_comp,
+                "batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_rejected_corpus_keeps_schema() {
+        let mut ingest = StreamIngest::new(&StreamConfig {
+            segment_rows: 8,
+            spill: None,
+        })
+        .unwrap();
+        ingest.push_batch(&["junk", "more junk"]).unwrap();
+        let legacy = load_from_texts(&["junk".to_string(), "more junk".to_string()]);
+        assert_eq!(ingest.report(), &legacy.report);
+        assert_eq!(
+            ingest.valid_features().to_csv().unwrap(),
+            runs_to_frame(&[]).to_csv()
+        );
+    }
+
+    #[test]
+    fn input_batches_degrade_io_errors_like_the_monolith() {
+        let texts = corpus(10);
+        let mut items: Vec<(Option<String>, RawInput)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Some(format!("r{i}.txt")), RawInput::Text(t.clone())))
+            .collect();
+        items.push((
+            Some("gone.txt".into()),
+            RawInput::IoError("could not read file: EIO".into()),
+        ));
+        let legacy = crate::pipeline::load_from_inputs(items.clone());
+        let mut ingest = StreamIngest::new(&StreamConfig {
+            segment_rows: 4,
+            spill: None,
+        })
+        .unwrap();
+        for chunk in items.chunks(3) {
+            ingest.push_input_batch(chunk).unwrap();
+        }
+        assert_eq!(ingest.report(), &legacy.report);
+        assert_eq!(
+            ingest.valid_features().to_csv().unwrap(),
+            runs_to_frame(&legacy.valid).to_csv()
+        );
+    }
+
+    #[test]
+    fn spilling_stream_is_identical_and_bounded() {
+        let texts = corpus(60);
+        let legacy = load_from_texts(&texts);
+        let dir = std::env::temp_dir().join("spec_stream_spill_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ingest = StreamIngest::new(&StreamConfig {
+            segment_rows: 8,
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                max_resident_bytes: 4096,
+            }),
+        })
+        .unwrap();
+        for chunk in texts.chunks(9) {
+            ingest.push_batch(chunk).unwrap();
+        }
+        assert!(
+            ingest.valid_features().segments_spilled() > 0,
+            "a 4 KiB budget must force spill"
+        );
+        assert_eq!(
+            ingest.valid_features().to_csv().unwrap(),
+            runs_to_frame(&legacy.valid).to_csv()
+        );
+        assert_eq!(
+            ingest.comparable_features().to_csv().unwrap(),
+            runs_to_frame(&legacy.comparable).to_csv()
+        );
+        assert_eq!(ingest.report(), &legacy.report);
+        drop(ingest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -283,6 +283,33 @@ impl Column {
         }
     }
 
+    /// Contiguous row range `[start, end)` as a new column.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(v[start..end].to_vec()),
+            Column::I64(v) => Column::I64(v[start..end].to_vec()),
+            Column::Str(v) => Column::Str(v[start..end].to_vec()),
+            Column::Bool(v) => Column::Bool(v[start..end].to_vec()),
+            Column::Sym(v) => Column::Sym(v[start..end].to_vec()),
+        }
+    }
+
+    /// Approximate heap bytes this column's data occupies — the segmented
+    /// store's resident-set accounting. String cells charge their length
+    /// plus the `String` header; everything else is element size × rows.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len() * 8,
+            Column::I64(v) => v.len() * 8,
+            Column::Bool(v) => v.len(),
+            Column::Sym(v) => v.len() * std::mem::size_of::<Sym>(),
+            Column::Str(v) => v
+                .iter()
+                .map(|s| s.len() + std::mem::size_of::<String>())
+                .sum(),
+        }
+    }
+
     /// Comparison of two cells within the same column, NaN last.
     pub fn cmp_rows(&self, a: usize, b: usize) -> std::cmp::Ordering {
         use std::cmp::Ordering;

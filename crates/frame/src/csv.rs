@@ -41,32 +41,43 @@ fn split_record(line: &str) -> Vec<String> {
     fields
 }
 
+/// Append the header line for `names`. Shared with the segmented store so
+/// streaming CSV output is byte-identical to [`Frame::to_csv`].
+pub(crate) fn append_header_line(names: &[String], out: &mut String) {
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+}
+
+/// Append every data row of `frame` (no header). Shared with the
+/// segmented store.
+pub(crate) fn append_data_rows(frame: &Frame, out: &mut String) {
+    for i in 0..frame.n_rows() {
+        let row = frame.row(i).expect("in range");
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => escape(s),
+                Value::Sym(s) => escape(s.resolve()),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+}
+
 impl Frame {
     /// Render the frame as CSV (header + rows, `\n` line endings).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(
-            &self
-                .names()
-                .iter()
-                .map(|n| escape(n))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
-        for i in 0..self.n_rows() {
-            let row = self.row(i).expect("in range");
-            let cells: Vec<String> = row
-                .iter()
-                .map(|v| match v {
-                    Value::Str(s) => escape(s),
-                    Value::Sym(s) => escape(s.resolve()),
-                    other => other.to_string(),
-                })
-                .collect();
-            out.push_str(&cells.join(","));
-            out.push('\n');
-        }
+        append_header_line(self.names(), &mut out);
+        append_data_rows(self, &mut out);
         out
     }
 

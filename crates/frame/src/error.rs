@@ -36,6 +36,10 @@ pub enum FrameError {
     },
     /// CSV parsing failed.
     Csv(String),
+    /// A spilled segment failed to encode or decode.
+    Codec(String),
+    /// Spill I/O failed (store, load or a corrupt-and-quarantined file).
+    Spill(String),
 }
 
 impl fmt::Display for FrameError {
@@ -60,6 +64,8 @@ impl fmt::Display for FrameError {
                 write!(f, "mask has {got} entries, frame has {expected} rows")
             }
             FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::Codec(msg) => write!(f, "segment codec error: {msg}"),
+            FrameError::Spill(msg) => write!(f, "spill error: {msg}"),
         }
     }
 }

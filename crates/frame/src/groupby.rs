@@ -185,7 +185,10 @@ impl<'a> GroupBy<'a> {
     }
 }
 
-fn rebuild_key_column(cells: &[KeyValue]) -> Column {
+/// Reassemble a homogeneous key column from group-key cells; shared with
+/// the segmented store's streaming aggregation so both paths emit
+/// identical key columns.
+pub(crate) fn rebuild_key_column(cells: &[KeyValue]) -> Column {
     match cells.first() {
         Some(KeyValue::I64(_)) => Column::I64(
             cells

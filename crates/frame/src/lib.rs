@@ -39,9 +39,14 @@ pub mod frame;
 pub mod groupby;
 pub mod join;
 pub mod par;
+pub mod segcodec;
+pub mod segment;
+pub mod spill;
 
 pub use column::{Column, DType, KeyValue, Value};
 pub use error::{FrameError, Result};
 pub use frame::Frame;
 pub use groupby::{Agg, GroupBy};
 pub use par::{parallel_chunks, parallel_map};
+pub use segment::{SegFrame, DEFAULT_SEGMENT_ROWS};
+pub use spill::{MemSegmentStore, SegmentStore, VfsSegmentStore};

@@ -39,7 +39,7 @@ mod trace;
 
 pub use chrome::{chrome_trace_json, is_wellformed_json};
 pub use metrics::{
-    count, observe_us, set_gauge, snapshot, HistogramSnapshot, MetricsSnapshot,
+    count, observe_us, peak_rss_kb, set_gauge, snapshot, HistogramSnapshot, MetricsSnapshot,
 };
 pub use trace::{dropped_spans, span, take_spans, FieldValue, Span, SpanRecord};
 

@@ -66,6 +66,22 @@ fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), if the platform exposes it. Works regardless of
+/// whether observability is enabled — memory ceilings are asserted in CI
+/// even when tracing is off. Note the value is a process-lifetime
+/// high-water mark: it never decreases, so phase-local budgets must be
+/// checked by the phase that peaks.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
 /// Add `n` to the counter named `name`. No-op while disabled.
 pub fn count(name: &str, n: u64) {
     if !crate::enabled() {

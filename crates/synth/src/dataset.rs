@@ -389,6 +389,100 @@ pub fn generate_dataset_scaled(cfg: &SynthConfig, scale: u32) -> GeneratedDatase
     GeneratedDataset { submissions }
 }
 
+/// Stream the `scale`×-replicated corpus batch-by-batch without ever
+/// materializing it: `f` receives consecutive batches of report texts in
+/// exactly the order [`generate_dataset_scaled`] would produce them (base
+/// copy first, then replicas `1..scale` with rewritten result numbers),
+/// with at most `batch_size` texts alive at once. This is the ingest
+/// source for the ×1000 (~1M report) corpus, whose materialized form
+/// would be several gigabytes.
+pub fn for_each_scaled_batch<F, E>(
+    base: &GeneratedDataset,
+    scale: u32,
+    batch_size: usize,
+    mut f: F,
+) -> Result<(), E>
+where
+    F: FnMut(&[String]) -> Result<(), E>,
+{
+    let n = base.submissions.len() as u32;
+    let batch_size = batch_size.max(1);
+    let mut batch: Vec<String> = Vec::with_capacity(batch_size);
+    // Splitting each base text around its `Result Number:` value once turns
+    // every replica into two memcpys instead of a full line-by-line rescan —
+    // at ×1000 that rescan (~1M texts × ~100 lines) dominates generation.
+    let templates: Vec<Vec<String>> = if scale > 1 {
+        base.submissions
+            .iter()
+            .map(|s| result_number_template(&s.text))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for k in 0..scale.max(1) {
+        for (i, s) in base.submissions.iter().enumerate() {
+            let text = if k == 0 {
+                s.text.clone()
+            } else {
+                render_template(&templates[i], k * n + s.id)
+            };
+            batch.push(text);
+            if batch.len() == batch_size {
+                f(&batch)?;
+                batch.clear();
+            }
+        }
+    }
+    if !batch.is_empty() {
+        f(&batch)?;
+    }
+    Ok(())
+}
+
+/// Split a report text at every `Result Number:` value so a replica id can
+/// be spliced in without rescanning the lines. The parts carry the same
+/// normalization [`rewrite_result_number`] applies (every line rebuilt,
+/// `\n`-terminated, the matched key followed by `": "`); rendering with any
+/// id reproduces its output byte-for-byte — pinned by
+/// `scaled_batches_match_materialized_corpus`.
+fn result_number_template(text: &str) -> Vec<String> {
+    let mut parts = vec![String::with_capacity(text.len() + 8)];
+    for line in text.lines() {
+        match line.split_once(':') {
+            Some((key, _)) if key.trim() == "Result Number" => {
+                let last = parts.last_mut().expect("parts is never empty");
+                last.push_str(key);
+                last.push_str(": ");
+                parts.push(String::new());
+            }
+            _ => parts
+                .last_mut()
+                .expect("parts is never empty")
+                .push_str(line),
+        }
+        parts
+            .last_mut()
+            .expect("parts is never empty")
+            .push('\n');
+    }
+    parts
+}
+
+/// Join a [`result_number_template`] with `id` at every split point.
+fn render_template(parts: &[String], id: u32) -> String {
+    let digits = id.to_string();
+    let cap: usize =
+        parts.iter().map(String::len).sum::<usize>() + digits.len() * (parts.len() - 1);
+    let mut out = String::with_capacity(cap);
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(&digits);
+        }
+        out.push_str(part);
+    }
+    out
+}
+
 /// Write the dataset's report files into a directory as
 /// `power_ssj2008-NNNN.txt`, returning the paths written.
 pub fn write_dataset_to_dir(
@@ -475,6 +569,26 @@ mod tests {
             replica.text.contains(&format!("Result Number: {}", replica.id)),
             "replica text must carry its own result number"
         );
+    }
+
+    #[test]
+    fn scaled_batches_match_materialized_corpus() {
+        let cfg = tiny_cfg();
+        let base = generate_dataset(&cfg);
+        let scaled = generate_dataset_scaled(&cfg, 3);
+        let want: Vec<&str> = scaled.texts().collect();
+        for batch_size in [1usize, 100, 5000] {
+            let mut got: Vec<String> = Vec::new();
+            for_each_scaled_batch(&base, 3, batch_size, |batch| {
+                got.extend_from_slice(batch);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+            assert_eq!(got.len(), want.len(), "batch_size={batch_size}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g, w, "batch_size={batch_size}");
+            }
+        }
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod market;
 pub mod params;
 
 pub use dataset::{
-    generate_dataset, generate_dataset_scaled, write_dataset_to_dir, Category, GeneratedDataset,
-    Submission, SynthConfig,
+    for_each_scaled_batch, generate_dataset, generate_dataset_scaled, write_dataset_to_dir,
+    Category, GeneratedDataset, Submission, SynthConfig,
 };
 pub use lineup::{Generation, Sku};
 pub use market::{submission_plan, AnomalyKind, YearPlan};

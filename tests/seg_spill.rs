@@ -1,0 +1,269 @@
+//! Out-of-core spill behaviour of the segmented column store.
+//!
+//! Four contracts are pinned, mirroring the artifact-cache robustness
+//! suite (`cache_recovery.rs` / `chaos.rs`) one layer down:
+//!
+//! 1. **Bounded residency** — with a spill store attached, resident
+//!    sealed-segment bytes never exceed the budget after any append.
+//! 2. **Reload identity** — everything that spills reloads byte-identical:
+//!    CSV and numeric reads over a spilled store equal the monolith, twice
+//!    over (the second pass re-evicts and re-loads).
+//! 3. **Typed failures** — a faulted spill read surfaces as
+//!    [`FrameError::Spill`], never a panic and never silently wrong data;
+//!    corrupt spill files are quarantined with a `.reason` sidecar.
+//! 4. **Chaos** — under seed-driven random fault schedules, any query
+//!    either returns byte-identical output or a typed error.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spec_power_trends::frame::spill::QUARANTINE_DIR;
+use spec_power_trends::frame::{Column, Frame, FrameError, SegFrame, VfsSegmentStore};
+use spec_power_trends::intern::intern;
+use spec_power_trends::vfs::{FaultKind, FaultVfs, OpKind, RealVfs, Vfs};
+
+/// A deterministic frame with every column family the pipeline stores
+/// (i64 keys, interned vendors, NaN-bearing floats, bools).
+fn sample(n: usize, offset: usize) -> Frame {
+    let years: Vec<i64> = (0..n).map(|i| 2007 + ((i + offset) % 9) as i64).collect();
+    let vendors: Vec<_> = (0..n)
+        .map(|i| intern(["Intel", "AMD", "Hewlett Packard Enterprise"][(i + offset) % 3]))
+        .collect();
+    let watts: Vec<f64> = (0..n)
+        .map(|i| {
+            if (i + offset).is_multiple_of(7) {
+                f64::NAN
+            } else {
+                50.0 + ((i + offset) as f64) * 1.75
+            }
+        })
+        .collect();
+    let flags: Vec<bool> = (0..n).map(|i| (i + offset).is_multiple_of(2)).collect();
+    Frame::from_columns([
+        ("year", Column::from(years)),
+        ("vendor", Column::Sym(vendors)),
+        ("watts", Column::from(watts)),
+        ("flag", Column::from(flags)),
+    ])
+    .expect("equal lengths")
+}
+
+/// The monolithic reference: all chunks vstacked in memory.
+fn monolith(chunks: usize, rows: usize) -> Frame {
+    let mut mono = sample(rows, 0);
+    for c in 1..chunks {
+        mono.vstack(&sample(rows, c * rows)).expect("same schema");
+    }
+    mono
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "spec_seg_spill_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const CHUNKS: usize = 12;
+const ROWS: usize = 50;
+const SEGMENT_ROWS: usize = 32;
+const BUDGET: usize = 4 * 1024;
+
+/// Build a spilling store over `vfs`, appending the same chunk sequence
+/// `monolith` stacks, asserting the resident budget after every append.
+fn build_spilling(
+    vfs: Arc<dyn Vfs>,
+    dir: &Path,
+) -> Result<SegFrame, FrameError> {
+    let store = VfsSegmentStore::new(vfs, dir.to_path_buf())
+        .map_err(|e| FrameError::Spill(format!("creating spill dir: {e}")))?;
+    let mut seg = SegFrame::new(SEGMENT_ROWS);
+    seg.append_frame(sample(0, 0))?;
+    seg.enable_spill(Arc::new(store), BUDGET)?;
+    for c in 0..CHUNKS {
+        seg.append_frame(sample(ROWS, c * ROWS))?;
+        assert!(
+            seg.resident_bytes() <= BUDGET,
+            "resident {} bytes exceeds the {BUDGET}-byte budget after chunk {c}",
+            seg.resident_bytes()
+        );
+    }
+    Ok(seg)
+}
+
+#[test]
+fn budget_bounds_residency_and_reloads_are_identical() {
+    let dir = unique_dir("identity");
+    let mut seg = build_spilling(Arc::new(RealVfs), &dir).expect("fault-free build");
+    assert!(
+        seg.segments_spilled() > 0,
+        "the {BUDGET}-byte budget must force spilling"
+    );
+    assert!(seg.spill_bytes_written() > 0);
+
+    let mono = monolith(CHUNKS, ROWS);
+    let expected_csv = mono.to_csv();
+    // Two passes: the first loads + re-evicts every cold segment, so the
+    // second exercises reload-after-re-eviction.
+    for pass in 0..2 {
+        assert_eq!(
+            seg.to_csv().expect("spilled segments reload"),
+            expected_csv,
+            "pass {pass}"
+        );
+    }
+    let watts: Vec<u64> = seg
+        .numeric("watts")
+        .expect("spilled segments reload")
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let mono_watts: Vec<u64> = mono.numeric("watts").unwrap().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(watts, mono_watts, "numeric reads are bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_read_eio_is_a_typed_error() {
+    let dir = unique_dir("eio");
+    // No reads happen during ingest (spill only writes), so read #0 is the
+    // first cold-segment load.
+    let fault: Arc<dyn Vfs> = Arc::new(
+        FaultVfs::new(Arc::new(RealVfs)).with_fault(OpKind::Read, 0, FaultKind::Eio),
+    );
+    let mut seg = build_spilling(fault, &dir).expect("writes are fault-free");
+    assert!(seg.segments_spilled() > 0);
+    let err = seg.to_csv().expect_err("the faulted read must surface");
+    assert!(
+        matches!(&err, FrameError::Spill(msg) if msg.contains("loading segment")),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_spill_read_is_caught_not_trusted() {
+    let dir = unique_dir("short");
+    // A read that silently returns a prefix must be detected (length
+    // verification / checksum), never decoded into wrong rows.
+    let fault: Arc<dyn Vfs> = Arc::new(
+        FaultVfs::new(Arc::new(RealVfs)).with_fault(OpKind::Read, 0, FaultKind::ShortRead(24)),
+    );
+    let mut seg = build_spilling(fault, &dir).expect("writes are fault-free");
+    let err = seg.to_csv().expect_err("the truncated read must surface");
+    assert!(matches!(err, FrameError::Spill(_)), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_spill_file_is_quarantined_with_reason() {
+    let dir = unique_dir("quarantine");
+    let mut seg = build_spilling(Arc::new(RealVfs), &dir).expect("fault-free build");
+    assert!(seg.segments_spilled() > 0);
+
+    // Flip bytes in one spilled segment file on disk.
+    let victim = std::fs::read_dir(&dir)
+        .expect("spill dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".bin"))
+        })
+        .expect("at least one spilled segment on disk");
+    let mut bytes = std::fs::read(&victim).expect("read spill file");
+    for b in bytes.iter_mut().take(64) {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&victim, &bytes).expect("corrupt spill file");
+
+    let err = seg.to_csv().expect_err("corruption must not decode");
+    assert!(matches!(err, FrameError::Spill(_)), "unexpected error: {err}");
+
+    // The corrupt file moved to quarantine/ with a .reason sidecar.
+    let qdir = dir.join(QUARANTINE_DIR);
+    let name = victim.file_name().expect("segment file name");
+    assert!(
+        qdir.join(name).exists(),
+        "corrupt segment was not quarantined"
+    );
+    let mut sidecar = qdir.join(name).into_os_string();
+    sidecar.push(".reason");
+    let reason =
+        std::fs::read_to_string(std::path::Path::new(&sidecar)).expect("reason sidecar exists");
+    assert!(!reason.is_empty(), "empty quarantine reason");
+    assert!(!victim.exists(), "corrupt file left behind in the spill dir");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chaos arm: under a random fault schedule the store either produces
+/// byte-identical output or a typed error — silent divergence is the only
+/// forbidden outcome. Torn spill writes are allowed to go unnoticed at
+/// write time (the store's durability is the checksum), so they must
+/// surface on the read side instead.
+fn spill_chaos_case(seed: u64, density: u64) {
+    let dir = unique_dir("chaos");
+    let fault: Arc<dyn Vfs> = Arc::new(FaultVfs::seeded(Arc::new(RealVfs), seed, density));
+    let expected_csv = monolith(CHUNKS, ROWS).to_csv();
+
+    let store = match VfsSegmentStore::new(fault, dir.clone()) {
+        Err(_) => {
+            // Typed error creating the spill dir — acceptable outcome.
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+        Ok(store) => store,
+    };
+    let mut seg = SegFrame::new(SEGMENT_ROWS);
+    let built = (|| -> Result<(), FrameError> {
+        seg.enable_spill(Arc::new(store), BUDGET)?;
+        for c in 0..CHUNKS {
+            seg.append_frame(sample(ROWS, c * ROWS))?;
+        }
+        Ok(())
+    })();
+    if built.is_ok() {
+        match seg.to_csv() {
+            Ok(csv) => assert_eq!(
+                csv, expected_csv,
+                "seed {seed} density {density}: silent divergence"
+            ),
+            Err(err) => assert!(
+                matches!(err, FrameError::Spill(_)),
+                "seed {seed} density {density}: untyped failure {err}"
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_chaos_fixed_seeds() {
+    let mut seeds: Vec<u64> = vec![7, 1337, 424242];
+    if let Ok(v) = std::env::var("CHAOS_SEED") {
+        if let Ok(n) = v.parse() {
+            seeds.push(n);
+        }
+    }
+    for seed in seeds {
+        for density in [50, 200, 500] {
+            spill_chaos_case(seed, density);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn spill_chaos_sweep(seed in 0u64..1_000_000, density in 1u64..600) {
+        spill_chaos_case(seed, density);
+    }
+}
