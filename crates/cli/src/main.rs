@@ -26,6 +26,14 @@
 //!                                                --max-resident-mb, cold segments
 //!                                                spill to disk so ×1000 (~1M
 //!                                                reports) runs in bounded memory
+//! spec-trends serve [--data DIR] [--addr A] [--cache-dir D] [--poll-ms N]
+//!                                                start the HTTP query daemon:
+//!                                                /figures/<n>, /data/<n> (with
+//!                                                ?year=/?vendor= filters), /stats,
+//!                                                /shutdown. Watches --data for new
+//!                                                reports; a change re-executes only
+//!                                                the touched (year, vendor)
+//!                                                partition's stages
 //! ```
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
@@ -52,7 +60,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spec_analysis::stream::{SpillConfig, StreamConfig, StreamIngest};
-use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver, StageId};
+use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver, ServeConfig, Server, StageId};
 use spec_diag::TrendsError;
 use spec_ssj::Settings;
 use spec_synth::{
@@ -62,9 +70,9 @@ use spec_synth::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats|ingest> \
+        "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats|ingest|serve> \
          [--out PATH] [--data DIR] [--seed N] [--scale K] [--cache-dir DIR] [--threads N] [--trace-out FILE] \
-         [--max-resident-mb M]\n\
+         [--max-resident-mb M] [--addr HOST:PORT] [--poll-ms N]\n\
          \n\
          --scale K     replicate the synthetic corpus K×: `generate` writes the\n\
          \x20             replicas, `ingest` streams them without materializing\n\
@@ -86,7 +94,9 @@ fn usage() -> ExitCode {
          --trace-out FILE  enable instrumentation and write a Chrome trace-event\n\
          \x20               JSON (about://tracing / Perfetto) for this run.\n\
          \x20               SPEC_TRENDS_TRACE=1 enables the same instrumentation\n\
-         \x20               without a flag; `stats` prints the metrics table."
+         \x20               without a flag; `stats` prints the metrics table.\n\
+         --addr HOST:PORT  (serve) bind address, default 127.0.0.1:7878.\n\
+         --poll-ms N   (serve) corpus-watch poll interval, default 500."
     );
     ExitCode::from(2)
 }
@@ -101,6 +111,8 @@ struct Args {
     threads: Option<usize>,
     trace_out: Option<PathBuf>,
     max_resident_mb: Option<usize>,
+    addr: Option<String>,
+    poll_ms: Option<u64>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -117,6 +129,8 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut threads = None;
     let mut trace_out = None;
     let mut max_resident_mb = None;
+    let mut addr = None;
+    let mut poll_ms = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(args.next()?)),
@@ -144,6 +158,14 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
                 }
                 threads = Some(n);
             }
+            "--addr" => addr = Some(args.next()?),
+            "--poll-ms" => {
+                let ms: u64 = args.next()?.parse().ok()?;
+                if ms == 0 {
+                    return None;
+                }
+                poll_ms = Some(ms);
+            }
             _ => return None,
         }
     }
@@ -157,6 +179,8 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         threads,
         trace_out,
         max_resident_mb,
+        addr,
+        poll_ms,
     })
 }
 
@@ -209,6 +233,72 @@ fn report_cache_activity(driver: &PipelineDriver) {
 /// Reports per streaming-ingest batch (matches the corpus-scaling bench).
 const INGEST_BATCH_REPORTS: usize = 4096;
 
+/// RAII guard for a per-process scratch directory under the system temp
+/// dir. Removal happens in `Drop`, so the scratch is cleaned up on every
+/// exit path — early return, `?`, and panic unwind alike; before this
+/// guard, an ingest that panicked mid-stream leaked its spill directory.
+struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// `<tmp>/spec-trends-<kind>-<pid>` — the pid suffix is what lets
+    /// [`sweep_orphan_scratch`] distinguish live scratch from leaks.
+    fn new(kind: &str) -> ScratchDir {
+        ScratchDir {
+            path: std::env::temp_dir().join(format!("spec-trends-{kind}-{}", std::process::id())),
+        }
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Remove `spec-trends-<kind>-<pid>` scratch directories in `dir` whose
+/// owning process is gone (crashed or SIGKILLed before its guard ran).
+/// Directories whose pid is still alive — or whose liveness cannot be
+/// determined — are left alone. Returns the removed paths.
+fn sweep_orphan_scratch(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut removed = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return removed;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("spec-trends-") else {
+            continue;
+        };
+        // kind-pid, where kind itself never contains the trailing -<pid>.
+        let Some((_, pid)) = rest.rsplit_once('-') else {
+            continue;
+        };
+        let Ok(pid) = pid.parse::<u32>() else { continue };
+        if pid == std::process::id() || !entry.path().is_dir() {
+            continue;
+        }
+        // /proc is authoritative on Linux; where it doesn't exist we
+        // cannot prove the process is dead, so we keep the directory.
+        if !std::path::Path::new("/proc").is_dir() {
+            continue;
+        }
+        if std::path::Path::new("/proc").join(pid.to_string()).exists() {
+            continue;
+        }
+        if std::fs::remove_dir_all(entry.path()).is_ok() {
+            removed.push(entry.path());
+        }
+    }
+    removed
+}
+
 /// `spec-trends ingest`: stream the corpus through the segmented column
 /// store and report throughput plus the out-of-core gauges. Without
 /// `--data`, streams the synthetic corpus at `--scale` without ever
@@ -217,11 +307,13 @@ const INGEST_BATCH_REPORTS: usize = 4096;
 /// bounds the resident segment set by spilling cold segments to a
 /// temporary directory (removed on exit).
 fn run_ingest(args: &Args) -> spec_diag::Result<()> {
-    let spill_dir = std::env::temp_dir().join(format!("spec-trends-ingest-{}", std::process::id()));
+    // Guard, not a bare path: the spill directory is removed on drop even
+    // if the stream panics mid-batch.
+    let scratch = ScratchDir::new("ingest");
     let config = StreamConfig {
         segment_rows: tinyframe::DEFAULT_SEGMENT_ROWS,
         spill: args.max_resident_mb.map(|mb| SpillConfig {
-            dir: spill_dir.clone(),
+            dir: scratch.path().to_path_buf(),
             max_resident_bytes: mb * 1024 * 1024,
         }),
     };
@@ -262,7 +354,7 @@ fn run_ingest(args: &Args) -> spec_diag::Result<()> {
             })
         }
     };
-    let outcome = result.map_err(data_err).map(|()| {
+    result.map_err(data_err).map(|()| {
         let seconds = start.elapsed().as_secs_f64();
         let report = ingest.report();
         println!("{}", report.to_markdown());
@@ -297,11 +389,9 @@ fn run_ingest(args: &Args) -> spec_diag::Result<()> {
         if let Some(kb) = spec_obs::peak_rss_kb() {
             println!("peak RSS: {:.1} MiB (VmHWM)", kb as f64 / 1024.0);
         }
-    });
-    if config.spill.is_some() {
-        let _ = std::fs::remove_dir_all(&spill_dir);
-    }
-    outcome
+    })
+    // `scratch` drops here, removing the spill directory on success,
+    // error and unwind alike.
 }
 
 fn run_command(args: &Args) -> spec_diag::Result<()> {
@@ -430,6 +520,7 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             Ok(())
         }
         "ingest" => run_ingest(args),
+        "serve" => run_serve(args),
         "doctor" => {
             let Some(dir) = args.cache_dir.clone() else {
                 return Err(TrendsError::config("doctor", "doctor requires --cache-dir DIR"));
@@ -437,6 +528,13 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             let report = ArtifactCache::fsck(&dir)?;
             println!("cache {}", dir.display());
             print!("{}", report.to_text());
+            // Scratch dirs from crashed ingest/serve runs live in the
+            // system temp dir, not the cache — sweep those too.
+            let swept = sweep_orphan_scratch(&std::env::temp_dir());
+            println!("scratch: {} orphaned dir(s) swept", swept.len());
+            for path in swept {
+                println!("  removed {}", path.display());
+            }
             Ok(())
         }
         "stats" => {
@@ -446,17 +544,20 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
             let mut driver = build_driver(args)?;
             driver.export_figures()?;
             driver.export_data()?;
-            println!("stage             executed  cache-hit");
             let stats = driver.stats();
-            for id in StageId::all() {
-                let s = stats.get(&id).copied().unwrap_or_default();
-                println!("{:<18}{:>8}{:>11}", id.name(), s.executed, s.hits);
-            }
-            println!(
-                "total             {:>8}{:>11}",
-                driver.executed_total(),
-                driver.hits_total()
-            );
+            let mut rows: Vec<(String, String, String)> = StageId::all()
+                .iter()
+                .map(|id| {
+                    let s = stats.get(id).copied().unwrap_or_default();
+                    (id.name().to_string(), s.executed.to_string(), s.hits.to_string())
+                })
+                .collect();
+            rows.push((
+                "total".to_string(),
+                driver.executed_total().to_string(),
+                driver.hits_total().to_string(),
+            ));
+            print!("{}", render_stats_table(&rows));
             println!();
             print!("{}", spec_obs::snapshot().to_table());
             report_cache_activity(&driver);
@@ -466,10 +567,80 @@ fn run_command(args: &Args) -> spec_diag::Result<()> {
     }
 }
 
-const COMMANDS: [&str; 11] = [
+const COMMANDS: [&str; 12] = [
     "generate", "analyze", "explain", "figures", "table1", "report", "export", "trends", "doctor",
-    "stats", "ingest",
+    "stats", "ingest", "serve",
 ];
+
+/// Render the `stats` invocation table with widths computed from the
+/// *rendered rows*, not the header: a counter past 7 digits used to
+/// overflow its fixed `{:>8}` column and shear the row out of alignment.
+fn render_stats_table(rows: &[(String, String, String)]) -> String {
+    let headers = ("stage", "executed", "cache-hit");
+    let name_w = rows
+        .iter()
+        .map(|r| r.0.len())
+        .chain([headers.0.len()])
+        .max()
+        .unwrap_or(0);
+    let exec_w = rows
+        .iter()
+        .map(|r| r.1.len())
+        .chain([headers.1.len()])
+        .max()
+        .unwrap_or(0);
+    let hits_w = rows
+        .iter()
+        .map(|r| r.2.len())
+        .chain([headers.2.len()])
+        .max()
+        .unwrap_or(0);
+    let mut out = format!(
+        "{:<name_w$}  {:>exec_w$}  {:>hits_w$}\n",
+        headers.0, headers.1, headers.2
+    );
+    for (name, executed, hits) in rows {
+        out.push_str(&format!(
+            "{name:<name_w$}  {executed:>exec_w$}  {hits:>hits_w$}\n"
+        ));
+    }
+    out
+}
+
+/// `spec-trends serve`: bind the query daemon, watch `--data` for corpus
+/// changes, block until `/shutdown` (or process signal) and join.
+fn run_serve(args: &Args) -> spec_diag::Result<()> {
+    let source = match &args.data {
+        Some(dir) => CorpusSource::Dir(dir.clone()),
+        None => CorpusSource::Synthetic(SynthConfig {
+            seed: args.seed,
+            ..SynthConfig::default()
+        }),
+    };
+    let mut config = ServeConfig::new(source);
+    if let Some(addr) = &args.addr {
+        config.addr = addr.clone();
+    }
+    config.seed = args.seed;
+    if let Some(dir) = &args.cache_dir {
+        config.cache = Some(ArtifactCache::open(dir.clone())?);
+    }
+    if let Some(n) = args.threads {
+        config.threads = n;
+    }
+    if let Some(ms) = args.poll_ms {
+        config.poll_ms = ms;
+    }
+    // Watch the corpus directory when serving one; synthetic corpora
+    // cannot change underneath us.
+    config.watch = args.data.clone();
+    let server = Server::start(config)?;
+    println!("listening on http://{}", server.addr());
+    server.wait();
+    eprintln!("shutdown requested, draining workers");
+    server.shutdown();
+    Ok(())
+}
 
 /// Write the collected spans as Chrome trace-event JSON (atomically, like
 /// every other deliverable). A failed write is an error: the trace was the
@@ -501,7 +672,9 @@ fn main() -> ExitCode {
     // the `stats` command force it on; SPEC_TRENDS_TRACE=1 enables it for
     // any command.
     let env_traced = spec_obs::init_from_env();
-    if args.trace_out.is_some() || args.command == "stats" {
+    if args.trace_out.is_some() || args.command == "stats" || args.command == "serve" {
+        // `serve` exposes the latency histograms on /stats, so the daemon
+        // always runs instrumented.
         spec_obs::set_enabled(true);
     }
     if let Some(n) = args.threads {
@@ -650,6 +823,79 @@ mod tests {
         // as an error here.
         let args = parse(&["ingest", "--max-resident-mb", "1"]).unwrap();
         run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_is_a_known_command() {
+        assert!(COMMANDS.contains(&"serve"));
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let args = parse(&["serve", "--addr", "127.0.0.1:0", "--poll-ms", "50"]).unwrap();
+        assert_eq!(args.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args.poll_ms, Some(50));
+        assert!(parse(&["serve", "--poll-ms", "0"]).is_none());
+        assert!(parse(&["serve", "--addr"]).is_none());
+    }
+
+    #[test]
+    fn stats_table_widths_follow_the_widest_rendered_cell() {
+        // Counters past 7 digits used to overflow the fixed-width column
+        // and shear the table; widths now come from the rows themselves.
+        let rows = vec![
+            ("ingest".to_string(), "123456789012".to_string(), "0".to_string()),
+            ("total".to_string(), "123456789012".to_string(), "7".to_string()),
+        ];
+        let table = render_stats_table(&rows);
+        let widths: Vec<Vec<usize>> = table
+            .lines()
+            .map(|l| l.split_whitespace().map(str::len).collect())
+            .collect();
+        // Every line splits into exactly three columns...
+        assert!(widths.iter().all(|w| w.len() == 3), "{table}");
+        // ...and numeric columns are right-aligned: each line has the
+        // same total width.
+        let lens: Vec<usize> = table.lines().map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{table}");
+        // The CI smoke grep contract still holds: `total` is at line
+        // start followed by spaces and the executed count.
+        assert!(table.lines().last().unwrap().starts_with("total "));
+    }
+
+    #[test]
+    fn scratch_guard_removes_dir_even_on_panic() {
+        let path = {
+            let scratch = ScratchDir::new("guard-test");
+            std::fs::create_dir_all(scratch.path().join("spill")).unwrap();
+            let path = scratch.path().to_path_buf();
+            let result = std::panic::catch_unwind(|| panic!("mid-ingest failure"));
+            assert!(result.is_err());
+            assert!(path.exists(), "guard must not fire early");
+            path
+        };
+        assert!(!path.exists(), "guard removes the scratch dir on drop");
+    }
+
+    #[test]
+    fn sweep_removes_dead_pid_scratch_and_keeps_live() {
+        let base = std::env::temp_dir().join(format!("spec_sweep_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        // A pid that cannot exist (beyond pid_max) → orphan.
+        let dead = base.join("spec-trends-ingest-4291999999");
+        // Our own pid → live, must survive.
+        let live = base.join(format!("spec-trends-serve-{}", std::process::id()));
+        // No pid suffix → not ours to touch.
+        let other = base.join("spec-trends-notascratch");
+        for d in [&dead, &live, &other] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        let removed = sweep_orphan_scratch(&base);
+        assert_eq!(removed, vec![dead.clone()]);
+        assert!(!dead.exists());
+        assert!(live.exists());
+        assert!(other.exists());
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

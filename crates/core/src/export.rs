@@ -49,7 +49,10 @@ pub fn yearly_summary_markdown(study: &Study) -> String {
     out
 }
 
-fn series_frame(series: &[(spec_model::CpuVendor, Vec<(f64, f64)>)], y_name: &str) -> Frame {
+pub(crate) fn series_frame(
+    series: &[(spec_model::CpuVendor, Vec<(f64, f64)>)],
+    y_name: &str,
+) -> Frame {
     let mut vendor = Vec::new();
     let mut x = Vec::new();
     let mut y = Vec::new();
@@ -64,6 +67,66 @@ fn series_frame(series: &[(spec_model::CpuVendor, Vec<(f64, f64)>)], y_name: &st
         ("vendor", Column::Str(vendor)),
         ("frac_year", Column::F64(x)),
         (y_name, Column::F64(y)),
+    ])
+    .expect("fresh frame")
+}
+
+/// The Figure 1 CSV frame: year, run count and one share column per
+/// feature. Shared by [`Study::data_files`] and the serve daemon's
+/// filtered `/data/1` endpoint so both render identical bytes.
+pub(crate) fn fig1_frame(fig1: &crate::figures::fig1::Fig1Features) -> Frame {
+    let mut frame = Frame::from_columns([(
+        "year",
+        Column::I64(fig1.years.iter().map(|&y| y as i64).collect()),
+    )])
+    .expect("fresh");
+    frame
+        .add_column(
+            "runs",
+            Column::F64(fig1.counts.iter().map(|&c| c as f64).collect()),
+        )
+        .expect("same length");
+    for (feature, series) in &fig1.shares {
+        frame
+            .add_column(
+                format!("share_{}", feature.replace(' ', "_")),
+                Column::F64(series.clone()),
+            )
+            .expect("same length");
+    }
+    frame
+}
+
+/// The Figure 4 CSV frame: per-bin box statistics.
+pub(crate) fn fig4_frame(fig4: &crate::figures::fig4::Fig4Proportionality) -> Frame {
+    let cells = &fig4.cells;
+    Frame::from_columns([
+        (
+            "year",
+            Column::I64(cells.iter().map(|c| c.year as i64).collect()),
+        ),
+        (
+            "vendor",
+            Column::Str(cells.iter().map(|c| c.vendor.label().to_string()).collect()),
+        ),
+        (
+            "load_pct",
+            Column::I64(cells.iter().map(|c| c.load as i64).collect()),
+        ),
+        (
+            "n",
+            Column::I64(cells.iter().map(|c| c.stats.n as i64).collect()),
+        ),
+        ("q1", Column::F64(cells.iter().map(|c| c.stats.q1).collect())),
+        (
+            "median",
+            Column::F64(cells.iter().map(|c| c.stats.median).collect()),
+        ),
+        ("q3", Column::F64(cells.iter().map(|c| c.stats.q3).collect())),
+        (
+            "mean",
+            Column::F64(cells.iter().map(|c| c.stats.mean).collect()),
+        ),
     ])
     .expect("fresh frame")
 }
@@ -95,25 +158,7 @@ impl Study {
         );
 
         // Figure 1: shares per year.
-        {
-            let mut frame = Frame::from_columns([(
-                "year",
-                Column::I64(self.fig1.years.iter().map(|&y| y as i64).collect()),
-            )])
-            .expect("fresh");
-            frame
-                .add_column(
-                    "runs",
-                    Column::F64(self.fig1.counts.iter().map(|&c| c as f64).collect()),
-                )
-                .expect("same length");
-            for (feature, series) in &self.fig1.shares {
-                frame
-                    .add_column(format!("share_{}", feature.replace(' ', "_")), Column::F64(series.clone()))
-                    .expect("same length");
-            }
-            save("fig1_shares.csv", frame.to_csv());
-        }
+        save("fig1_shares.csv", fig1_frame(&self.fig1).to_csv());
 
         // Figures 2/3/5/6: scatter series.
         save(
@@ -134,45 +179,7 @@ impl Study {
         );
 
         // Figure 4: box statistics per bin.
-        {
-            let cells = &self.fig4.cells;
-            let frame = Frame::from_columns([
-                (
-                    "year",
-                    Column::I64(cells.iter().map(|c| c.year as i64).collect()),
-                ),
-                (
-                    "vendor",
-                    Column::Str(cells.iter().map(|c| c.vendor.label().to_string()).collect()),
-                ),
-                (
-                    "load_pct",
-                    Column::I64(cells.iter().map(|c| c.load as i64).collect()),
-                ),
-                (
-                    "n",
-                    Column::I64(cells.iter().map(|c| c.stats.n as i64).collect()),
-                ),
-                (
-                    "q1",
-                    Column::F64(cells.iter().map(|c| c.stats.q1).collect()),
-                ),
-                (
-                    "median",
-                    Column::F64(cells.iter().map(|c| c.stats.median).collect()),
-                ),
-                (
-                    "q3",
-                    Column::F64(cells.iter().map(|c| c.stats.q3).collect()),
-                ),
-                (
-                    "mean",
-                    Column::F64(cells.iter().map(|c| c.stats.mean).collect()),
-                ),
-            ])
-            .expect("fresh frame");
-            save("fig4_relative_efficiency.csv", frame.to_csv());
-        }
+        save("fig4_relative_efficiency.csv", fig4_frame(&self.fig4).to_csv());
 
         // Yearly summary table.
         save("yearly_summary.csv", yearly_summary(self).to_csv());

@@ -3,20 +3,14 @@
 
 use std::collections::BTreeMap;
 
-use spec_model::{CpuVendor, OsFamily, RunResult};
+use spec_model::RunResult;
 use tinyplot::{Chart, SeriesKind};
 
-/// The tracked feature shares.
-pub const FEATURES: [&str; 8] = [
-    "AMD",
-    "Intel",
-    "Windows",
-    "Linux",
-    "multi-node",
-    ">2 sockets",
-    "1 socket",
-    "2 sockets",
-];
+use super::common::{
+    extract_rows, RunRow, FEATURE_AMD, FEATURE_LINUX, FEATURE_WINDOWS,
+};
+
+pub use super::common::FEATURES;
 
 /// Figure 1 data.
 #[derive(Clone, Debug)]
@@ -44,49 +38,40 @@ pub struct Fig1Features {
     pub windows_share_to_2017: f64,
 }
 
-fn feature_holds(run: &RunResult, feature: &str) -> bool {
-    match feature {
-        "AMD" => run.system.cpu.vendor() == CpuVendor::Amd,
-        "Intel" => run.system.cpu.vendor() == CpuVendor::Intel,
-        "Windows" => run.system.os.family() == OsFamily::Windows,
-        "Linux" => run.system.os.family() == OsFamily::Linux,
-        "multi-node" => run.system.nodes > 1,
-        ">2 sockets" => run.system.chips > 2,
-        "1 socket" => run.system.nodes == 1 && run.system.chips == 1,
-        "2 sockets" => run.system.nodes == 1 && run.system.chips == 2,
-        _ => false,
-    }
-}
-
-fn share_of<F: Fn(&&RunResult) -> bool>(runs: &[&RunResult], pred: F) -> f64 {
-    if runs.is_empty() {
+fn share_of<F: Fn(&&RunRow) -> bool>(rows: &[&RunRow], pred: F) -> f64 {
+    if rows.is_empty() {
         return f64::NAN;
     }
-    runs.iter().filter(|r| pred(r)).count() as f64 / runs.len() as f64
+    rows.iter().filter(|r| pred(r)).count() as f64 / rows.len() as f64
 }
 
 /// Compute Figure 1 over the valid (stage-1) dataset.
 pub fn compute(valid: &[RunResult]) -> Fig1Features {
-    let mut by_year: BTreeMap<i32, Vec<&RunResult>> = BTreeMap::new();
-    for run in valid {
-        by_year.entry(run.hw_year()).or_default().push(run);
+    compute_rows(&extract_rows(valid))
+}
+
+/// Compute Figure 1 from extracted rows — the partition-merge reduce step.
+pub fn compute_rows(valid: &[RunRow]) -> Fig1Features {
+    let mut by_year: BTreeMap<i32, Vec<&RunRow>> = BTreeMap::new();
+    for row in valid {
+        by_year.entry(row.hw_year).or_default().push(row);
     }
     let years: Vec<i32> = by_year.keys().copied().collect();
     let counts: Vec<usize> = by_year.values().map(Vec::len).collect();
 
     let mut shares: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
-    for feature in FEATURES {
+    for (bit, feature) in FEATURES.iter().enumerate() {
         let series: Vec<f64> = by_year
             .values()
-            .map(|runs| share_of(runs, |r| feature_holds(r, feature)))
+            .map(|rows| share_of(rows, |r| r.has_feature(bit)))
             .collect();
         shares.insert(feature, series);
     }
 
-    let runs_in = |lo: i32, hi: i32| -> Vec<&RunResult> {
+    let rows_in = |lo: i32, hi: i32| -> Vec<&RunRow> {
         valid
             .iter()
-            .filter(|r| (lo..=hi).contains(&r.hw_year()))
+            .filter(|r| (lo..=hi).contains(&r.hw_year))
             .collect()
     };
     let span_mean = |lo: i32, hi: i32| -> f64 {
@@ -98,18 +83,18 @@ pub fn compute(valid: &[RunResult]) -> Fig1Features {
         total as f64 / (hi - lo + 1) as f64
     };
 
-    let pre = runs_in(i32::MIN, 2017);
-    let post = runs_in(2018, i32::MAX);
+    let pre = rows_in(i32::MIN, 2017);
+    let post = rows_in(2018, i32::MAX);
     Fig1Features {
         years,
         counts,
         mean_per_year_2005_2023: span_mean(2005, 2023),
         mean_per_year_2013_2017: span_mean(2013, 2017),
-        linux_share_pre2018: share_of(&pre, |r| r.system.os.family() == OsFamily::Linux),
-        linux_share_post2018: share_of(&post, |r| r.system.os.family() == OsFamily::Linux),
-        amd_share_pre2018: share_of(&pre, |r| r.system.cpu.vendor() == CpuVendor::Amd),
-        amd_share_post2018: share_of(&post, |r| r.system.cpu.vendor() == CpuVendor::Amd),
-        windows_share_to_2017: share_of(&pre, |r| r.system.os.family() == OsFamily::Windows),
+        linux_share_pre2018: share_of(&pre, |r| r.has_feature(FEATURE_LINUX)),
+        linux_share_post2018: share_of(&post, |r| r.has_feature(FEATURE_LINUX)),
+        amd_share_pre2018: share_of(&pre, |r| r.has_feature(FEATURE_AMD)),
+        amd_share_post2018: share_of(&post, |r| r.has_feature(FEATURE_AMD)),
+        windows_share_to_2017: share_of(&pre, |r| r.has_feature(FEATURE_WINDOWS)),
         shares,
     }
 }

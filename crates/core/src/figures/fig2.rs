@@ -2,10 +2,13 @@
 //! §III era statistics (119.0 W → 303.3 W, ≈2.5×; ≈1.8× at 20 %, ≈2.2× at
 //! 70 %).
 
-use spec_model::{CpuVendor, LoadLevel, RunResult};
+use spec_model::{CpuVendor, RunResult};
 use tinyplot::{Chart, SeriesKind};
 
-use super::common::{era_mean, vendor_color, vendor_scatter, vendor_yearly_mean, year_line, VENDORS};
+use super::common::{
+    era_mean, extract_rows, vendor_color, vendor_scatter, vendor_yearly_mean, year_line, RunRow,
+    VENDORS,
+};
 
 /// Power growth between the ≤2010 and ≥2022 eras at one load level.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,12 +37,17 @@ pub struct Fig2Power {
     pub level_growth: Vec<LevelGrowth>,
 }
 
-fn per_socket(run: &RunResult) -> Option<f64> {
-    run.per_socket_full_load_power().map(|w| w.value())
+fn per_socket(row: &RunRow) -> Option<f64> {
+    row.per_socket
 }
 
 /// Compute Figure 2 over the comparable dataset.
 pub fn compute(comparable: &[RunResult]) -> Fig2Power {
+    compute_rows(&extract_rows(comparable))
+}
+
+/// Compute Figure 2 from extracted rows — the partition-merge reduce step.
+pub fn compute_rows(comparable: &[RunRow]) -> Fig2Power {
     let scatter = VENDORS
         .iter()
         .map(|&v| (v, vendor_scatter(comparable, v, per_socket)))
@@ -49,7 +57,7 @@ pub fn compute(comparable: &[RunResult]) -> Fig2Power {
         .map(|&v| (v, vendor_yearly_mean(comparable, v, per_socket)))
         .collect();
 
-    let growth_at = |metric: &dyn Fn(&RunResult) -> Option<f64>, percent: u8| {
+    let growth_at = |metric: &dyn Fn(&RunRow) -> Option<f64>, percent: u8| {
         let pre = era_mean(comparable, i32::MIN, 2010, metric);
         let post = era_mean(comparable, 2022, i32::MAX, metric);
         LevelGrowth {
@@ -60,15 +68,12 @@ pub fn compute(comparable: &[RunResult]) -> Fig2Power {
         }
     };
 
+    type LevelMetric = fn(&RunRow) -> Option<f64>;
     let per_socket_growth = growth_at(&per_socket, 100);
-    let level_growth = [100u8, 70, 20]
+    let levels: [(u8, LevelMetric); 3] = [(100, |r| r.p100), (70, |r| r.p70), (20, |r| r.p20)];
+    let level_growth = levels
         .into_iter()
-        .map(|pct| {
-            growth_at(
-                &move |r: &RunResult| r.power_at(LoadLevel::Percent(pct)).map(|w| w.value()),
-                pct,
-            )
-        })
+        .map(|(pct, metric)| growth_at(&metric, pct))
         .collect();
 
     Fig2Power {

@@ -4,7 +4,9 @@
 use spec_model::{CpuVendor, RunResult};
 use tinyplot::{Chart, SeriesKind};
 
-use super::common::{vendor_color, vendor_scatter, vendor_yearly_mean, year_line, VENDORS};
+use super::common::{
+    extract_rows, vendor_color, vendor_scatter, vendor_yearly_mean, year_line, RunRow, VENDORS,
+};
 
 /// Figure 3 data.
 #[derive(Clone, Debug)]
@@ -21,13 +23,17 @@ pub struct Fig3Efficiency {
     pub best: Vec<(CpuVendor, f64)>,
 }
 
-fn overall(run: &RunResult) -> Option<f64> {
-    let v = run.overall_efficiency().value();
-    v.is_finite().then_some(v)
+fn overall(row: &RunRow) -> Option<f64> {
+    row.overall.is_finite().then_some(row.overall)
 }
 
 /// Compute Figure 3 over the comparable dataset.
 pub fn compute(comparable: &[RunResult]) -> Fig3Efficiency {
+    compute_rows(&extract_rows(comparable))
+}
+
+/// Compute Figure 3 from extracted rows — the partition-merge reduce step.
+pub fn compute_rows(comparable: &[RunRow]) -> Fig3Efficiency {
     let scatter = VENDORS
         .iter()
         .map(|&v| (v, vendor_scatter(comparable, v, overall)))
@@ -39,7 +45,7 @@ pub fn compute(comparable: &[RunResult]) -> Fig3Efficiency {
 
     let mut ranked: Vec<(f64, CpuVendor)> = comparable
         .iter()
-        .filter_map(|r| overall(r).map(|e| (e, r.system.cpu.vendor())))
+        .filter_map(|r| overall(r).map(|e| (e, r.vendor)))
         .collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
     let top100 = &ranked[..ranked.len().min(100)];

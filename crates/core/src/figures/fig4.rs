@@ -5,7 +5,7 @@ use spec_model::{CpuVendor, RunResult};
 use tinyplot::{BoxSpec, Chart, SeriesKind};
 use tinystats::BoxStats;
 
-use super::common::{vendor_color, VENDORS};
+use super::common::{extract_rows, vendor_color, RunRow, VENDORS};
 
 /// The load levels the figure covers.
 pub const LOADS: [u8; 4] = [60, 70, 80, 90];
@@ -32,9 +32,14 @@ pub struct Fig4Proportionality {
 
 /// Compute Figure 4 over the comparable dataset.
 pub fn compute(comparable: &[RunResult]) -> Fig4Proportionality {
+    compute_rows(&extract_rows(comparable))
+}
+
+/// Compute Figure 4 from extracted rows — the partition-merge reduce step.
+pub fn compute_rows(comparable: &[RunRow]) -> Fig4Proportionality {
     let mut cells = Vec::new();
     let years: Vec<i32> = {
-        let mut ys: Vec<i32> = comparable.iter().map(RunResult::hw_year).collect();
+        let mut ys: Vec<i32> = comparable.iter().map(|r| r.hw_year).collect();
         ys.sort_unstable();
         ys.dedup();
         ys
@@ -44,8 +49,8 @@ pub fn compute(comparable: &[RunResult]) -> Fig4Proportionality {
             for &year in &years {
                 let values: Vec<f64> = comparable
                     .iter()
-                    .filter(|r| r.hw_year() == year && r.system.cpu.vendor() == vendor)
-                    .filter_map(|r| r.relative_efficiency(load))
+                    .filter(|r| r.hw_year == year && r.vendor == vendor)
+                    .filter_map(|r| r.rel(load))
                     .filter(|v| v.is_finite())
                     .collect();
                 if let Some(stats) = BoxStats::from_slice(&values) {

@@ -6,7 +6,8 @@ use spec_model::{CpuVendor, RunResult};
 use tinyplot::{Chart, SeriesKind};
 
 use super::common::{
-    vendor_color, vendor_scatter, vendor_yearly_mean, year_line, yearly_mean, VENDORS,
+    extract_rows, vendor_color, vendor_scatter, vendor_yearly_mean, year_line, yearly_mean, RunRow,
+    VENDORS,
 };
 
 /// Figure 5 data.
@@ -29,12 +30,17 @@ pub struct Fig5Idle {
     pub recent_slope: Vec<(CpuVendor, f64)>,
 }
 
-fn idle_fraction(run: &RunResult) -> Option<f64> {
-    run.idle_fraction().filter(|f| f.is_finite())
+fn idle_fraction(row: &RunRow) -> Option<f64> {
+    row.idle_fraction.filter(|f| f.is_finite())
 }
 
 /// Compute Figure 5 over the comparable dataset.
 pub fn compute(comparable: &[RunResult]) -> Fig5Idle {
+    compute_rows(&extract_rows(comparable))
+}
+
+/// Compute Figure 5 from extracted rows — the partition-merge reduce step.
+pub fn compute_rows(comparable: &[RunRow]) -> Fig5Idle {
     let scatter = VENDORS
         .iter()
         .map(|&v| (v, vendor_scatter(comparable, v, idle_fraction)))

@@ -7,7 +7,9 @@ use spec_model::{CpuVendor, RunResult};
 use tinyplot::{Chart, SeriesKind};
 use tinystats::{LinearFit, MannKendall, TheilSen};
 
-use super::common::{vendor_color, vendor_scatter, vendor_yearly_mean, year_line, VENDORS};
+use super::common::{
+    extract_rows, vendor_color, vendor_scatter, vendor_yearly_mean, year_line, RunRow, VENDORS,
+};
 
 /// Figure 6 data.
 #[derive(Clone, Debug)]
@@ -28,12 +30,17 @@ pub struct Fig6Extrapolated {
     pub spread_by_era: [f64; 3],
 }
 
-fn quotient(run: &RunResult) -> Option<f64> {
-    run.extrapolated_idle_quotient().filter(|q| q.is_finite())
+fn quotient(row: &RunRow) -> Option<f64> {
+    row.quotient.filter(|q| q.is_finite())
 }
 
 /// Compute Figure 6 over the comparable dataset.
 pub fn compute(comparable: &[RunResult]) -> Fig6Extrapolated {
+    compute_rows(&extract_rows(comparable))
+}
+
+/// Compute Figure 6 from extracted rows — the partition-merge reduce step.
+pub fn compute_rows(comparable: &[RunRow]) -> Fig6Extrapolated {
     let scatter: Vec<(CpuVendor, Vec<(f64, f64)>)> = VENDORS
         .iter()
         .map(|&v| (v, vendor_scatter(comparable, v, quotient)))
@@ -51,7 +58,7 @@ pub fn compute(comparable: &[RunResult]) -> Fig6Extrapolated {
     let yearly_all: Vec<f64> = {
         let pairs: Vec<(i32, f64)> = comparable
             .iter()
-            .filter_map(|r| quotient(r).map(|q| (r.hw_year(), q)))
+            .filter_map(|r| quotient(r).map(|q| (r.hw_year, q)))
             .collect();
         tinystats::mean_by_key(&pairs).into_iter().map(|p| p.1).collect()
     };
@@ -60,7 +67,7 @@ pub fn compute(comparable: &[RunResult]) -> Fig6Extrapolated {
     let era_std = |lo: i32, hi: i32| {
         let vals: Vec<f64> = comparable
             .iter()
-            .filter(|r| (lo..=hi).contains(&r.hw_year()))
+            .filter(|r| (lo..=hi).contains(&r.hw_year))
             .filter_map(quotient)
             .collect();
         tinystats::std_dev(&vals).unwrap_or(f64::NAN)

@@ -40,6 +40,7 @@ pub mod figures;
 pub mod pipeline;
 pub mod proportionality;
 pub mod report;
+pub mod serve;
 pub mod stage;
 pub mod stream;
 pub mod table1;
@@ -58,4 +59,5 @@ pub use stage::{
 };
 pub use proportionality::{ep_metrics, ep_trend, normalized_curve, EpMetrics, EpTrend};
 pub use report::{run_study, Comparison, Study};
+pub use serve::{ServeConfig, Server};
 pub use table1::{sr645_v3, sr650_v3, Table1, Table1Entry};

@@ -259,8 +259,24 @@ where
     I: IntoIterator<Item = (Option<N>, RawInputRef<'a>)>,
     N: Into<String>,
 {
+    let (valid, report, _) = stage1_validate_inputs_indexed(items);
+    (valid, report)
+}
+
+/// [`stage1_validate_inputs`] that also returns, for each valid run, the
+/// zero-based index of the input it came from — the partitioned stage graph
+/// needs the mapping to place a partition's survivors back into global
+/// corpus order when merging.
+pub fn stage1_validate_inputs_indexed<'a, I, N>(
+    items: I,
+) -> (Vec<RunResult>, FilterReport, Vec<u32>)
+where
+    I: IntoIterator<Item = (Option<N>, RawInputRef<'a>)>,
+    N: Into<String>,
+{
     let mut report = FilterReport::default();
     let mut valid = Vec::new();
+    let mut item_index = Vec::new();
 
     for (origin, input) in items {
         let index = report.raw;
@@ -294,7 +310,10 @@ where
             }
         };
         match validate_interned(&parsed) {
-            Ok(run) => valid.push(run),
+            Ok(run) => {
+                valid.push(run);
+                item_index.push(index as u32);
+            }
             Err(issues) => {
                 let first = issues
                     .first()
@@ -317,7 +336,7 @@ where
         obs::set_gauge("ingest.interned_syms", interner.symbols as i64);
         obs::set_gauge("ingest.alloc_bytes_saved", interner.bytes_saved as i64);
     }
-    (valid, report)
+    (valid, report, item_index)
 }
 
 /// Stage 2 of the cascade: the §II comparability filters over the valid

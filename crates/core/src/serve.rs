@@ -1,0 +1,870 @@
+//! # `spec-trends serve` — the warm-partition query daemon
+//!
+//! A std-only HTTP/1.1 server over [`std::net`] that answers figure and
+//! data queries straight from warm partition artifacts. The daemon keeps
+//! one immutable [`Snapshot`] (pre-rendered figures/CSVs plus the merged
+//! [`RunRow`] extracts) behind an `RwLock<Arc<_>>`; every request reads
+//! whichever snapshot is current, so a refresh that fails mid-flight —
+//! including under `FaultVfs` chaos — can never produce a torn response:
+//! the old snapshot simply stays live.
+//!
+//! Endpoints (all `GET`, `Connection: close`):
+//!
+//! | path            | response                                        |
+//! |-----------------|-------------------------------------------------|
+//! | `/`             | plain-text index of endpoints                   |
+//! | `/figures/<n>`  | Figure *n* (1–6) as SVG                         |
+//! | `/data/<n>`     | the CSV behind figure *n*                       |
+//! | `/stats`        | corpus cascade, partition table, obs metrics    |
+//! | `/shutdown`     | begins graceful shutdown                        |
+//!
+//! `/figures/<n>` and `/data/<n>` accept `?year=YYYY` and
+//! `?vendor=intel|amd|other` filters; filtered responses are recomputed
+//! from the snapshot's row extracts via the same `compute_rows` reduce
+//! the pipeline uses, then memoized per snapshot so repeated queries are
+//! sub-millisecond. Unfiltered responses serve the stage graph's cached
+//! export bytes unchanged.
+//!
+//! A watcher thread polls the corpus directory's fingerprint and rebuilds
+//! the [`PartitionedDriver`] on change — only the touched (year, vendor)
+//! partition's stages re-execute, which `/stats` reports per refresh.
+//!
+//! Request handling is panic-proof: each connection runs under
+//! `catch_unwind`, malformed requests map to 4xx through [`spec_diag`]
+//! error categories, and every request records a `spec-obs` span plus
+//! log₂-µs latency histograms (`serve.request_us`, `serve.<endpoint>_us`).
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spec_diag::TrendsError;
+use spec_model::CpuVendor;
+use spec_obs as obs;
+use spec_ssj::Settings;
+use spec_vfs::Vfs;
+
+use crate::export::{fig1_frame, fig4_frame, series_frame};
+use crate::figures::common::RunRow;
+use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
+use crate::pipeline::FilterReport;
+use crate::stage::{ArtifactCache, CorpusSource, PartitionSummary, PartitionedDriver};
+
+/// Largest request head (request line + headers) we accept before 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How the daemon is built and where it listens.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Where the corpus comes from (usually [`CorpusSource::Dir`]).
+    pub source: CorpusSource,
+    /// Simulation settings folded into derive-stage keys.
+    pub settings: Settings,
+    /// Table 1 seed.
+    pub seed: u64,
+    /// Artifact cache shared with `analyze` (warm partitions).
+    pub cache: Option<ArtifactCache>,
+    /// Worker threads accepting connections.
+    pub threads: usize,
+    /// Directory to poll for corpus changes (None disables the watcher).
+    pub watch: Option<PathBuf>,
+    /// Watcher poll interval.
+    pub poll_ms: u64,
+    /// Filesystem backend for corpus reads (chaos-injectable).
+    pub vfs: Arc<dyn Vfs>,
+}
+
+impl ServeConfig {
+    /// A config with conventional defaults for `source`.
+    pub fn new(source: CorpusSource) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            source,
+            settings: Settings::default(),
+            seed: 42,
+            cache: None,
+            threads: 4,
+            watch: None,
+            poll_ms: 500,
+            vfs: spec_vfs::default_vfs(),
+        }
+    }
+}
+
+/// One rendered HTTP response body.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    fn error(status: u16, detail: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{} {}\n{detail}\n", status, status_text(status)).into_bytes(),
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Everything a request can be answered from, built once per refresh.
+/// Immutable after construction except the per-snapshot response memo.
+struct Snapshot {
+    /// Monotonic refresh counter (0 = the startup build).
+    generation: u64,
+    /// Full §II cascade accounting.
+    report: FilterReport,
+    /// Row extracts of the valid runs (Figure 1 input).
+    valid_rows: Vec<RunRow>,
+    /// Row extracts of the comparable runs (Figures 2–6 input).
+    comparable_rows: Vec<RunRow>,
+    /// Pre-rendered figure SVGs from the stage graph, by file name.
+    figure_files: Vec<(String, String)>,
+    /// Pre-rendered CSVs from the stage graph, by file name.
+    data_files: Vec<(String, String)>,
+    /// Per-partition cascade summary from the build that made this.
+    partitions: Vec<PartitionSummary>,
+    /// Stage executions during the refresh that built this snapshot.
+    executed: usize,
+    /// Cache hits during the refresh that built this snapshot.
+    hits: usize,
+    /// Partitions with ≥1 execution during the refresh.
+    partitions_executed: usize,
+    /// Memoized filtered responses, keyed by `path?query`.
+    memo: Mutex<HashMap<String, Arc<Response>>>,
+}
+
+impl Snapshot {
+    /// Build a snapshot by driving the partitioned stage graph. Runs
+    /// entirely in the calling thread (the driver is single-threaded
+    /// state; partition work inside still fans out over `tinypool`).
+    fn build(config: &ServeConfig, generation: u64) -> spec_diag::Result<Snapshot> {
+        let mut sp = obs::span("serve.refresh");
+        let mut driver = PartitionedDriver::new(
+            config.source.clone(),
+            config.settings.clone(),
+            config.seed,
+        )
+        .with_vfs(Arc::clone(&config.vfs));
+        if let Some(cache) = &config.cache {
+            driver = driver.with_cache(cache.clone());
+        }
+        let report = driver.filter_report()?;
+        let merged = driver.merged()?;
+        let valid_rows = merged.valid_rows.clone();
+        let comparable_rows = merged.comparable_rows.clone();
+        let figure_files = driver.figure_files()?;
+        let data_files = driver.data_files()?;
+        let partitions = driver.partition_summary()?;
+        sp.record("generation", generation);
+        sp.record("executed", driver.executed_total());
+        sp.observe_into("serve.refresh_us");
+        Ok(Snapshot {
+            generation,
+            report,
+            valid_rows,
+            comparable_rows,
+            figure_files,
+            data_files,
+            partitions,
+            executed: driver.executed_total(),
+            hits: driver.hits_total(),
+            partitions_executed: driver.partitions_executed(),
+            memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn file(&self, files: &[(String, String)], name: &str) -> Option<Arc<Response>> {
+        let content_type = if name.ends_with(".svg") {
+            "image/svg+xml"
+        } else {
+            "text/csv; charset=utf-8"
+        };
+        files
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, body)| Arc::new(Response::ok(content_type, body.as_bytes())))
+    }
+}
+
+/// A `?year=`/`?vendor=` filter over the row extracts.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+struct RowFilter {
+    year: Option<i32>,
+    vendor: Option<CpuVendor>,
+}
+
+impl RowFilter {
+    fn is_empty(self) -> bool {
+        self.year.is_none() && self.vendor.is_none()
+    }
+
+    fn apply(self, rows: &[RunRow]) -> Vec<RunRow> {
+        rows.iter()
+            .filter(|r| self.year.is_none_or(|y| r.hw_year == y))
+            .filter(|r| self.vendor.is_none_or(|v| r.vendor == v))
+            .copied()
+            .collect()
+    }
+}
+
+/// Parse the query string; unknown keys and malformed values are client
+/// errors (400), reported through a [`spec_diag`] config-category error.
+fn parse_filter(query: &str) -> Result<RowFilter, TrendsError> {
+    let mut filter = RowFilter::default();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "year" => {
+                let year: i32 = value.parse().map_err(|_| {
+                    TrendsError::config("serve", format!("year must be an integer, got {value:?}"))
+                })?;
+                filter.year = Some(year);
+            }
+            "vendor" => {
+                filter.vendor = Some(match value.to_ascii_lowercase().as_str() {
+                    "intel" => CpuVendor::Intel,
+                    "amd" => CpuVendor::Amd,
+                    "other" => CpuVendor::Other,
+                    _ => {
+                        return Err(TrendsError::config(
+                            "serve",
+                            format!("vendor must be intel|amd|other, got {value:?}"),
+                        ))
+                    }
+                });
+            }
+            _ => {
+                return Err(TrendsError::config(
+                    "serve",
+                    format!("unknown query parameter {key:?}"),
+                ))
+            }
+        }
+    }
+    Ok(filter)
+}
+
+/// Canonical export file name for figure `n` (the stage graph's bytes).
+fn figure_file_name(n: u8) -> &'static str {
+    match n {
+        1 => "fig1_shares.svg",
+        2 => "fig2_power.svg",
+        3 => "fig3_efficiency.svg",
+        4 => "fig4_grid.svg",
+        5 => "fig5_idle.svg",
+        _ => "fig6_extrapolated.svg",
+    }
+}
+
+/// Canonical export file name for figure `n`'s data CSV.
+fn data_file_name(n: u8) -> &'static str {
+    match n {
+        1 => "fig1_shares.csv",
+        2 => "fig2_per_socket_power.csv",
+        3 => "fig3_overall_efficiency.csv",
+        4 => "fig4_relative_efficiency.csv",
+        5 => "fig5_idle_fraction.csv",
+        _ => "fig6_extrapolated_quotient.csv",
+    }
+}
+
+/// Render figure `n` over (possibly filtered) rows with the same
+/// `compute_rows` reduce and chart geometry the export stages use.
+fn render_figure(n: u8, valid: &[RunRow], comparable: &[RunRow]) -> String {
+    match n {
+        1 => fig1::compute_rows(valid).share_chart().to_svg(860, 520),
+        2 => fig2::compute_rows(comparable).chart().to_svg(860, 520),
+        3 => fig3::compute_rows(comparable).chart().to_svg(860, 520),
+        4 => {
+            let fig = fig4::compute_rows(comparable);
+            let panels: Vec<tinyplot::Chart> =
+                fig4::LOADS.iter().map(|&load| fig.chart(load)).collect();
+            tinyplot::render_grid(&panels, 2, 640, 430)
+        }
+        5 => fig5::compute_rows(comparable).chart().to_svg(860, 520),
+        _ => fig6::compute_rows(comparable).chart().to_svg(860, 520),
+    }
+}
+
+/// Render figure `n`'s CSV over (possibly filtered) rows with the same
+/// frame builders `Study::data_files` uses.
+fn render_data(n: u8, valid: &[RunRow], comparable: &[RunRow]) -> String {
+    match n {
+        1 => fig1_frame(&fig1::compute_rows(valid)).to_csv(),
+        2 => series_frame(&fig2::compute_rows(comparable).scatter, "w_per_socket").to_csv(),
+        3 => series_frame(&fig3::compute_rows(comparable).scatter, "overall_eff").to_csv(),
+        4 => fig4_frame(&fig4::compute_rows(comparable)).to_csv(),
+        5 => series_frame(&fig5::compute_rows(comparable).scatter, "idle_fraction").to_csv(),
+        _ => series_frame(&fig6::compute_rows(comparable).scatter, "extrap_quotient").to_csv(),
+    }
+}
+
+/// Shared state between workers, the watcher and [`Server`].
+struct Shared {
+    listener: TcpListener,
+    addr: SocketAddr,
+    snapshot: RwLock<Arc<Snapshot>>,
+    shutdown: AtomicBool,
+    generation: AtomicU64,
+    /// Refresh failures since startup (stale snapshot kept each time).
+    refresh_errors: AtomicU64,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock"))
+    }
+
+    fn swap(&self, snapshot: Snapshot) {
+        *self.snapshot.write().expect("snapshot lock") = Arc::new(snapshot);
+    }
+}
+
+/// The running daemon: N accept workers plus an optional corpus watcher.
+pub struct Server {
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, build the initial snapshot (propagating corpus errors) and
+    /// start the worker + watcher threads.
+    pub fn start(config: ServeConfig) -> spec_diag::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| TrendsError::io("serve", &e).with_origin(config.addr.clone()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| TrendsError::io("serve", &e))?;
+        let snapshot = Snapshot::build(&config, 0)?;
+        let shared = Arc::new(Shared {
+            listener,
+            addr,
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            refresh_errors: AtomicU64::new(0),
+        });
+
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let watcher = config.watch.as_ref().map(|dir| {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            let dir = dir.clone();
+            std::thread::Builder::new()
+                .name("serve-watcher".to_string())
+                .spawn(move || watcher_loop(&shared, &config, &dir))
+                .expect("spawn watcher")
+        });
+
+        obs::count("serve.started", 1);
+        Ok(Server {
+            shared,
+            config,
+            workers,
+            watcher,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// True once `/shutdown` was requested (or [`Self::shutdown`] ran).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Rebuild the snapshot now (what the watcher does on a change).
+    /// On failure the previous snapshot stays live and the error is
+    /// returned.
+    pub fn refresh(&self) -> spec_diag::Result<u64> {
+        refresh(&self.shared, &self.config)
+    }
+
+    /// Block until a shutdown request arrives, polling every 100 ms.
+    pub fn wait(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, wake blocked workers, join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Workers block in accept(); poke each once so they observe the
+        // flag. Failures are fine — the worker may already be gone.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.shared.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
+    }
+}
+
+/// Refresh the shared snapshot from the corpus; stale-on-failure.
+fn refresh(shared: &Shared, config: &ServeConfig) -> spec_diag::Result<u64> {
+    let generation = shared.generation.load(Ordering::SeqCst) + 1;
+    match Snapshot::build(config, generation) {
+        Ok(snapshot) => {
+            shared.swap(snapshot);
+            shared.generation.store(generation, Ordering::SeqCst);
+            obs::count("serve.refresh", 1);
+            Ok(generation)
+        }
+        Err(err) => {
+            shared.refresh_errors.fetch_add(1, Ordering::SeqCst);
+            obs::count("serve.refresh_error", 1);
+            Err(err)
+        }
+    }
+}
+
+/// `(name, len, mtime)` for every entry in the watched directory; any
+/// change to the triple set means the corpus changed. Uses `std::fs`
+/// directly — the watcher never reads file contents, so chaos injection
+/// on the corpus read path cannot wedge the fingerprint.
+fn dir_fingerprint(dir: &std::path::Path) -> Vec<(String, u64, u128)> {
+    let mut entries = Vec::new();
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return entries;
+    };
+    for entry in read.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        entries.push((name, meta.len(), mtime));
+    }
+    entries.sort();
+    entries
+}
+
+fn watcher_loop(shared: &Shared, config: &ServeConfig, dir: &std::path::Path) {
+    let mut last = dir_fingerprint(dir);
+    let step = Duration::from_millis(config.poll_ms.clamp(10, 1000));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(step);
+        let next = dir_fingerprint(dir);
+        if next != last {
+            last = next;
+            // Stale-on-failure: a failed rebuild keeps the old snapshot.
+            let _ = refresh(shared, config);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match shared.listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // A connection must never take a worker down: handler panics
+        // (e.g. a poisoned lock under chaos) become 500s.
+        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
+        if result.is_err() {
+            obs::count("serve.panic", 1);
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let response = match read_request(&mut stream) {
+        Ok((method, target)) => route(shared, &method, &target),
+        Err(detail) => Arc::new(Response::error(400, &detail)),
+    };
+    let _ = response.write_to(&mut stream);
+    if obs::enabled() {
+        let us = start.elapsed().as_micros() as u64;
+        obs::observe_us("serve.request_us", us);
+        obs::count(&format!("serve.status.{}", response.status), 1);
+    }
+}
+
+/// Read and parse the request line; returns `(method, target)`.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String), String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of headers (or just the request line for
+    // pipelined-free clients like curl).
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err("request head too large".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err("request read failed".to_string()),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next().unwrap_or("").trim();
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(format!("malformed request line {line:?}"));
+    };
+    Ok((method.to_string(), target.to_string()))
+}
+
+/// Dispatch one parsed request to its endpoint.
+fn route(shared: &Shared, method: &str, target: &str) -> Arc<Response> {
+    let mut sp = obs::span("serve.request");
+    if method != "GET" {
+        sp.cancel();
+        return Arc::new(Response::error(405, &format!("method {method} not allowed")));
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    let endpoint_hist = match path {
+        "/" => "serve.index_us",
+        "/stats" => "serve.stats_us",
+        "/shutdown" => "serve.shutdown_us",
+        p if p.starts_with("/figures/") => "serve.figures_us",
+        p if p.starts_with("/data/") => "serve.data_us",
+        _ => "serve.other_us",
+    };
+    let response = match path {
+        "/" => Arc::new(index_response()),
+        "/stats" => Arc::new(stats_response(shared)),
+        "/shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            obs::count("serve.shutdown_requests", 1);
+            Arc::new(Response::ok("text/plain; charset=utf-8", "shutting down\n"))
+        }
+        _ => figure_or_data(shared, path, query),
+    };
+    if obs::enabled() {
+        sp.record("path", path);
+        sp.record("status", response.status as u32);
+        sp.observe_into(endpoint_hist);
+    } else {
+        sp.cancel();
+    }
+    response
+}
+
+fn figure_or_data(shared: &Shared, path: &str, query: &str) -> Arc<Response> {
+    let (kind, rest) = if let Some(rest) = path.strip_prefix("/figures/") {
+        ("figures", rest)
+    } else if let Some(rest) = path.strip_prefix("/data/") {
+        ("data", rest)
+    } else {
+        return Arc::new(Response::error(404, &format!("no such endpoint {path:?}")));
+    };
+    let Ok(n @ 1..=6) = rest.parse::<u8>() else {
+        return Arc::new(Response::error(
+            404,
+            &format!("figure number must be 1..=6, got {rest:?}"),
+        ));
+    };
+    let filter = match parse_filter(query) {
+        Ok(filter) => filter,
+        // Malformed request → 4xx through the spec-diag error, never a
+        // panic; the category names the config-error class.
+        Err(err) => {
+            return Arc::new(Response::error(
+                400,
+                &format!("[{}] {err}", err.kind.category()),
+            ))
+        }
+    };
+
+    let snapshot = shared.current();
+    if filter.is_empty() {
+        // Unfiltered: the stage graph's cached export bytes, verbatim.
+        let (files, name) = match kind {
+            "figures" => (&snapshot.figure_files, figure_file_name(n)),
+            _ => (&snapshot.data_files, data_file_name(n)),
+        };
+        return match snapshot.file(files, name) {
+            Some(response) => response,
+            None => Arc::new(Response::error(500, "export artifact missing")),
+        };
+    }
+
+    let memo_key = format!("{path}?{query}");
+    if let Some(hit) = snapshot.memo.lock().expect("memo lock").get(&memo_key) {
+        obs::count("serve.memo_hit", 1);
+        return Arc::clone(hit);
+    }
+
+    let valid = filter.apply(&snapshot.valid_rows);
+    let comparable = filter.apply(&snapshot.comparable_rows);
+    let response = Arc::new(if kind == "figures" {
+        Response::ok("image/svg+xml", render_figure(n, &valid, &comparable))
+    } else {
+        Response::ok(
+            "text/csv; charset=utf-8",
+            render_data(n, &valid, &comparable),
+        )
+    });
+    snapshot
+        .memo
+        .lock()
+        .expect("memo lock")
+        .insert(memo_key, Arc::clone(&response));
+    obs::count("serve.memo_fill", 1);
+    response
+}
+
+fn index_response() -> Response {
+    Response::ok(
+        "text/plain; charset=utf-8",
+        "spec-trends serve\n\
+         endpoints:\n\
+         \x20 /figures/<1..6>[?year=YYYY][&vendor=intel|amd|other]  figure SVG\n\
+         \x20 /data/<1..6>[?year=YYYY][&vendor=intel|amd|other]     figure CSV\n\
+         \x20 /stats                                                cascade + partitions + metrics\n\
+         \x20 /shutdown                                             graceful shutdown\n",
+    )
+}
+
+fn stats_response(shared: &Shared) -> Response {
+    let snapshot = shared.current();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "generation {}\nraw {}\nvalid {}\ncomparable {}\nrefresh_errors {}\n",
+        snapshot.generation,
+        snapshot.report.raw,
+        snapshot.report.valid,
+        snapshot.report.comparable,
+        shared.refresh_errors.load(Ordering::SeqCst),
+    ));
+    out.push_str(&format!(
+        "last_refresh: executed {} hits {} partitions_executed {}\n\n",
+        snapshot.executed, snapshot.hits, snapshot.partitions_executed
+    ));
+    out.push_str("partition       reports  valid  comparable  executed  hits\n");
+    for p in &snapshot.partitions {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>6} {:>11} {:>9} {:>5}\n",
+            p.key.label(),
+            p.reports,
+            p.valid,
+            p.comparable,
+            p.executed,
+            p.hits
+        ));
+    }
+    if obs::enabled() {
+        out.push('\n');
+        out.push_str(&obs::snapshot().to_table());
+    }
+    Response::ok("text/plain; charset=utf-8", out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_format::write_run;
+    use spec_model::{linear_test_run, YearMonth};
+
+    fn corpus_texts(n: u32) -> Vec<(Option<String>, String)> {
+        (0..n)
+            .map(|i| {
+                let mut run = linear_test_run(i, 1e6, 60.0, 300.0);
+                run.dates.hw_available = YearMonth::new(2010 + (i as i32 % 4), 6).unwrap();
+                if i % 3 == 0 {
+                    run.system.cpu.name = format!("AMD EPYC {}", 9000 + i);
+                }
+                (Some(format!("run{i}.txt")), write_run(&run))
+            })
+            .collect()
+    }
+
+    fn test_server(n: u32) -> Server {
+        let mut config = ServeConfig::new(CorpusSource::Memory(corpus_texts(n)));
+        config.addr = "127.0.0.1:0".to_string();
+        config.threads = 2;
+        config.settings = Settings::fast();
+        Server::start(config).expect("server starts")
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).expect("response");
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = buf
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_every_endpoint() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let (status, body) = get(addr, "/");
+        assert_eq!(status, 200);
+        assert!(body.contains("/figures/"));
+        for n in 1..=6 {
+            let (status, body) = get(addr, &format!("/figures/{n}"));
+            assert_eq!(status, 200, "figure {n}");
+            assert!(body.contains("<svg"), "figure {n} is SVG");
+            let (status, body) = get(addr, &format!("/data/{n}"));
+            assert_eq!(status, 200, "data {n}");
+            assert!(body.contains('\n'), "data {n} is CSV");
+        }
+        let (status, body) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        assert!(body.contains("generation 0"));
+        assert!(body.contains("partition"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unfiltered_bytes_match_the_stage_graph_export() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let mut driver = PartitionedDriver::new(
+            CorpusSource::Memory(corpus_texts(12)),
+            Settings::fast(),
+            42,
+        );
+        let figures = driver.figure_files().expect("figures");
+        let expected = &figures.iter().find(|(n, _)| n == "fig2_power.svg").expect("fig2").1;
+        let (status, body) = get(addr, "/figures/2");
+        assert_eq!(status, 200);
+        assert_eq!(&body, expected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn filtered_query_recomputes_from_rows() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let (status, all) = get(addr, "/data/2");
+        assert_eq!(status, 200);
+        let (status, amd) = get(addr, "/data/2?vendor=amd");
+        assert_eq!(status, 200);
+        assert!(amd.lines().count() < all.lines().count());
+        assert!(!amd.contains("Intel"));
+        // Memoized second hit returns identical bytes.
+        let (_, amd2) = get(addr, "/data/2?vendor=amd");
+        assert_eq!(amd, amd2);
+        let (status, year) = get(addr, "/figures/5?year=2011&vendor=intel");
+        assert_eq!(status, 200);
+        assert!(year.contains("<svg"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_not_panics() {
+        let server = test_server(6);
+        let addr = server.addr();
+        assert_eq!(get(addr, "/data/2?year=banana").0, 400);
+        assert_eq!(get(addr, "/data/2?frobnicate=1").0, 400);
+        assert_eq!(get(addr, "/data/9").0, 404);
+        assert_eq!(get(addr, "/nope").0, 404);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"BOGUS\r\n\r\n").expect("send");
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).expect("read");
+        assert!(buf.starts_with("HTTP/1.1 400"), "got {buf:?}");
+        // POST is rejected with 405.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /stats HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).expect("read");
+        assert!(buf.starts_with("HTTP/1.1 405"), "got {buf:?}");
+        // Server still alive and serving.
+        assert_eq!(get(addr, "/stats").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn refresh_swaps_snapshot_and_shutdown_joins() {
+        let server = test_server(6);
+        let addr = server.addr();
+        assert_eq!(server.refresh().expect("refresh"), 1);
+        let (_, body) = get(addr, "/stats");
+        assert!(body.contains("generation 1"), "got {body}");
+        let (status, _) = get(addr, "/shutdown");
+        assert_eq!(status, 200);
+        assert!(server.shutdown_requested());
+        server.shutdown();
+    }
+}

@@ -24,6 +24,7 @@ use spec_model::{
 use tinystats::{BoxStats, CorrelationMatrix, LinearFit, MannKendall, TheilSen};
 
 use crate::correlation::{IdleCorrelationReport, VendorStats};
+use crate::figures::common::RunRow;
 use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
 use crate::pipeline::{FilterReport, ParseFailureRecord};
 use crate::proportionality::EpTrend;
@@ -919,6 +920,24 @@ impl Codec for fig6::Fig6Extrapolated {
         })
     }
 }
+
+struct_codec!(RunRow {
+    hw_year,
+    frac_year,
+    vendor,
+    features,
+    per_socket,
+    p100,
+    p70,
+    p20,
+    overall,
+    rel60,
+    rel70,
+    rel80,
+    rel90,
+    idle_fraction,
+    quotient,
+});
 
 // ----------------------------------------------------- table1 & friends ---
 

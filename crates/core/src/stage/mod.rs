@@ -24,6 +24,7 @@ pub mod cache;
 pub mod codec;
 pub mod driver;
 pub mod graph;
+pub mod partition;
 
 pub use artifact::{
     assemble_set, ComparableArtifact, CorpusArtifact, DeriveArtifact, FilesArtifact,
@@ -34,6 +35,10 @@ pub use cache::{
 };
 pub use codec::{decode_from_slice, encode_to_vec, Codec, CodecError, Reader, Writer};
 pub use driver::{CorpusSource, PipelineDriver, StageStats};
+pub use partition::{
+    part_key_of_input, part_key_of_text, MergedAnalysis, PartKey, PartStageKind,
+    PartValidateArtifact, PartitionSummary, PartitionedDriver,
+};
 pub use graph::{
     ComparableStage, DeriveStage, ExportDataStage, ExportFiguresStage, Fig1Stage, Fig2Stage,
     Fig3Stage, Fig4Stage, Fig5Stage, Fig6Stage, Stage, StageId, ValidateStage,
@@ -43,8 +48,9 @@ pub use graph::{
 /// semantics or the codec layout change; old cache entries then read as
 /// misses instead of stale hits.
 /// (`/2`: the corpus artifact gained the `RawInput` tag byte.
-/// `/3`: the Validate artifact switched to dictionary-encoded strings.)
-pub const CODE_VERSION: &str = "spec-trends/stage-graph/4";
+/// `/3`: the Validate artifact switched to dictionary-encoded strings.
+/// `/5`: artifacts are partitioned by (year, vendor) with merge stages.)
+pub const CODE_VERSION: &str = "spec-trends/stage-graph/5";
 
 /// Write rendered `(name, content)` files into `dir` (created if needed)
 /// through `vfs`, returning the written paths in order. Each file lands

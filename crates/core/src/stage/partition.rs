@@ -1,0 +1,952 @@
+//! Partitioned incremental stage graph: per-(year, vendor) artifacts plus
+//! a cheap merge/reduce, so one changed report re-executes one partition.
+//!
+//! The monolithic [`super::driver::PipelineDriver`] keys every artifact over
+//! the *whole* corpus hash — a single new SPEC Power submission invalidates
+//! everything downstream. This module splits the corpus by a key derived
+//! from the raw report text (hardware-availability year × CPU vendor) and
+//! runs the §II cascade per partition:
+//!
+//! ```text
+//! Split ─▶ part(validate) ─▶ part(comparable) ─▶ Merge ─▶ Study/exports
+//!              └──────────▶ part(rows) ─────────────┘
+//! ```
+//!
+//! * **Split** (always runs, cheap): materialize the corpus, assign each
+//!   input to a partition, record the global index of every input and a
+//!   content hash per partition. Keys are *partition-local* — they never
+//!   include global indices, so adding a report to partition A cannot
+//!   invalidate partition B through index shifts.
+//! * **Per-partition stages** (cached): `validate` (parse + stage 1, plus
+//!   the valid→input index map), `comparable` (stage-2 indices), `rows`
+//!   (the per-run [`RunRow`] metric extracts every figure reduces over).
+//! * **Merge** (always runs, cheap): interleave partition outputs back
+//!   into global corpus order. Because the global order of the survivors
+//!   of an unchanged partition is unaffected by insertions elsewhere, the
+//!   merged valid/comparable sets, filter report, figures and exports are
+//!   **byte-identical** to a cold monolithic run — pinned by tests here
+//!   and the `partition_incremental` property test.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use spec_model::{CpuVendor, RunResult, YearMonth};
+use spec_obs as obs;
+use spec_ssj::Settings;
+use spec_synth::generate_dataset;
+use spec_vfs::Vfs;
+
+use super::artifact::{ComparableArtifact, CorpusArtifact, ValidateArtifact};
+use super::cache::{fnv128, ArtifactCache, Fnv128, Hash128};
+use super::codec::{encode_to_vec, Codec, CodecError, Reader, Writer};
+use super::driver::{CorpusSource, StageStats};
+use super::CODE_VERSION;
+use crate::figures::common::{extract_rows, RunRow};
+use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
+use crate::pipeline::{
+    stage1_validate_inputs_indexed, stage2_split, AnalysisSet, FilterReport, ParseFailureRecord,
+    RawInput,
+};
+use crate::report::Study;
+use crate::table1::Table1;
+
+/// A partition of the corpus: hardware-availability year × CPU vendor.
+///
+/// Derived from the raw report text *before* parsing (see
+/// [`part_key_of_text`]) so the Split stage stays cheap; inputs whose
+/// header lines are missing or unparseable land in [`PartKey::UNKNOWN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PartKey {
+    /// Hardware-availability year (`-1` when unknown).
+    pub year: i32,
+    /// CPU vendor classified from the `CPU Name` header.
+    pub vendor: CpuVendor,
+}
+
+fn vendor_rank(v: CpuVendor) -> u8 {
+    match v {
+        CpuVendor::Intel => 0,
+        CpuVendor::Amd => 1,
+        CpuVendor::Other => 2,
+    }
+}
+
+impl PartialOrd for PartKey {
+    fn partial_cmp(&self, other: &PartKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PartKey {
+    fn cmp(&self, other: &PartKey) -> std::cmp::Ordering {
+        (self.year, vendor_rank(self.vendor)).cmp(&(other.year, vendor_rank(other.vendor)))
+    }
+}
+
+impl PartKey {
+    /// The sink partition for unreadable inputs and reports without a
+    /// recognizable availability/vendor header.
+    pub const UNKNOWN: PartKey = PartKey {
+        year: -1,
+        vendor: CpuVendor::Other,
+    };
+
+    /// Stable label, used in cache keys, stats tables and the serve API.
+    pub fn label(&self) -> String {
+        let vendor = match self.vendor {
+            CpuVendor::Intel => "intel",
+            CpuVendor::Amd => "amd",
+            CpuVendor::Other => "other",
+        };
+        if self.year < 0 {
+            format!("unknown-{vendor}")
+        } else {
+            format!("{}-{vendor}", self.year)
+        }
+    }
+}
+
+/// Derive the partition key from raw report text: scan for the
+/// `Hardware Availability:` and `CPU Name:` header lines (last occurrence
+/// wins, mirroring the parser) without running the full parser.
+pub fn part_key_of_text(text: &str) -> PartKey {
+    let mut year = -1;
+    let mut vendor = CpuVendor::Other;
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "Hardware Availability" => {
+                if let Ok(ym) = YearMonth::parse(value.trim()) {
+                    year = ym.year();
+                }
+            }
+            "CPU Name" => vendor = CpuVendor::classify(value.trim()),
+            _ => {}
+        }
+    }
+    PartKey { year, vendor }
+}
+
+/// Partition key of one raw input; unreadable inputs go to
+/// [`PartKey::UNKNOWN`].
+pub fn part_key_of_input(input: &RawInput) -> PartKey {
+    match input {
+        RawInput::Text(text) => part_key_of_text(text),
+        RawInput::IoError(_) => PartKey::UNKNOWN,
+    }
+}
+
+/// The kinds of cached per-partition stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PartStageKind {
+    /// Parse + §II stage-1 validity checks for one partition.
+    Validate,
+    /// §II stage-2 comparability split for one partition.
+    Comparable,
+    /// Per-run figure metric extraction ([`RunRow`]) for one partition.
+    Rows,
+}
+
+impl PartStageKind {
+    /// Stable name, used in cache keys and stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartStageKind::Validate => "part-validate",
+            PartStageKind::Comparable => "part-comparable",
+            PartStageKind::Rows => "part-rows",
+        }
+    }
+}
+
+/// Output of a partition's Validate stage: the partition-local
+/// [`ValidateArtifact`] plus, for each valid run, the index of the
+/// partition input it came from — the merge needs it to place survivors
+/// back into global corpus order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartValidateArtifact {
+    /// The partition-local valid runs and stage-1 accounting.
+    pub validate: ValidateArtifact,
+    /// For each valid run, the zero-based partition-input index.
+    pub item_index: Vec<u32>,
+}
+
+impl Codec for PartValidateArtifact {
+    fn encode(&self, w: &mut Writer) {
+        self.validate.encode(w);
+        self.item_index.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PartValidateArtifact {
+            validate: Codec::decode(r)?,
+            item_index: Codec::decode(r)?,
+        })
+    }
+}
+
+/// One partition as produced by the Split stage.
+#[derive(Clone, Debug)]
+struct Partition {
+    /// The partition's inputs, in global corpus order.
+    items: Vec<(Option<String>, RawInput)>,
+    /// Global corpus index of each input.
+    gidx: Vec<u32>,
+    /// Content hash over the encoded inputs — the partition-local cache
+    /// key root. Global indices are deliberately excluded so insertions
+    /// elsewhere in the corpus cannot invalidate this partition.
+    hash: Hash128,
+}
+
+/// Resolved artifacts for one partition plus hit/executed flags per stage.
+struct PartResolved {
+    validate: PartValidateArtifact,
+    comparable: ComparableArtifact,
+    rows: Vec<RunRow>,
+    /// `(kind, was_cache_hit)` per stage, in execution order.
+    flags: [(PartStageKind, bool); 3],
+}
+
+/// Per-partition cascade summary for stats output and the serve API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// The partition.
+    pub key: PartKey,
+    /// Raw inputs routed to this partition.
+    pub reports: usize,
+    /// Stage-1 survivors.
+    pub valid: usize,
+    /// Stage-2 survivors.
+    pub comparable: usize,
+    /// Stage executions in this driver's lifetime.
+    pub executed: usize,
+    /// Cache hits in this driver's lifetime.
+    pub hits: usize,
+}
+
+/// The merged (global-order) view the reduce stages consume.
+#[derive(Clone, Debug)]
+pub struct MergedAnalysis {
+    /// Merged valid runs + full stage-1 accounting, identical to the
+    /// monolithic Validate artifact.
+    pub validate: ValidateArtifact,
+    /// Merged stage-2 indices/accounting, identical to the monolithic
+    /// Comparable artifact.
+    pub comparable: ComparableArtifact,
+    /// [`RunRow`] extracts of the merged valid runs (Figure 1 input).
+    pub valid_rows: Vec<RunRow>,
+    /// [`RunRow`] extracts of the merged comparable runs (Figures 2–6).
+    pub comparable_rows: Vec<RunRow>,
+}
+
+fn part_stage_key(kind: PartStageKind, label: &str, dep: Hash128) -> Hash128 {
+    let mut h = Fnv128::new();
+    h.update_field(CODE_VERSION.as_bytes());
+    h.update_field(kind.name().as_bytes());
+    h.update_field(label.as_bytes());
+    h.update_field(&dep.to_bytes());
+    h.finish()
+}
+
+/// Load-or-compute one partition stage: cache decode on hit, compute +
+/// encode + store on miss. Returns the artifact, its content hash and
+/// whether the cache satisfied it.
+fn resolve_part_stage<T: Codec>(
+    cache: &Option<ArtifactCache>,
+    kind: PartStageKind,
+    label: &str,
+    key: Hash128,
+    compute: impl FnOnce() -> T,
+) -> (T, Hash128, bool) {
+    let mut sp = obs::span(kind.name());
+    if let Some(cache) = cache {
+        if let Some((value, h)) = cache.load::<T>(&key) {
+            sp.cancel();
+            if obs::enabled() {
+                obs::count(&format!("stage.{}.cache_hit", kind.name()), 1);
+            }
+            return (value, h, true);
+        }
+    }
+    let value = compute();
+    let payload = encode_to_vec(&value);
+    let h = match cache {
+        Some(cache) => cache.store_encoded(&key, &payload),
+        None => fnv128(&payload),
+    };
+    if obs::enabled() {
+        sp.record("kind", "stage");
+        sp.record("partition", label);
+        sp.record("outcome", "computed");
+        sp.record("out_bytes", payload.len());
+        sp.observe_into("stage.execute_us");
+        obs::count(&format!("stage.{}.executed", kind.name()), 1);
+    }
+    (value, h, false)
+}
+
+/// Run (or fetch) the full per-partition cascade. Pure per partition, so
+/// the driver fans partitions out over `tinypool` — the order-preserving
+/// `parallel_map` keeps results deterministic at any thread count.
+fn resolve_partition(
+    cache: &Option<ArtifactCache>,
+    key: &PartKey,
+    part: &Partition,
+) -> PartResolved {
+    let label = key.label();
+    let vkey = part_stage_key(PartStageKind::Validate, &label, part.hash);
+    let (validate, vh, vhit) = resolve_part_stage(cache, PartStageKind::Validate, &label, vkey, || {
+        let (valid, report, item_index) = stage1_validate_inputs_indexed(
+            part.items
+                .iter()
+                .map(|(origin, input)| (origin.as_deref(), input.as_ref())),
+        );
+        PartValidateArtifact {
+            validate: ValidateArtifact { valid, report },
+            item_index,
+        }
+    });
+    let ckey = part_stage_key(PartStageKind::Comparable, &label, vh);
+    let (comparable, _, chit) =
+        resolve_part_stage(cache, PartStageKind::Comparable, &label, ckey, || {
+            let (indices, stage2) = stage2_split(&validate.validate.valid);
+            ComparableArtifact { indices, stage2 }
+        });
+    let rkey = part_stage_key(PartStageKind::Rows, &label, vh);
+    let (rows, _, rhit) = resolve_part_stage(cache, PartStageKind::Rows, &label, rkey, || {
+        extract_rows(&validate.validate.valid)
+    });
+    PartResolved {
+        validate,
+        comparable,
+        rows,
+        flags: [
+            (PartStageKind::Validate, vhit),
+            (PartStageKind::Comparable, chit),
+            (PartStageKind::Rows, rhit),
+        ],
+    }
+}
+
+/// Materialize the raw corpus for a source (the partitioned Split stage
+/// reads the corpus every run — reading is not parsing, and it is what
+/// detects changed inputs).
+fn materialize_corpus(
+    source: &CorpusSource,
+    vfs: &Arc<dyn Vfs>,
+) -> spec_diag::Result<CorpusArtifact> {
+    match source {
+        CorpusSource::Synthetic(config) => {
+            let dataset = generate_dataset(config);
+            Ok(CorpusArtifact {
+                items: dataset
+                    .texts()
+                    .map(|t| (None, RawInput::Text(t.to_string())))
+                    .collect(),
+            })
+        }
+        CorpusSource::Dir(dir) => {
+            let files = crate::pipeline::list_report_files(&**vfs, dir)?;
+            let items = files
+                .iter()
+                .map(|path| crate::pipeline::read_input(&**vfs, path))
+                .collect();
+            Ok(CorpusArtifact { items })
+        }
+        CorpusSource::Memory(items) => Ok(CorpusArtifact {
+            items: items
+                .iter()
+                .map(|(origin, text)| (origin.clone(), RawInput::Text(text.clone())))
+                .collect(),
+        }),
+    }
+}
+
+/// Drives the partitioned stage graph for one configuration.
+///
+/// Same contract as [`super::driver::PipelineDriver`] — `study()`,
+/// `export_figures()`, `export_data()` and `filter_report()` return
+/// byte-identical results — but cached work is per (year, vendor)
+/// partition, so a warm run after one new report re-executes only that
+/// partition's stages plus the always-run Split/Merge reduce.
+pub struct PartitionedDriver {
+    source: CorpusSource,
+    settings: Settings,
+    seed: u64,
+    vfs: Arc<dyn Vfs>,
+    cache: Option<ArtifactCache>,
+    stats: BTreeMap<(PartStageKind, PartKey), StageStats>,
+    split_runs: usize,
+    merge_runs: usize,
+    table1_stats: StageStats,
+    partitions: Option<Rc<Vec<(PartKey, Partition)>>>,
+    resolved: Option<Rc<Vec<PartResolved>>>,
+    merged: Option<Rc<MergedAnalysis>>,
+    table1: Option<Rc<Table1>>,
+    study: Option<Rc<Study>>,
+}
+
+impl PartitionedDriver {
+    /// A driver with no cache attached (everything computes in memory).
+    pub fn new(source: CorpusSource, settings: Settings, seed: u64) -> PartitionedDriver {
+        PartitionedDriver {
+            source,
+            settings,
+            seed,
+            vfs: spec_vfs::default_vfs(),
+            cache: None,
+            stats: BTreeMap::new(),
+            split_runs: 0,
+            merge_runs: 0,
+            table1_stats: StageStats::default(),
+            partitions: None,
+            resolved: None,
+            merged: None,
+            table1: None,
+            study: None,
+        }
+    }
+
+    /// Attach an on-disk artifact cache (`--cache-dir`).
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> PartitionedDriver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Replace the filesystem backend used for corpus reads.
+    #[must_use]
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> PartitionedDriver {
+        self.vfs = vfs;
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    /// Per-(stage, partition) invocation counters.
+    pub fn stats(&self) -> &BTreeMap<(PartStageKind, PartKey), StageStats> {
+        &self.stats
+    }
+
+    /// Total per-partition stage executions (0 on a fully warm run).
+    pub fn executed_total(&self) -> usize {
+        self.stats.values().map(|s| s.executed).sum()
+    }
+
+    /// Total per-partition cache hits.
+    pub fn hits_total(&self) -> usize {
+        self.stats.values().map(|s| s.hits).sum()
+    }
+
+    /// How many partitions had at least one stage execution.
+    pub fn partitions_executed(&self) -> usize {
+        let keys: std::collections::BTreeSet<PartKey> = self
+            .stats
+            .iter()
+            .filter(|(_, s)| s.executed > 0)
+            .map(|((_, key), _)| *key)
+            .collect();
+        keys.len()
+    }
+
+    /// Times the always-run Merge reduce ran.
+    pub fn merge_runs(&self) -> usize {
+        self.merge_runs
+    }
+
+    /// Times the always-run Split stage ran.
+    pub fn split_runs(&self) -> usize {
+        self.split_runs
+    }
+
+    /// Split the corpus into partitions (always runs; cheap — no parsing).
+    fn split(&mut self) -> spec_diag::Result<Rc<Vec<(PartKey, Partition)>>> {
+        if let Some(p) = &self.partitions {
+            return Ok(p.clone());
+        }
+        let mut sp = obs::span("part-split");
+        let corpus = materialize_corpus(&self.source, &self.vfs)?;
+        let total = corpus.items.len();
+        let mut map: BTreeMap<PartKey, Partition> = BTreeMap::new();
+        for (g, (origin, input)) in corpus.items.into_iter().enumerate() {
+            let key = part_key_of_input(&input);
+            let part = map.entry(key).or_insert_with(|| Partition {
+                items: Vec::new(),
+                gidx: Vec::new(),
+                hash: fnv128(&[]),
+            });
+            part.gidx.push(g as u32);
+            part.items.push((origin, input));
+        }
+        for part in map.values_mut() {
+            part.hash = fnv128(&encode_to_vec(&part.items));
+        }
+        self.split_runs += 1;
+        let parts: Vec<(PartKey, Partition)> = map.into_iter().collect();
+        if obs::enabled() {
+            sp.record("kind", "stage");
+            sp.record("outcome", "computed");
+            sp.record("inputs", total);
+            sp.record("partitions", parts.len());
+            sp.observe_into("stage.execute_us");
+            obs::count("stage.part-split.executed", 1);
+        } else {
+            sp.cancel();
+        }
+        let rc = Rc::new(parts);
+        self.partitions = Some(rc.clone());
+        Ok(rc)
+    }
+
+    /// Resolve every partition's cascade, fanning out over `tinypool`.
+    fn resolve_partitions(&mut self) -> spec_diag::Result<Rc<Vec<PartResolved>>> {
+        if let Some(r) = &self.resolved {
+            return Ok(r.clone());
+        }
+        let parts = self.split()?;
+        let cache = self.cache.clone();
+        let results: Vec<PartResolved> =
+            tinypool::parallel_map(&parts, |(key, part)| resolve_partition(&cache, key, part));
+        for ((key, _), res) in parts.iter().zip(&results) {
+            for (kind, hit) in res.flags {
+                let stat = self.stats.entry((kind, *key)).or_default();
+                if hit {
+                    stat.hits += 1;
+                } else {
+                    stat.executed += 1;
+                }
+            }
+        }
+        let rc = Rc::new(results);
+        self.resolved = Some(rc.clone());
+        Ok(rc)
+    }
+
+    /// The always-run Merge reduce: interleave partition outputs back into
+    /// global corpus order.
+    pub fn merged(&mut self) -> spec_diag::Result<Rc<MergedAnalysis>> {
+        if let Some(m) = &self.merged {
+            return Ok(m.clone());
+        }
+        let parts = self.split()?;
+        let resolved = self.resolve_partitions()?;
+        let mut sp = obs::span("part-merge");
+
+        // (global index, partition position, local valid position) per
+        // surviving run; sorting by global index restores corpus order.
+        let mut order: Vec<(u32, usize, usize)> = Vec::new();
+        for (p, res) in resolved.iter().enumerate() {
+            let gidx = &parts[p].1.gidx;
+            for (j, &item) in res.validate.item_index.iter().enumerate() {
+                order.push((gidx[item as usize], p, j));
+            }
+        }
+        order.sort_unstable();
+
+        let mut valid = Vec::with_capacity(order.len());
+        let mut valid_rows = Vec::with_capacity(order.len());
+        for &(_, p, j) in &order {
+            valid.push(resolved[p].validate.validate.valid[j].clone());
+            valid_rows.push(resolved[p].rows[j]);
+        }
+
+        // Merge the stage-1 accounting: counts sum; retained parse-failure
+        // records map partition-local input indices to global ones and
+        // sort, matching the monolithic single-pass order.
+        let mut report = FilterReport::default();
+        let mut stage2 = BTreeMap::new();
+        let mut comparable_flags: Vec<Vec<bool>> = Vec::with_capacity(resolved.len());
+        for (p, res) in resolved.iter().enumerate() {
+            let part_report = &res.validate.validate.report;
+            report.raw += part_report.raw;
+            report.not_reports += part_report.not_reports;
+            for record in &part_report.parse_failures {
+                report.parse_failures.push(ParseFailureRecord {
+                    index: parts[p].1.gidx[record.index] as usize,
+                    origin: record.origin.clone(),
+                    failure: record.failure.clone(),
+                });
+            }
+            for (&issue, &n) in &part_report.stage1 {
+                *report.stage1.entry(issue).or_insert(0) += n;
+            }
+            for (&issue, &n) in &res.comparable.stage2 {
+                *stage2.entry(issue).or_insert(0) += n;
+            }
+            let mut flags = vec![false; res.validate.validate.valid.len()];
+            for &i in &res.comparable.indices {
+                flags[i as usize] = true;
+            }
+            comparable_flags.push(flags);
+        }
+        report.parse_failures.sort_by_key(|r| r.index);
+        report.valid = valid.len();
+
+        let mut indices = Vec::new();
+        let mut comparable_rows = Vec::new();
+        for (i, &(_, p, j)) in order.iter().enumerate() {
+            if comparable_flags[p][j] {
+                indices.push(i as u32);
+                comparable_rows.push(resolved[p].rows[j]);
+            }
+        }
+
+        self.merge_runs += 1;
+        if obs::enabled() {
+            sp.record("kind", "stage");
+            sp.record("outcome", "computed");
+            sp.record("valid", valid.len());
+            sp.record("comparable", indices.len());
+            sp.observe_into("stage.execute_us");
+            obs::count("stage.part-merge.executed", 1);
+        } else {
+            sp.cancel();
+        }
+
+        let merged = MergedAnalysis {
+            validate: ValidateArtifact { valid, report },
+            comparable: ComparableArtifact { indices, stage2 },
+            valid_rows,
+            comparable_rows,
+        };
+        let rc = Rc::new(merged);
+        self.merged = Some(rc.clone());
+        Ok(rc)
+    }
+
+    /// Table I depends only on (settings, seed) — cached globally, not per
+    /// partition.
+    fn table1(&mut self) -> spec_diag::Result<Rc<Table1>> {
+        if let Some(t) = &self.table1 {
+            return Ok(t.clone());
+        }
+        let mut h = Fnv128::new();
+        h.update_field(CODE_VERSION.as_bytes());
+        h.update_field(b"part-table1");
+        h.update_field(&self.seed.to_le_bytes());
+        h.update_field(format!("{:?}", self.settings).as_bytes());
+        let key = h.finish();
+        let mut sp = obs::span("part-table1");
+        let table1 = match self.cache.as_ref().and_then(|c| c.load::<Table1>(&key)) {
+            Some((table1, _)) => {
+                sp.cancel();
+                self.table1_stats.hits += 1;
+                if obs::enabled() {
+                    obs::count("stage.part-table1.cache_hit", 1);
+                }
+                table1
+            }
+            None => {
+                let table1 = crate::table1::compute(&self.settings, self.seed);
+                if let Some(cache) = &self.cache {
+                    cache.store_encoded(&key, &encode_to_vec(&table1));
+                }
+                self.table1_stats.executed += 1;
+                if obs::enabled() {
+                    sp.record("kind", "stage");
+                    sp.record("outcome", "computed");
+                    sp.observe_into("stage.execute_us");
+                    obs::count("stage.part-table1.executed", 1);
+                }
+                table1
+            }
+        };
+        let rc = Rc::new(table1);
+        self.table1 = Some(rc.clone());
+        Ok(rc)
+    }
+
+    /// The complete filter accounting (both stages), identical to the
+    /// monolithic driver's.
+    pub fn filter_report(&mut self) -> spec_diag::Result<FilterReport> {
+        let merged = self.merged()?;
+        let mut report = merged.validate.report.clone();
+        report.stage2 = merged.comparable.stage2.clone();
+        report.comparable = merged.comparable.indices.len();
+        Ok(report)
+    }
+
+    /// The full [`Study`], byte-identical to the monolithic driver's: the
+    /// figures reduce over merged rows, everything else over the merged
+    /// runs.
+    pub fn study(&mut self) -> spec_diag::Result<Rc<Study>> {
+        if let Some(s) = &self.study {
+            return Ok(s.clone());
+        }
+        let merged = self.merged()?;
+        let table1 = self.table1()?;
+        let comparable_runs: Vec<RunResult> = merged
+            .comparable
+            .indices
+            .iter()
+            .map(|&i| merged.validate.valid[i as usize].clone())
+            .collect();
+        let mut report = merged.validate.report.clone();
+        report.stage2 = merged.comparable.stage2.clone();
+        report.comparable = comparable_runs.len();
+        let set = AnalysisSet {
+            valid: merged.validate.valid.clone(),
+            comparable: comparable_runs.clone(),
+            report,
+        };
+        let study = Study {
+            set,
+            fig1: fig1::compute_rows(&merged.valid_rows),
+            fig2: fig2::compute_rows(&merged.comparable_rows),
+            fig3: fig3::compute_rows(&merged.comparable_rows),
+            fig4: fig4::compute_rows(&merged.comparable_rows),
+            fig5: fig5::compute_rows(&merged.comparable_rows),
+            fig6: fig6::compute_rows(&merged.comparable_rows),
+            table1: (*table1).clone(),
+            correlation: crate::correlation::explore(&comparable_runs, 2021),
+            proportionality: crate::proportionality::ep_trend(&comparable_runs),
+        };
+        let rc = Rc::new(study);
+        self.study = Some(rc.clone());
+        Ok(rc)
+    }
+
+    /// The rendered figure SVGs, `(name, content)` in write order.
+    pub fn figure_files(&mut self) -> spec_diag::Result<Vec<(String, String)>> {
+        Ok(self.study()?.figure_files())
+    }
+
+    /// The rendered CSV exports, `(name, content)` in write order.
+    pub fn data_files(&mut self) -> spec_diag::Result<Vec<(String, String)>> {
+        Ok(self.study()?.data_files())
+    }
+
+    /// Write all figure SVGs into `dir`; returns the written paths.
+    pub fn write_figures(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> spec_diag::Result<Vec<std::path::PathBuf>> {
+        let files = self.figure_files()?;
+        super::write_files_vfs(&*self.vfs, dir, &files)
+            .map_err(|e| spec_diag::TrendsError::io("export-figures", &e))
+    }
+
+    /// Write all CSV exports into `dir`; returns the written paths.
+    pub fn write_data(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> spec_diag::Result<Vec<std::path::PathBuf>> {
+        let files = self.data_files()?;
+        super::write_files_vfs(&*self.vfs, dir, &files)
+            .map_err(|e| spec_diag::TrendsError::io("export-data", &e))
+    }
+
+    /// Per-partition cascade summary (reports/valid/comparable counts and
+    /// this driver's invocation counters).
+    pub fn partition_summary(&mut self) -> spec_diag::Result<Vec<PartitionSummary>> {
+        let parts = self.split()?;
+        let resolved = self.resolve_partitions()?;
+        Ok(parts
+            .iter()
+            .zip(resolved.iter())
+            .map(|((key, part), res)| {
+                let executed = self
+                    .stats
+                    .iter()
+                    .filter(|((_, k), _)| k == key)
+                    .map(|(_, s)| s.executed)
+                    .sum();
+                let hits = self
+                    .stats
+                    .iter()
+                    .filter(|((_, k), _)| k == key)
+                    .map(|(_, s)| s.hits)
+                    .sum();
+                PartitionSummary {
+                    key: *key,
+                    reports: part.items.len(),
+                    valid: res.validate.validate.valid.len(),
+                    comparable: res.comparable.indices.len(),
+                    executed,
+                    hits,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::driver::PipelineDriver;
+    use spec_format::write_run;
+    use spec_model::linear_test_run;
+
+    /// A corpus spanning several (year, vendor) partitions, plus junk.
+    fn corpus(n: u32) -> Vec<(Option<String>, String)> {
+        let mut items: Vec<(Option<String>, String)> = (0..n)
+            .map(|i| {
+                let mut r = linear_test_run(i, 1e6 + i as f64 * 1e4, 60.0, 300.0);
+                r.dates.hw_available =
+                    spec_model::YearMonth::new(2010 + (i % 6) as i32, 1 + (i % 12) as u8).unwrap();
+                if i % 3 == 0 {
+                    r.system.cpu.name = format!("AMD EPYC {}", 7000 + i);
+                }
+                (Some(format!("r{i:04}.txt")), write_run(&r))
+            })
+            .collect();
+        items.push((Some("junk.txt".to_string()), "not a report".to_string()));
+        let mut sparc = linear_test_run(900, 1e6, 60.0, 300.0);
+        sparc.system.cpu.name = "SPARC T3-1".into();
+        items.push((None, write_run(&sparc)));
+        items
+    }
+
+    fn tmp_cache(name: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("spec_partition_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn part_key_scans_header_lines() {
+        let r = linear_test_run(3, 1e6, 60.0, 300.0);
+        let key = part_key_of_text(&write_run(&r));
+        assert_eq!(key.year, r.hw_year());
+        assert_eq!(key.vendor, CpuVendor::Intel);
+        assert_eq!(part_key_of_text("no headers here"), PartKey::UNKNOWN);
+        assert_eq!(
+            part_key_of_input(&RawInput::IoError("EIO".into())),
+            PartKey::UNKNOWN
+        );
+        let text = "CPU Name: AMD EPYC 9654\nHardware Availability: Jun-2023\n";
+        let key = part_key_of_text(text);
+        assert_eq!((key.year, key.vendor), (2023, CpuVendor::Amd));
+        assert_eq!(key.label(), "2023-amd");
+        assert_eq!(PartKey::UNKNOWN.label(), "unknown-other");
+    }
+
+    #[test]
+    fn partitioned_study_matches_monolithic() {
+        let items = corpus(24);
+        let mut mono = PipelineDriver::new(
+            CorpusSource::Memory(items.clone()),
+            Settings::fast(),
+            7,
+        );
+        let mono_study = mono.study().unwrap();
+
+        let mut part =
+            PartitionedDriver::new(CorpusSource::Memory(items), Settings::fast(), 7);
+        let part_study = part.study().unwrap();
+
+        assert_eq!(part_study.set.report, mono_study.set.report);
+        assert_eq!(part_study.set.valid, mono_study.set.valid);
+        assert_eq!(part_study.set.comparable, mono_study.set.comparable);
+        assert_eq!(part_study.to_markdown(), mono_study.to_markdown());
+        assert_eq!(
+            part_study.figure_files(),
+            mono_study.figure_files(),
+            "figure SVGs must match the monolithic path byte for byte"
+        );
+        assert_eq!(part_study.data_files(), mono_study.data_files());
+    }
+
+    #[test]
+    fn warm_run_hits_every_partition_stage() {
+        let cache = tmp_cache("warm");
+        let items = corpus(24);
+
+        let mut cold = PartitionedDriver::new(
+            CorpusSource::Memory(items.clone()),
+            Settings::fast(),
+            7,
+        )
+        .with_cache(cache.clone());
+        let cold_files = cold.figure_files().unwrap();
+        assert!(cold.executed_total() > 0);
+
+        let mut warm =
+            PartitionedDriver::new(CorpusSource::Memory(items), Settings::fast(), 7)
+                .with_cache(cache.clone());
+        let warm_files = warm.figure_files().unwrap();
+        assert_eq!(warm.executed_total(), 0, "warm run executes no partition stage");
+        assert!(warm.hits_total() > 0);
+        assert_eq!(warm_files, cold_files);
+        assert_eq!(warm.merge_runs(), 1, "merge always runs");
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn one_new_report_re_executes_one_partition() {
+        let cache = tmp_cache("incremental");
+        let mut items = corpus(24);
+
+        let mut cold = PartitionedDriver::new(
+            CorpusSource::Memory(items.clone()),
+            Settings::fast(),
+            7,
+        )
+        .with_cache(cache.clone());
+        let _ = cold.figure_files().unwrap();
+
+        // Add one 2012/Intel report; only that partition may re-execute.
+        let mut extra = linear_test_run(500, 1.3e6, 55.0, 280.0);
+        extra.dates.hw_available = spec_model::YearMonth::new(2012, 3).unwrap();
+        items.push((Some("extra.txt".to_string()), write_run(&extra)));
+        let touched = PartKey {
+            year: 2012,
+            vendor: CpuVendor::Intel,
+        };
+
+        let mut warm =
+            PartitionedDriver::new(CorpusSource::Memory(items.clone()), Settings::fast(), 7)
+                .with_cache(cache.clone());
+        let warm_files = warm.figure_files().unwrap();
+        for ((kind, key), stat) in warm.stats() {
+            if *key == touched {
+                assert_eq!(stat.executed, 1, "{}/{} executes", kind.name(), key.label());
+            } else {
+                assert_eq!(stat.executed, 0, "{}/{} stays warm", kind.name(), key.label());
+            }
+        }
+        assert_eq!(warm.partitions_executed(), 1);
+
+        // Byte-identical to a cold full recompute of the grown corpus.
+        let mut fresh =
+            PartitionedDriver::new(CorpusSource::Memory(items), Settings::fast(), 7);
+        assert_eq!(warm_files, fresh.figure_files().unwrap());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn partition_summary_accounts_for_every_input() {
+        let items = corpus(24);
+        let total = items.len();
+        let mut d = PartitionedDriver::new(CorpusSource::Memory(items), Settings::fast(), 7);
+        let summary = d.partition_summary().unwrap();
+        assert!(summary.len() > 2, "corpus spans several partitions");
+        assert_eq!(summary.iter().map(|s| s.reports).sum::<usize>(), total);
+        let report = d.filter_report().unwrap();
+        assert_eq!(summary.iter().map(|s| s.valid).sum::<usize>(), report.valid);
+        assert_eq!(
+            summary.iter().map(|s| s.comparable).sum::<usize>(),
+            report.comparable
+        );
+        // Sorted by key: years ascending.
+        let years: Vec<i32> = summary.iter().map(|s| s.key.year).collect();
+        let mut sorted = years.clone();
+        sorted.sort_unstable();
+        assert_eq!(years, sorted);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let mut d = PartitionedDriver::new(CorpusSource::Memory(Vec::new()), Settings::fast(), 7);
+        let report = d.filter_report().unwrap();
+        assert_eq!(report.raw, 0);
+        assert_eq!(report.valid, 0);
+        assert!(d.partition_summary().unwrap().is_empty());
+        let study = d.study().unwrap();
+        assert!(study.set.valid.is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 //! independently), and [`FilterReport::merge`] is associative with
 //! index offsetting.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -30,8 +31,9 @@ use tinyframe::{Frame, SegFrame, VfsSegmentStore, DEFAULT_SEGMENT_ROWS};
 
 use crate::features::runs_to_frame;
 use crate::pipeline::{
-    stage1_validate, stage1_validate_inputs, stage2_split, FilterReport, RawInput,
+    stage1_validate_inputs_indexed, stage2_split, FilterReport, RawInput, RawInputRef,
 };
+use crate::stage::{part_key_of_input, part_key_of_text, PartKey};
 
 /// Spill configuration for [`StreamIngest`].
 #[derive(Clone, Debug)]
@@ -62,13 +64,38 @@ impl Default for StreamConfig {
     }
 }
 
+/// Per-(year, vendor) partition cascade counts accumulated by
+/// [`StreamIngest`]. The same key derivation as the partitioned stage
+/// graph ([`part_key_of_text`]), so a streamed corpus can be checked
+/// against [`crate::stage::PartitionedDriver::partition_summary`]
+/// partition-for-partition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamPartitionCounts {
+    /// Raw inputs routed to the partition.
+    pub raw: usize,
+    /// Stage-1 survivors.
+    pub valid: usize,
+    /// Stage-2 survivors.
+    pub comparable: usize,
+}
+
+impl StreamPartitionCounts {
+    fn merge(&mut self, other: &StreamPartitionCounts) {
+        self.raw += other.raw;
+        self.valid += other.valid;
+        self.comparable += other.comparable;
+    }
+}
+
 /// Incremental ingest state: push batches of report texts, read off the
-/// accumulated [`FilterReport`] and segmented feature tables at any point.
+/// accumulated [`FilterReport`], segmented feature tables and per-partition
+/// counts at any point.
 #[derive(Debug)]
 pub struct StreamIngest {
     valid: SegFrame,
     comparable: SegFrame,
     report: FilterReport,
+    partitions: BTreeMap<PartKey, StreamPartitionCounts>,
     batches: usize,
 }
 
@@ -78,16 +105,42 @@ fn frame_to_io(err: tinyframe::FrameError) -> io::Error {
 
 /// Per-shard stage-2 + feature-arena construction shared by the text and
 /// input batch paths.
-type Shard = (FilterReport, Vec<Frame>, Vec<Frame>);
+type Shard = (
+    FilterReport,
+    Vec<Frame>,
+    Vec<Frame>,
+    BTreeMap<PartKey, StreamPartitionCounts>,
+);
 
-fn shard_arenas(valid: Vec<RunResult>, mut report: FilterReport, segment_rows: usize) -> Shard {
+/// `keys[i]` is the partition of shard input `i`; `item_index[j]` is the
+/// shard input each valid run `j` came from — together they route every
+/// cascade level to its (year, vendor) partition. The routing is
+/// per-input, so shard/batch merging stays associative.
+fn shard_arenas(
+    valid: Vec<RunResult>,
+    mut report: FilterReport,
+    segment_rows: usize,
+    keys: &[PartKey],
+    item_index: &[u32],
+) -> Shard {
     let (indices, stage2) = stage2_split(&valid);
     report.comparable = indices.len();
     report.stage2 = stage2;
     let comparable: Vec<RunResult> = indices.iter().map(|&i| valid[i as usize].clone()).collect();
+    let mut partitions: BTreeMap<PartKey, StreamPartitionCounts> = BTreeMap::new();
+    for key in keys {
+        partitions.entry(*key).or_default().raw += 1;
+    }
+    for &input in item_index {
+        partitions.entry(keys[input as usize]).or_default().valid += 1;
+    }
+    for &run in &indices {
+        let key = keys[item_index[run as usize] as usize];
+        partitions.entry(key).or_default().comparable += 1;
+    }
     let valid_arena: Vec<Frame> = valid.chunks(segment_rows).map(runs_to_frame).collect();
     let comp_arena: Vec<Frame> = comparable.chunks(segment_rows).map(runs_to_frame).collect();
-    (report, valid_arena, comp_arena)
+    (report, valid_arena, comp_arena, partitions)
 }
 
 impl StreamIngest {
@@ -122,6 +175,7 @@ impl StreamIngest {
             valid,
             comparable,
             report: FilterReport::default(),
+            partitions: BTreeMap::new(),
             batches: 0,
         })
     }
@@ -140,12 +194,14 @@ impl StreamIngest {
         let mut sp = obs::span("stream-batch");
         let ranges = tinypool::run_chunks(texts.len(), |_| {});
         let shards: Vec<Shard> = tinypool::parallel_map(&ranges, |range| {
-            let (valid, report) = stage1_validate(
-                texts[range.clone()]
+            let slice = &texts[range.clone()];
+            let keys: Vec<PartKey> = slice.iter().map(|t| part_key_of_text(t.as_ref())).collect();
+            let (valid, report, item_index) = stage1_validate_inputs_indexed(
+                slice
                     .iter()
-                    .map(|t| (None::<String>, t.as_ref())),
+                    .map(|t| (None::<String>, RawInputRef::Text(t.as_ref()))),
             );
-            shard_arenas(valid, report, segment_rows)
+            shard_arenas(valid, report, segment_rows, &keys, &item_index)
         });
         self.merge_shards(shards)?;
         if obs::enabled() {
@@ -168,12 +224,17 @@ impl StreamIngest {
         let mut sp = obs::span("stream-batch");
         let ranges = tinypool::run_chunks(items.len(), |_| {});
         let shards: Vec<Shard> = tinypool::parallel_map(&ranges, |range| {
-            let (valid, report) = stage1_validate_inputs(
-                items[range.clone()]
+            let slice = &items[range.clone()];
+            let keys: Vec<PartKey> = slice
+                .iter()
+                .map(|(_, input)| part_key_of_input(input))
+                .collect();
+            let (valid, report, item_index) = stage1_validate_inputs_indexed(
+                slice
                     .iter()
                     .map(|(origin, input)| (origin.clone(), input.as_ref())),
             );
-            shard_arenas(valid, report, segment_rows)
+            shard_arenas(valid, report, segment_rows, &keys, &item_index)
         });
         self.merge_shards(shards)?;
         if obs::enabled() {
@@ -185,8 +246,11 @@ impl StreamIngest {
     }
 
     fn merge_shards(&mut self, shards: Vec<Shard>) -> tinyframe::Result<()> {
-        for (report, valid_arena, comp_arena) in shards {
+        for (report, valid_arena, comp_arena, partitions) in shards {
             self.report.merge(&report);
+            for (key, counts) in &partitions {
+                self.partitions.entry(*key).or_default().merge(counts);
+            }
             for frame in valid_arena {
                 self.valid.append_frame(frame)?;
             }
@@ -195,6 +259,9 @@ impl StreamIngest {
             }
         }
         self.batches += 1;
+        if obs::enabled() {
+            obs::set_gauge("ingest.partitions", self.partitions.len() as i64);
+        }
         Ok(())
     }
 
@@ -206,6 +273,13 @@ impl StreamIngest {
     /// Number of batches ingested.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// Accumulated per-(year, vendor) partition cascade counts. Sums
+    /// across partitions equal the corresponding [`Self::report`] totals
+    /// for any batch split and thread count.
+    pub fn partition_counts(&self) -> &BTreeMap<PartKey, StreamPartitionCounts> {
+        &self.partitions
     }
 
     /// The segmented feature table of stage-1-valid runs.
@@ -324,6 +398,70 @@ mod tests {
             ingest.valid_features().to_csv().unwrap(),
             runs_to_frame(&legacy.valid).to_csv()
         );
+    }
+
+    #[test]
+    fn partition_counts_are_split_invariant_and_match_the_stage_graph() {
+        let mut texts = corpus(40);
+        // Spread hardware years and vendors so several partitions exist.
+        for (i, text) in texts.iter_mut().enumerate() {
+            if text.contains("Hardware Availability") {
+                let mut run = linear_test_run(i as u32, 1e6, 60.0, 300.0);
+                run.dates.hw_available =
+                    spec_model::YearMonth::new(2015 + (i as i32 % 5), 3).unwrap();
+                if i % 2 == 0 {
+                    run.system.cpu.name = format!("AMD EPYC {}", 7000 + i);
+                }
+                *text = write_run(&run);
+            }
+        }
+        let mut reference = None;
+        for batch in [1usize, 7, 40] {
+            let mut ingest = StreamIngest::new(&StreamConfig {
+                segment_rows: 16,
+                spill: None,
+            })
+            .unwrap();
+            for chunk in texts.chunks(batch) {
+                ingest.push_batch(chunk).unwrap();
+            }
+            let counts = ingest.partition_counts().clone();
+            // Partition sums reproduce the cascade totals.
+            assert_eq!(
+                counts.values().map(|c| c.raw).sum::<usize>(),
+                ingest.report().raw
+            );
+            assert_eq!(
+                counts.values().map(|c| c.valid).sum::<usize>(),
+                ingest.report().valid
+            );
+            assert_eq!(
+                counts.values().map(|c| c.comparable).sum::<usize>(),
+                ingest.report().comparable
+            );
+            match &reference {
+                None => reference = Some(counts),
+                Some(want) => assert_eq!(&counts, want, "batch={batch}"),
+            }
+        }
+        // And the streamed counts agree with the partitioned stage graph
+        // over the identical corpus.
+        let items: Vec<(Option<String>, String)> =
+            texts.iter().map(|t| (None, t.clone())).collect();
+        let mut driver = crate::stage::PartitionedDriver::new(
+            crate::stage::CorpusSource::Memory(items),
+            spec_ssj::Settings::fast(),
+            7,
+        );
+        let summary = driver.partition_summary().unwrap();
+        let want = reference.unwrap();
+        assert_eq!(summary.len(), want.len());
+        for part in summary {
+            let counts = want.get(&part.key).expect("partition present");
+            assert_eq!(counts.raw, part.reports, "{}", part.key.label());
+            assert_eq!(counts.valid, part.valid, "{}", part.key.label());
+            assert_eq!(counts.comparable, part.comparable, "{}", part.key.label());
+        }
     }
 
     #[test]

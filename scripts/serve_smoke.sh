@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Serve smoke: start the `spec-trends serve` daemon on the 1017-report
+# synthetic corpus written to a watched directory, curl every endpoint,
+# drop one new report into the directory, and assert the watcher
+# refreshes the snapshot re-executing exactly ONE (year, vendor)
+# partition. Finishes with a graceful `/shutdown`.
+#
+#   ./scripts/serve_smoke.sh [port]
+#
+# Default port 17878.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-17878}"
+BASE="http://127.0.0.1:${PORT}"
+CORPUS=.ci-serve-corpus
+CACHE=.ci-serve-cache
+rm -rf "$CORPUS" "$CACHE"
+
+cargo build --release -p spec-trends
+
+./target/release/spec-trends generate --out "$CORPUS"
+test "$(ls "$CORPUS" | wc -l)" -eq 1017
+
+./target/release/spec-trends serve --data "$CORPUS" --addr "127.0.0.1:${PORT}" \
+  --cache-dir "$CACHE" --poll-ms 50 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to come up (cold snapshot builds first).
+for _ in $(seq 1 120); do
+  curl -sf "$BASE/stats" > /dev/null 2>&1 && break
+  sleep 0.5
+done
+
+# Every endpoint answers 200 with a non-empty body.
+for target in / /stats \
+    /figures/1 /figures/2 /figures/3 /figures/4 /figures/5 /figures/6 \
+    /data/1 /data/2 /data/3 /data/4 /data/5 /data/6 \
+    "/data/2?vendor=amd" "/figures/3?year=2015&vendor=intel"; do
+  body="$(curl -sf "$BASE$target")"
+  test -n "$body" || { echo "serve_smoke: empty body for $target" >&2; exit 1; }
+done
+curl -sf "$BASE/figures/2" | grep -q '</svg>'
+curl -sf "$BASE/data/2" | head -1 | grep -q 'year'
+
+stats="$(curl -sf "$BASE/stats")"
+echo "$stats" | grep -q 'raw 1017' || {
+  echo "serve_smoke: expected raw 1017 in /stats" >&2; echo "$stats" >&2; exit 1
+}
+curl -sf "$BASE/data/1" > .ci-serve-data1-before.csv
+
+# Drop one new report into the watched directory: a copy of an existing
+# report under a new name lands in the same (year, vendor) partition.
+cp "$(ls "$CORPUS"/*.txt | head -1)" "$CORPUS/zz_smoke_new.txt"
+
+# The poller notices within a few intervals and refreshes incrementally.
+for _ in $(seq 1 200); do
+  stats="$(curl -sf "$BASE/stats")"
+  echo "$stats" | grep -q 'raw 1018' && break
+  sleep 0.1
+done
+echo "$stats" | grep -q 'raw 1018' || {
+  echo "serve_smoke: watcher never picked up the new report" >&2
+  echo "$stats" >&2; exit 1
+}
+# Exactly the touched partition re-executed; the other ~60 partitions
+# were served warm from the artifact cache.
+echo "$stats" | grep -q 'partitions_executed 1' || {
+  echo "serve_smoke: expected exactly one partition to re-execute" >&2
+  echo "$stats" >&2; exit 1
+}
+# The refreshed snapshot is visible in the data endpoints.
+curl -sf "$BASE/data/1" > .ci-serve-data1-after.csv
+if cmp -s .ci-serve-data1-before.csv .ci-serve-data1-after.csv; then
+  echo "serve_smoke: /data/1 did not change after the corpus update" >&2
+  exit 1
+fi
+
+# Graceful shutdown: the endpoint drains the workers and the process exits.
+curl -sf "$BASE/shutdown" > /dev/null
+wait "$SERVE_PID"
+trap - EXIT
+
+rm -rf "$CORPUS" "$CACHE" .ci-serve-data1-before.csv .ci-serve-data1-after.csv
+echo "serve_smoke: OK (1017+1 reports, one partition re-executed)"
