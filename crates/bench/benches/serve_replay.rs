@@ -17,12 +17,24 @@
 //! responses are recomputed from partition row artifacts on first touch
 //! and memoized per snapshot, so the steady-state cost is a memo hit
 //! plus socket round-trip — the daemon targets p99 < 1 ms there.
+//!
+//! Two scenarios ride along since the connection-lifecycle rework:
+//!
+//! * **keep-alive** — the same small-target stream over persistent
+//!   connections; its p99 must beat the one-shot baseline (that's the
+//!   point of keep-alive), asserted here and exported as
+//!   `keepalive_p99_us`.
+//! * **overload** — a deliberately under-provisioned daemon
+//!   (`max_inflight 2`, `queue_depth 2`) against 16 concurrent clients
+//!   issuing memo-defeating filtered queries; exports the shed rate and
+//!   checks every shed response is a well-formed 503 + `Retry-After`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use spec_analysis::serve::{ServeConfig, Server};
+use spec_analysis::serve::faultnet::read_response;
+use spec_analysis::serve::{net, ServeConfig, Server};
 use spec_analysis::stage::ArtifactCache;
 use spec_analysis::CorpusSource;
 use spec_bench::bench_settings;
@@ -64,12 +76,14 @@ struct TargetResult {
 }
 
 /// One full GET over a fresh connection; returns (status, body length).
-/// The daemon answers `Connection: close`, so connect + write + drain is
+/// `Connection: close` is requested, so connect + write + drain is
 /// exactly one request's lifecycle.
 fn get(addr: SocketAddr, target: &str) -> (u16, usize) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .expect("request");
     let mut buf = Vec::new();
     stream.read_to_end(&mut buf).expect("response");
@@ -88,6 +102,156 @@ fn get(addr: SocketAddr, target: &str) -> (u16, usize) {
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
     sorted_us[idx]
+}
+
+/// Memo-warm small-body targets: the stream where connection overhead is
+/// a visible share of the latency, used for the keep-alive comparison.
+const SMALL_TARGETS: &[&str] = &[
+    "/data/2?vendor=amd",
+    "/data/3?vendor=intel",
+    "/data/5?year=2015",
+];
+
+/// Requests in each keep-alive / one-shot comparison stream.
+const STREAM_REQUESTS: usize = 600;
+
+fn sorted_p50_p99(mut lat_us: Vec<f64>) -> (f64, f64) {
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    (percentile(&lat_us, 0.50), percentile(&lat_us, 0.99))
+}
+
+/// The small-target stream over fresh connections: the baseline.
+fn oneshot_stream(addr: SocketAddr) -> (f64, f64) {
+    let mut lat_us = Vec::with_capacity(STREAM_REQUESTS);
+    for i in 0..STREAM_REQUESTS {
+        let target = SMALL_TARGETS[i % SMALL_TARGETS.len()];
+        let start = Instant::now();
+        let (status, _) = get(addr, target);
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(status, 200, "one-shot {target}");
+    }
+    sorted_p50_p99(lat_us)
+}
+
+/// The same stream over persistent connections. Reconnects transparently
+/// when the daemon rotates the connection (requests-per-connection cap).
+fn keepalive_stream(addr: SocketAddr) -> (f64, f64) {
+    let connect = |addr: SocketAddr| -> TcpStream {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+    };
+    let mut stream = connect(addr);
+    let mut lat_us = Vec::with_capacity(STREAM_REQUESTS);
+    for i in 0..STREAM_REQUESTS {
+        let target = SMALL_TARGETS[i % SMALL_TARGETS.len()];
+        let start = Instant::now();
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+            .expect("request");
+        let resp = read_response(&mut stream)
+            .expect("read")
+            .expect("keep-alive response");
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 200, "keep-alive {target}");
+        assert!(resp.complete, "keep-alive {target}");
+        if resp.close {
+            stream = connect(addr);
+        }
+    }
+    sorted_p50_p99(lat_us)
+}
+
+struct OverloadResult {
+    clients: usize,
+    requests: usize,
+    served: usize,
+    shed: usize,
+    shed_rate: f64,
+}
+
+/// 16 concurrent one-shot clients with memo-defeating filtered queries
+/// against a daemon provisioned for 2: most connections must shed with a
+/// well-formed 503 + `Retry-After`, and the daemon must keep serving.
+fn overload_scenario(cache: ArtifactCache) -> OverloadResult {
+    let mut config = ServeConfig::new(CorpusSource::Synthetic(SynthConfig {
+        seed: 3,
+        settings: bench_settings(),
+    }));
+    config.addr = "127.0.0.1:0".to_string();
+    config.settings = bench_settings();
+    config.threads = 2;
+    config.cache = Some(cache);
+    config.limits = net::Limits {
+        max_inflight: 2,
+        queue_depth: 2,
+        ..net::Limits::default()
+    };
+    let server = Server::start(config).expect("overload server starts");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 16;
+    const REQUESTS_PER_CLIENT: usize = 20;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut served = 0usize;
+                let mut shed = 0usize;
+                for j in 0..REQUESTS_PER_CLIENT {
+                    // Distinct (year, figure) pairs defeat the memo so the
+                    // workers actually recompute under load.
+                    let target = format!("/data/{}?year={}", 1 + j % 6, 2010 + (i + j) % 8);
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("timeout");
+                    stream
+                        .write_all(
+                            format!(
+                                "GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+                            )
+                            .as_bytes(),
+                        )
+                        .expect("request");
+                    let resp = read_response(&mut stream)
+                        .expect("read")
+                        .expect("overload response");
+                    assert!(resp.complete, "overload {target}");
+                    match resp.status {
+                        200 => served += 1,
+                        503 => {
+                            assert!(resp.retry_after, "503 without Retry-After on {target}");
+                            shed += 1;
+                        }
+                        other => panic!("unexpected status {other} on {target}"),
+                    }
+                }
+                (served, shed)
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for handle in handles {
+        let (s, d) = handle.join().expect("overload client");
+        served += s;
+        shed += d;
+    }
+    // The daemon is still healthy after the storm.
+    let (status, _) = get(addr, "/stats");
+    assert_eq!(status, 200, "daemon unhealthy after overload");
+    server.shutdown();
+    let requests = CLIENTS * REQUESTS_PER_CLIENT;
+    OverloadResult {
+        clients: CLIENTS,
+        requests,
+        served,
+        shed,
+        shed_rate: shed as f64 / requests as f64,
+    }
 }
 
 fn out_path() -> std::path::PathBuf {
@@ -172,6 +336,41 @@ fn main() {
         "warm filtered p99 {filtered_p99:.1} us exceeds the 1 ms budget"
     );
 
+    // Keep-alive vs one-shot on the same memo-warm small-target stream.
+    let (oneshot_p50, oneshot_p99) = oneshot_stream(addr);
+    let (keepalive_p50, keepalive_p99) = keepalive_stream(addr);
+    println!(
+        "serve_replay/oneshot-small   {oneshot_p50:>7.1} us p50  {oneshot_p99:>8.1} us p99"
+    );
+    println!(
+        "serve_replay/keepalive-small {keepalive_p50:>7.1} us p50  {keepalive_p99:>8.1} us p99"
+    );
+    assert!(
+        keepalive_p99 < oneshot_p99,
+        "keep-alive p99 {keepalive_p99:.1} us does not beat the one-shot baseline {oneshot_p99:.1} us"
+    );
+
+    server.shutdown();
+
+    // Overload: an under-provisioned daemon against 16 clients.
+    let overload = overload_scenario(ArtifactCache::open(cache_dir.clone()).expect("cache opens"));
+    println!(
+        "serve_replay/overload        {} clients, {} requests: {} served, {} shed ({:.0}% shed rate)",
+        overload.clients,
+        overload.requests,
+        overload.served,
+        overload.shed,
+        overload.shed_rate * 100.0
+    );
+    assert!(
+        overload.shed > 0,
+        "overload scenario never shed — admission control untested"
+    );
+    assert!(
+        overload.served > 0,
+        "overload scenario starved every client — shedding is not serving"
+    );
+
     // Hand-rolled JSON: the vendored serde is a no-op marker crate.
     let mut json = String::from("{\n  \"bench\": \"serve_replay\",\n");
     json.push_str(&format!(
@@ -187,6 +386,17 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"warm_filtered_p99_us\": {filtered_p99:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"oneshot_small_p50_us\": {oneshot_p50:.1},\n  \"oneshot_small_p99_us\": {oneshot_p99:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"keepalive_p50_us\": {keepalive_p50:.1},\n  \"keepalive_p99_us\": {keepalive_p99:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"overload\": {{\"clients\": {}, \"requests\": {}, \"served\": {}, \
+         \"shed\": {}, \"shed_rate\": {:.4}}},\n",
+        overload.clients, overload.requests, overload.served, overload.shed, overload.shed_rate
     ));
     json.push_str("  \"targets\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -207,6 +417,5 @@ fn main() {
     std::fs::write(&path, json).expect("write BENCH_serve.json");
     println!("wrote {}", path.display());
 
-    server.shutdown();
     let _ = std::fs::remove_dir_all(&cache_dir);
 }

@@ -27,13 +27,20 @@
 //!                                                spill to disk so ×1000 (~1M
 //!                                                reports) runs in bounded memory
 //! spec-trends serve [--data DIR] [--addr A] [--cache-dir D] [--poll-ms N]
+//!                   [--max-inflight N] [--queue-depth N]
+//!                   [--request-deadline-ms N] [--idle-timeout-ms N]
+//!                   [--max-header-bytes N] [--drain-timeout-ms N]
 //!                                                start the HTTP query daemon:
 //!                                                /figures/<n>, /data/<n> (with
 //!                                                ?year=/?vendor= filters), /stats,
-//!                                                /shutdown. Watches --data for new
-//!                                                reports; a change re-executes only
-//!                                                the touched (year, vendor)
-//!                                                partition's stages
+//!                                                /healthz, /readyz, /shutdown.
+//!                                                Keep-alive connections with hard
+//!                                                deadlines, a bounded admission
+//!                                                queue (503 + Retry-After when
+//!                                                full) and graceful drain. Watches
+//!                                                --data for new reports; a change
+//!                                                re-executes only the touched
+//!                                                (year, vendor) partition's stages
 //! ```
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
@@ -72,7 +79,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats|ingest|serve> \
          [--out PATH] [--data DIR] [--seed N] [--scale K] [--cache-dir DIR] [--threads N] [--trace-out FILE] \
-         [--max-resident-mb M] [--addr HOST:PORT] [--poll-ms N]\n\
+         [--max-resident-mb M] [--addr HOST:PORT] [--poll-ms N] [--max-inflight N] [--queue-depth N] \
+         [--request-deadline-ms N] [--idle-timeout-ms N] [--max-header-bytes N] [--drain-timeout-ms N]\n\
          \n\
          --scale K     replicate the synthetic corpus K×: `generate` writes the\n\
          \x20             replicas, `ingest` streams them without materializing\n\
@@ -96,7 +104,18 @@ fn usage() -> ExitCode {
          \x20               SPEC_TRENDS_TRACE=1 enables the same instrumentation\n\
          \x20               without a flag; `stats` prints the metrics table.\n\
          --addr HOST:PORT  (serve) bind address, default 127.0.0.1:7878.\n\
-         --poll-ms N   (serve) corpus-watch poll interval, default 500."
+         --poll-ms N   (serve) corpus-watch poll interval, default 500.\n\
+         --max-inflight N        (serve) connections served concurrently, default 32.\n\
+         --queue-depth N         (serve) admission queue bound; a full queue sheds\n\
+         \x20                      new connections with 503 + Retry-After. Default 64.\n\
+         --request-deadline-ms N (serve) budget per request: head read, filtered\n\
+         \x20                      recompute and response write each observe it\n\
+         \x20                      (blown recompute → 503, not memoized). Default 2000.\n\
+         --idle-timeout-ms N     (serve) keep-alive idle budget, default 5000.\n\
+         --max-header-bytes N    (serve) request-head byte cap (431 past it),\n\
+         \x20                      default 8192; minimum 256.\n\
+         --drain-timeout-ms N    (serve) grace for in-flight requests after\n\
+         \x20                      /shutdown, default 5000."
     );
     ExitCode::from(2)
 }
@@ -113,6 +132,12 @@ struct Args {
     max_resident_mb: Option<usize>,
     addr: Option<String>,
     poll_ms: Option<u64>,
+    max_inflight: Option<usize>,
+    queue_depth: Option<usize>,
+    request_deadline_ms: Option<u64>,
+    idle_timeout_ms: Option<u64>,
+    max_header_bytes: Option<usize>,
+    drain_timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -131,6 +156,17 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut max_resident_mb = None;
     let mut addr = None;
     let mut poll_ms = None;
+    let mut max_inflight = None;
+    let mut queue_depth = None;
+    let mut request_deadline_ms = None;
+    let mut idle_timeout_ms = None;
+    let mut max_header_bytes = None;
+    let mut drain_timeout_ms = None;
+    // Shared shape for the serve limit flags: a positive integer.
+    fn positive<T: std::str::FromStr + PartialEq + From<u8>>(raw: Option<String>) -> Option<T> {
+        let value: T = raw?.parse().ok()?;
+        (value != T::from(0)).then_some(value)
+    }
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = Some(PathBuf::from(args.next()?)),
@@ -166,6 +202,21 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
                 }
                 poll_ms = Some(ms);
             }
+            "--max-inflight" => max_inflight = Some(positive::<usize>(args.next())?),
+            "--queue-depth" => queue_depth = Some(positive::<usize>(args.next())?),
+            "--request-deadline-ms" => {
+                request_deadline_ms = Some(positive::<u64>(args.next())?);
+            }
+            "--idle-timeout-ms" => idle_timeout_ms = Some(positive::<u64>(args.next())?),
+            "--max-header-bytes" => {
+                let bytes: usize = args.next()?.parse().ok()?;
+                // The head must at least fit a request line.
+                if bytes < 256 {
+                    return None;
+                }
+                max_header_bytes = Some(bytes);
+            }
+            "--drain-timeout-ms" => drain_timeout_ms = Some(positive::<u64>(args.next())?),
             _ => return None,
         }
     }
@@ -181,6 +232,12 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         max_resident_mb,
         addr,
         poll_ms,
+        max_inflight,
+        queue_depth,
+        request_deadline_ms,
+        idle_timeout_ms,
+        max_header_bytes,
+        drain_timeout_ms,
     })
 }
 
@@ -631,6 +688,24 @@ fn run_serve(args: &Args) -> spec_diag::Result<()> {
     if let Some(ms) = args.poll_ms {
         config.poll_ms = ms;
     }
+    if let Some(n) = args.max_inflight {
+        config.limits.max_inflight = n;
+    }
+    if let Some(n) = args.queue_depth {
+        config.limits.queue_depth = n;
+    }
+    if let Some(ms) = args.request_deadline_ms {
+        config.limits.request_deadline_ms = ms;
+    }
+    if let Some(ms) = args.idle_timeout_ms {
+        config.limits.idle_timeout_ms = ms;
+    }
+    if let Some(bytes) = args.max_header_bytes {
+        config.limits.max_header_bytes = bytes;
+    }
+    if let Some(ms) = args.drain_timeout_ms {
+        config.limits.drain_timeout_ms = ms;
+    }
     // Watch the corpus directory when serving one; synthetic corpora
     // cannot change underneath us.
     config.watch = args.data.clone();
@@ -837,6 +912,41 @@ mod tests {
         assert_eq!(args.poll_ms, Some(50));
         assert!(parse(&["serve", "--poll-ms", "0"]).is_none());
         assert!(parse(&["serve", "--addr"]).is_none());
+    }
+
+    #[test]
+    fn serve_limit_flags_parse() {
+        let args = parse(&[
+            "serve",
+            "--max-inflight", "8",
+            "--queue-depth", "16",
+            "--request-deadline-ms", "750",
+            "--idle-timeout-ms", "3000",
+            "--max-header-bytes", "4096",
+            "--drain-timeout-ms", "1500",
+        ])
+        .unwrap();
+        assert_eq!(args.max_inflight, Some(8));
+        assert_eq!(args.queue_depth, Some(16));
+        assert_eq!(args.request_deadline_ms, Some(750));
+        assert_eq!(args.idle_timeout_ms, Some(3000));
+        assert_eq!(args.max_header_bytes, Some(4096));
+        assert_eq!(args.drain_timeout_ms, Some(1500));
+        // Unset flags leave the daemon defaults in place.
+        let defaults = parse(&["serve"]).unwrap();
+        assert_eq!(defaults.max_inflight, None);
+        assert_eq!(defaults.queue_depth, None);
+    }
+
+    #[test]
+    fn serve_limit_flags_reject_degenerate_values() {
+        assert!(parse(&["serve", "--max-inflight", "0"]).is_none());
+        assert!(parse(&["serve", "--queue-depth", "0"]).is_none());
+        assert!(parse(&["serve", "--request-deadline-ms", "0"]).is_none());
+        assert!(parse(&["serve", "--idle-timeout-ms", "none"]).is_none());
+        // Below the request-line floor.
+        assert!(parse(&["serve", "--max-header-bytes", "255"]).is_none());
+        assert!(parse(&["serve", "--drain-timeout-ms"]).is_none());
     }
 
     #[test]

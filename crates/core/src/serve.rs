@@ -8,15 +8,17 @@
 //! including under `FaultVfs` chaos — can never produce a torn response:
 //! the old snapshot simply stays live.
 //!
-//! Endpoints (all `GET`, `Connection: close`):
+//! Endpoints (all `GET`):
 //!
 //! | path            | response                                        |
 //! |-----------------|-------------------------------------------------|
 //! | `/`             | plain-text index of endpoints                   |
 //! | `/figures/<n>`  | Figure *n* (1–6) as SVG                         |
 //! | `/data/<n>`     | the CSV behind figure *n*                       |
-//! | `/stats`        | corpus cascade, partition table, obs metrics    |
-//! | `/shutdown`     | begins graceful shutdown                        |
+//! | `/stats`        | cascade, partitions, lifecycle, obs metrics     |
+//! | `/healthz`      | liveness probe (always 200 while the process is up) |
+//! | `/readyz`       | readiness probe (503 once draining)             |
+//! | `/shutdown`     | begins graceful drain                           |
 //!
 //! `/figures/<n>` and `/data/<n>` accept `?year=YYYY` and
 //! `?vendor=intel|amd|other` filters; filtered responses are recomputed
@@ -25,22 +27,52 @@
 //! sub-millisecond. Unfiltered responses serve the stage graph's cached
 //! export bytes unchanged.
 //!
+//! ## Connection lifecycle (see [`net`] and DESIGN.md §15)
+//!
+//! Connections are **HTTP/1.1 keep-alive** with a hard lifecycle: one
+//! acceptor thread admits sockets into a **bounded queue** in front of
+//! the worker pool; a full queue (or a drain in progress) sheds the
+//! connection with `503` + `Retry-After` instead of piling up threads.
+//! Workers enforce a per-connection idle budget, a per-request read
+//! deadline measured on an injectable [`net::Clock`] (slow-loris clients
+//! are shed deterministically), a fixed write budget, request-head byte
+//! caps (`431`), and a requests-per-connection cap. The per-request
+//! deadline propagates into the filtered-recompute path: a recompute
+//! that blows its budget answers `503`, is **not** memoized, and leaves
+//! the snapshot untouched.
+//!
+//! `/shutdown` (or [`Server::shutdown`]) begins a **graceful drain**:
+//! admissions stop, queued connections are shed, in-flight requests
+//! finish (or deadline out) within `drain_timeout_ms`, and every
+//! terminal connection is accounted in `/stats` — `conns_offered` always
+//! equals shed + accepted (+ transiently queued), and accepted always
+//! equals completed + timed-out + aborted (+ transiently active). The
+//! `tests/serve_chaos.rs` suite pins that balance under seeded
+//! adversarial clients from [`faultnet`].
+//!
 //! A watcher thread polls the corpus directory's fingerprint and rebuilds
 //! the [`PartitionedDriver`] on change — only the touched (year, vendor)
 //! partition's stages re-execute, which `/stats` reports per refresh.
 //!
 //! Request handling is panic-proof: each connection runs under
-//! `catch_unwind`, malformed requests map to 4xx through [`spec_diag`]
-//! error categories, and every request records a `spec-obs` span plus
-//! log₂-µs latency histograms (`serve.request_us`, `serve.<endpoint>_us`).
+//! `catch_unwind`, malformed requests map to typed 4xx/5xx through the
+//! [`net`] parser (`405` known method, `501` unknown method, `431` header
+//! flood, `414` query flood, `400` bodies/garbage), and every request
+//! records a `spec-obs` span plus log₂-µs latency histograms
+//! (`serve.request_us`, `serve.<endpoint>_us`, `serve.queue_wait_us`,
+//! `serve.conn_requests`) and the shed/timeout counters
+//! (`serve.shed`, `serve.timeout.{read,write,deadline}`,
+//! `serve.drain_completed`, `serve.queue_depth`, `serve.inflight`).
 
-use std::collections::HashMap;
-use std::io::{Read as _, Write as _};
+pub mod faultnet;
+pub mod net;
+
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -56,8 +88,7 @@ use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
 use crate::pipeline::FilterReport;
 use crate::stage::{ArtifactCache, CorpusSource, PartitionSummary, PartitionedDriver};
 
-/// Largest request head (request line + headers) we accept before 400.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+pub use net::Limits;
 
 /// How the daemon is built and where it listens.
 #[derive(Clone)]
@@ -72,7 +103,7 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Artifact cache shared with `analyze` (warm partitions).
     pub cache: Option<ArtifactCache>,
-    /// Worker threads accepting connections.
+    /// Worker threads serving admitted connections.
     pub threads: usize,
     /// Directory to poll for corpus changes (None disables the watcher).
     pub watch: Option<PathBuf>,
@@ -80,6 +111,10 @@ pub struct ServeConfig {
     pub poll_ms: u64,
     /// Filesystem backend for corpus reads (chaos-injectable).
     pub vfs: Arc<dyn Vfs>,
+    /// Connection-lifecycle limits (queue depth, deadlines, byte caps).
+    pub limits: Limits,
+    /// Time source for request deadlines (chaos-injectable).
+    pub clock: Arc<dyn net::Clock>,
 }
 
 impl ServeConfig {
@@ -95,6 +130,8 @@ impl ServeConfig {
             watch: None,
             poll_ms: 500,
             vfs: spec_vfs::default_vfs(),
+            limits: Limits::default(),
+            clock: Arc::new(net::SystemClock),
         }
     }
 }
@@ -104,6 +141,8 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: Vec<u8>,
+    /// 503s carry `Retry-After` so well-behaved clients back off.
+    retry_after: bool,
 }
 
 impl Response {
@@ -112,6 +151,7 @@ impl Response {
             status: 200,
             content_type,
             body: body.into(),
+            retry_after: false,
         }
     }
 
@@ -120,20 +160,45 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: format!("{} {}\n{detail}\n", status, status_text(status)).into_bytes(),
+            retry_after: false,
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    /// A 503 with `Retry-After: 1` — the load-shedding / drain / blown-
+    /// deadline answer.
+    fn unavailable(detail: &str) -> Response {
+        Response {
+            retry_after: true,
+            ..Response::error(503, detail)
+        }
+    }
+
+    fn reject(reject: &net::Reject) -> Response {
+        Response::error(reject.status, &reject.detail)
+    }
+
+    /// Render head + body. `keep_alive` decides the `Connection` header;
+    /// the client uses it to learn whether this response ends the
+    /// connection.
+    fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
-        stream.flush()
+        if self.retry_after {
+            head.push_str("Retry-After: 1\r\n");
+        }
+        if self.status == 405 {
+            head.push_str("Allow: GET\r\n");
+        }
+        head.push_str("\r\n");
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
     }
 }
 
@@ -143,6 +208,11 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
         _ => "Internal Server Error",
     }
 }
@@ -340,7 +410,62 @@ fn render_data(n: u8, valid: &[RunRow], comparable: &[RunRow]) -> String {
     }
 }
 
-/// Shared state between workers, the watcher and [`Server`].
+/// Terminal fate of one admitted connection (exactly one per connection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Served to a clean close (including zero-request clean EOFs and
+    /// keep-alive idle expiry after at least one response).
+    Completed,
+    /// Killed by a read, write or idle timeout — a shed slow client.
+    TimedOut,
+    /// Torn off by the client or a hard socket error mid-lifecycle.
+    Aborted,
+}
+
+/// Connection-lifecycle accounting. Plain atomics (not `spec-obs`, which
+/// is off unless tracing is enabled) so `/stats` balances **exactly**:
+///
+/// ```text
+/// offered  == shed + accepted + queued(now)
+/// accepted == completed + timed_out + aborted + active(now)
+/// ```
+#[derive(Default)]
+struct Lifecycle {
+    /// Connections the acceptor saw (excluding post-drain arrivals).
+    offered: AtomicU64,
+    /// Refused with 503 + `Retry-After` (queue full, or drain).
+    shed: AtomicU64,
+    /// Handed to a worker.
+    accepted: AtomicU64,
+    /// Currently being served.
+    active: AtomicU64,
+    /// Terminal: clean close.
+    completed: AtomicU64,
+    /// Terminal: timed out (read/write/idle).
+    timed_out: AtomicU64,
+    /// Terminal: client abort / socket error / handler panic.
+    aborted: AtomicU64,
+    /// Responses fully written (any status).
+    requests: AtomicU64,
+    /// Request-head reads that blew the per-request deadline.
+    timeout_read: AtomicU64,
+    /// Response writes that blew the write budget.
+    timeout_write: AtomicU64,
+    /// Filtered recomputes that blew the request deadline (503, unmemoized).
+    timeout_deadline: AtomicU64,
+    /// Responses completed after the drain began.
+    drain_completed: AtomicU64,
+    /// Handler panics caught (counted as aborted connections too).
+    panics: AtomicU64,
+}
+
+impl Lifecycle {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared state between the acceptor, workers, watcher and [`Server`].
 struct Shared {
     listener: TcpListener,
     addr: SocketAddr,
@@ -349,6 +474,14 @@ struct Shared {
     generation: AtomicU64,
     /// Refresh failures since startup (stale snapshot kept each time).
     refresh_errors: AtomicU64,
+    limits: Limits,
+    clock: Arc<dyn net::Clock>,
+    /// Bounded admission queue: sockets waiting for a worker.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_cv: Condvar,
+    /// Wall-clock end of the drain budget, set once when the drain begins.
+    drain_end: Mutex<Option<Instant>>,
+    life: Lifecycle,
 }
 
 impl Shared {
@@ -359,19 +492,50 @@ impl Shared {
     fn swap(&self, snapshot: Snapshot) {
         *self.snapshot.write().expect("snapshot lock") = Arc::new(snapshot);
     }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn drain_expired(&self) -> bool {
+        self.drain_end
+            .lock()
+            .expect("drain lock")
+            .map(|end| self.clock.now() >= end)
+            .unwrap_or(false)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
 }
 
-/// The running daemon: N accept workers plus an optional corpus watcher.
+/// Flip the daemon into drain mode exactly once: stop admissions, wake
+/// every parked worker, and poke the acceptor out of `accept()`.
+fn begin_drain(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    let end = shared.clock.now() + Duration::from_millis(shared.limits.drain_timeout_ms);
+    *shared.drain_end.lock().expect("drain lock") = Some(end);
+    obs::count("serve.drain_begin", 1);
+    shared.queue_cv.notify_all();
+    // The acceptor blocks in accept(); one throwaway connection wakes it.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// The running daemon: one acceptor, N workers, an optional watcher.
 pub struct Server {
     shared: Arc<Shared>,
     config: ServeConfig,
+    acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind, build the initial snapshot (propagating corpus errors) and
-    /// start the worker + watcher threads.
+    /// start the acceptor + worker + watcher threads.
     pub fn start(config: ServeConfig) -> spec_diag::Result<Server> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| TrendsError::io("serve", &e).with_origin(config.addr.clone()))?;
@@ -386,7 +550,23 @@ impl Server {
             shutdown: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             refresh_errors: AtomicU64::new(0),
+            limits: config.limits,
+            clock: Arc::clone(&config.clock),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            drain_end: Mutex::new(None),
+            life: Lifecycle::default(),
         });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("serve-acceptor".to_string())
+                    .spawn(move || acceptor_loop(&shared))
+                    .expect("spawn acceptor"),
+            )
+        };
 
         let workers = (0..config.threads.max(1))
             .map(|i| {
@@ -412,6 +592,7 @@ impl Server {
         Ok(Server {
             shared,
             config,
+            acceptor,
             workers,
             watcher,
         })
@@ -434,6 +615,13 @@ impl Server {
         refresh(&self.shared, &self.config)
     }
 
+    /// The `/stats` body, readable in-process — usable even during or
+    /// after a drain, when the HTTP path no longer admits connections.
+    /// The chaos suite uses this for final accounting.
+    pub fn stats_text(&self) -> String {
+        String::from_utf8(stats_response(&self.shared).body).unwrap_or_default()
+    }
+
     /// Block until a shutdown request arrives, polling every 100 ms.
     pub fn wait(&self) {
         while !self.shutdown_requested() {
@@ -441,14 +629,13 @@ impl Server {
         }
     }
 
-    /// Graceful shutdown: stop accepting, wake blocked workers, join all
-    /// threads.
+    /// Graceful drain + join: stop admitting, shed the queue, let
+    /// in-flight requests finish (or deadline out, bounded by
+    /// `drain_timeout_ms`), then join every thread.
     pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Workers block in accept(); poke each once so they observe the
-        // flag. Failures are fine — the worker may already be gone.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.shared.addr);
+        begin_drain(&self.shared);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -504,7 +691,7 @@ fn dir_fingerprint(dir: &std::path::Path) -> Vec<(String, u64, u128)> {
 fn watcher_loop(shared: &Shared, config: &ServeConfig, dir: &std::path::Path) {
     let mut last = dir_fingerprint(dir);
     let step = Duration::from_millis(config.poll_ms.clamp(10, 1000));
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    while !shared.draining() {
         std::thread::sleep(step);
         let next = dir_fingerprint(dir);
         if next != last {
@@ -515,81 +702,266 @@ fn watcher_loop(shared: &Shared, config: &ServeConfig, dir: &std::path::Path) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Best-effort 503 + `Retry-After` on a connection we will not serve.
+/// A short write budget keeps a slow-reading shed client from wedging
+/// whichever thread is doing the shedding.
+fn shed_connection(stream: TcpStream, detail: &str) {
+    let mut conn = net::Conn::new(stream);
+    let rendered = Response::unavailable(detail).render(false);
+    if let net::WriteEvent::Done = conn.write_response(&rendered, Duration::from_millis(250)) {
+        // The client may have written a full request we never read;
+        // linger briefly so the 503 isn't destroyed by an RST.
+        conn.lingering_close(Duration::from_millis(100));
+    }
+}
+
+/// Accept connections and admit them into the bounded queue; shed with
+/// 503 when the queue is full. The acceptor never parses a byte, so a
+/// hostile client cannot slow admission for everyone else.
+fn acceptor_loop(shared: &Arc<Shared>) {
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
         let stream = match shared.listener.accept() {
             Ok((stream, _)) => stream,
-            Err(_) => continue,
+            Err(_) => {
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.draining() {
+            // The drain poke, or a late client racing it: admissions are
+            // over. Dropped without accounting — `offered` counts only
+            // connections the daemon was willing to consider.
             return;
         }
-        // A connection must never take a worker down: handler panics
-        // (e.g. a poisoned lock under chaos) become 500s.
-        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
-        if result.is_err() {
-            obs::count("serve.panic", 1);
+        shared.life.bump(&shared.life.offered);
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.limits.queue_depth {
+            drop(queue);
+            shared.life.bump(&shared.life.shed);
+            obs::count("serve.shed", 1);
+            shed_connection(stream, "admission queue full");
+        } else {
+            queue.push_back((stream, Instant::now()));
+            let depth = queue.len();
+            drop(queue);
+            obs::set_gauge("serve.queue_depth", depth as i64);
+            shared.queue_cv.notify_one();
         }
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let start = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let response = match read_request(&mut stream) {
-        Ok((method, target)) => route(shared, &method, &target),
-        Err(detail) => Arc::new(Response::error(400, &detail)),
-    };
-    let _ = response.write_to(&mut stream);
-    if obs::enabled() {
-        let us = start.elapsed().as_micros() as u64;
-        obs::observe_us("serve.request_us", us);
-        obs::count(&format!("serve.status.{}", response.status), 1);
-    }
+/// What a worker found when it went looking for work.
+enum Job {
+    /// Serve this connection (the in-flight slot is already claimed).
+    Serve(TcpStream, Instant),
+    /// Draining: shed this queued connection with 503.
+    DrainShed(TcpStream),
+    /// Draining and the queue is empty: exit.
+    Exit,
 }
 
-/// Read and parse the request line; returns `(method, target)`.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String), String> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    // Read until the end of headers (or just the request line for
-    // pipelined-free clients like curl).
+fn next_job(shared: &Shared) -> Job {
+    let mut queue = shared.queue.lock().expect("queue lock");
     loop {
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
+        if shared.draining() {
+            return match queue.pop_front() {
+                Some((stream, _)) => Job::DrainShed(stream),
+                None => Job::Exit,
+            };
         }
-        if buf.len() > MAX_REQUEST_BYTES {
-            return Err("request head too large".to_string());
+        if (shared.life.active.load(Ordering::SeqCst) as usize) < shared.limits.max_inflight {
+            if let Some((stream, enqueued)) = queue.pop_front() {
+                // Claim the slot under the queue lock so concurrent
+                // workers can never overshoot max_inflight.
+                shared.life.active.fetch_add(1, Ordering::SeqCst);
+                obs::set_gauge("serve.queue_depth", queue.len() as i64);
+                return Job::Serve(stream, enqueued);
+            }
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err("request read failed".to_string()),
+        let (guard, _) = shared
+            .queue_cv
+            .wait_timeout(queue, Duration::from_millis(50))
+            .expect("queue lock");
+        queue = guard;
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        match next_job(shared) {
+            Job::Exit => return,
+            Job::DrainShed(stream) => {
+                shared.life.bump(&shared.life.shed);
+                obs::count("serve.shed", 1);
+                shed_connection(stream, "server draining");
+            }
+            Job::Serve(stream, enqueued) => {
+                shared.life.bump(&shared.life.accepted);
+                if obs::enabled() {
+                    obs::set_gauge(
+                        "serve.inflight",
+                        shared.life.active.load(Ordering::SeqCst) as i64,
+                    );
+                    obs::observe_us("serve.queue_wait_us", enqueued.elapsed().as_micros() as u64);
+                }
+                // A connection must never take a worker down: handler
+                // panics (e.g. a poisoned lock under chaos) terminate the
+                // connection as `aborted`, and the worker lives on.
+                let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        shared.life.bump(&shared.life.panics);
+                        obs::count("serve.panic", 1);
+                        Outcome::Aborted
+                    }
+                };
+                let counter = match outcome {
+                    Outcome::Completed => &shared.life.completed,
+                    Outcome::TimedOut => &shared.life.timed_out,
+                    Outcome::Aborted => &shared.life.aborted,
+                };
+                shared.life.bump(counter);
+                shared.life.active.fetch_sub(1, Ordering::SeqCst);
+                // The freed in-flight slot may unblock a parked worker.
+                shared.queue_cv.notify_one();
+            }
         }
     }
-    let text = String::from_utf8_lossy(&buf);
-    let line = text.lines().next().unwrap_or("").trim();
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return Err(format!("malformed request line {line:?}"));
-    };
-    Ok((method.to_string(), target.to_string()))
+}
+
+/// Drive one connection through its keep-alive lifecycle; returns its
+/// terminal [`Outcome`]. See the module docs for the timeout model.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> Outcome {
+    let mut conn = net::Conn::new(stream);
+    let mut served: u64 = 0;
+    let outcome = connection_loop(shared, &mut conn, &mut served);
+    if obs::enabled() {
+        obs::observe_us("serve.conn_requests", served);
+    }
+    outcome
+}
+
+fn connection_loop(shared: &Shared, conn: &mut net::Conn, served: &mut u64) -> Outcome {
+    let limits = &shared.limits;
+    let clock = shared.clock.as_ref();
+    let write_budget = Duration::from_millis(limits.request_deadline_ms);
+    loop {
+        // Drain: keep-alive connections close after the in-flight
+        // request; once the drain budget is spent, close immediately.
+        if shared.draining() && shared.drain_expired() {
+            return Outcome::Completed;
+        }
+        let idle = if shared.draining() {
+            // Don't park on an idle keep-alive while the daemon drains.
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(limits.idle_timeout_ms)
+        };
+        match conn.read_request(limits, clock, idle) {
+            net::ReadEvent::Eof => return Outcome::Completed,
+            net::ReadEvent::IdleExpired => {
+                if *served == 0 && !shared.draining() {
+                    // Connected and never finished a request: a slow
+                    // client shed by the idle budget.
+                    shared.life.bump(&shared.life.timeout_read);
+                    obs::count("serve.timeout.read", 1);
+                    return Outcome::TimedOut;
+                }
+                // Normal keep-alive expiry after ≥1 served request.
+                return Outcome::Completed;
+            }
+            net::ReadEvent::Torn => {
+                obs::count("serve.torn_request", 1);
+                return Outcome::Aborted;
+            }
+            net::ReadEvent::TimedOut => {
+                shared.life.bump(&shared.life.timeout_read);
+                obs::count("serve.timeout.read", 1);
+                return Outcome::TimedOut;
+            }
+            net::ReadEvent::Error(_) => return Outcome::Aborted,
+            net::ReadEvent::Reject(reject) => {
+                obs::count(&format!("serve.status.{}", reject.status), 1);
+                let rendered = Response::reject(&reject).render(false);
+                return match conn.write_response(&rendered, write_budget) {
+                    net::WriteEvent::Done => {
+                        shared.life.bump(&shared.life.requests);
+                        // Rejected clients (431 floods especially) often
+                        // have unread bytes in flight; linger so the
+                        // error response survives the close.
+                        conn.lingering_close(Duration::from_millis(250));
+                        Outcome::Completed
+                    }
+                    net::WriteEvent::TimedOut => {
+                        shared.life.bump(&shared.life.timeout_write);
+                        obs::count("serve.timeout.write", 1);
+                        Outcome::TimedOut
+                    }
+                    net::WriteEvent::Error(_) => Outcome::Aborted,
+                };
+            }
+            net::ReadEvent::Head(head, deadline) => {
+                let start = Instant::now();
+                let response = route(shared, &head, deadline);
+                *served += 1;
+                let keep_alive = head.allows_keep_alive()
+                    && *served < limits.max_requests_per_conn
+                    // Draining: no new idle waits, but requests this
+                    // client already pipelined still get answers (that's
+                    // what "finish in-flight work" means for keep-alive).
+                    && (!shared.draining() || !conn.buf_is_empty())
+                    // Yield under pressure: while connections wait in the
+                    // admission queue, finish this response and free the
+                    // worker instead of idling on a parked keep-alive.
+                    && shared.queue_len() == 0;
+                let rendered = response.render(keep_alive);
+                let write = conn.write_response(&rendered, write_budget);
+                if obs::enabled() {
+                    obs::observe_us("serve.request_us", start.elapsed().as_micros() as u64);
+                    obs::count(&format!("serve.status.{}", response.status), 1);
+                }
+                match write {
+                    net::WriteEvent::Done => {
+                        shared.life.bump(&shared.life.requests);
+                        if shared.draining() {
+                            shared.life.bump(&shared.life.drain_completed);
+                            obs::count("serve.drain_completed", 1);
+                        }
+                        if !keep_alive {
+                            // If we're cutting short a client that wanted
+                            // keep-alive (yield-under-pressure, request
+                            // cap, drain) it may have pipelined requests
+                            // we'll never read — linger to protect the
+                            // response we did write.
+                            if head.allows_keep_alive() || !conn.buf_is_empty() {
+                                conn.lingering_close(Duration::from_millis(100));
+                            }
+                            return Outcome::Completed;
+                        }
+                    }
+                    net::WriteEvent::TimedOut => {
+                        shared.life.bump(&shared.life.timeout_write);
+                        obs::count("serve.timeout.write", 1);
+                        return Outcome::TimedOut;
+                    }
+                    net::WriteEvent::Error(_) => return Outcome::Aborted,
+                }
+            }
+        }
+    }
 }
 
 /// Dispatch one parsed request to its endpoint.
-fn route(shared: &Shared, method: &str, target: &str) -> Arc<Response> {
+fn route(shared: &Shared, head: &net::RequestHead, deadline: net::Deadline) -> Arc<Response> {
     let mut sp = obs::span("serve.request");
-    if method != "GET" {
-        sp.cancel();
-        return Arc::new(Response::error(405, &format!("method {method} not allowed")));
-    }
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    let (path, query) = (head.path.as_str(), head.query.as_str());
     let endpoint_hist = match path {
         "/" => "serve.index_us",
         "/stats" => "serve.stats_us",
+        "/healthz" | "/readyz" => "serve.probe_us",
         "/shutdown" => "serve.shutdown_us",
         p if p.starts_with("/figures/") => "serve.figures_us",
         p if p.starts_with("/data/") => "serve.data_us",
@@ -598,12 +970,18 @@ fn route(shared: &Shared, method: &str, target: &str) -> Arc<Response> {
     let response = match path {
         "/" => Arc::new(index_response()),
         "/stats" => Arc::new(stats_response(shared)),
+        "/healthz" => Arc::new(Response::ok("text/plain; charset=utf-8", "ok\n")),
+        "/readyz" => Arc::new(if shared.draining() {
+            Response::unavailable("draining")
+        } else {
+            Response::ok("text/plain; charset=utf-8", "ready\n")
+        }),
         "/shutdown" => {
-            shared.shutdown.store(true, Ordering::SeqCst);
+            begin_drain(shared);
             obs::count("serve.shutdown_requests", 1);
             Arc::new(Response::ok("text/plain; charset=utf-8", "shutting down\n"))
         }
-        _ => figure_or_data(shared, path, query),
+        _ => figure_or_data(shared, path, query, deadline),
     };
     if obs::enabled() {
         sp.record("path", path);
@@ -615,7 +993,22 @@ fn route(shared: &Shared, method: &str, target: &str) -> Arc<Response> {
     response
 }
 
-fn figure_or_data(shared: &Shared, path: &str, query: &str) -> Arc<Response> {
+/// Record a filtered recompute that blew its request deadline: typed 503,
+/// never memoized, snapshot untouched.
+fn deadline_blown(shared: &Shared, phase: &str) -> Arc<Response> {
+    shared.life.bump(&shared.life.timeout_deadline);
+    obs::count("serve.timeout.deadline", 1);
+    Arc::new(Response::unavailable(&format!(
+        "request deadline exceeded {phase}"
+    )))
+}
+
+fn figure_or_data(
+    shared: &Shared,
+    path: &str,
+    query: &str,
+    deadline: net::Deadline,
+) -> Arc<Response> {
     let (kind, rest) = if let Some(rest) = path.strip_prefix("/figures/") {
         ("figures", rest)
     } else if let Some(rest) = path.strip_prefix("/data/") {
@@ -660,6 +1053,15 @@ fn figure_or_data(shared: &Shared, path: &str, query: &str) -> Arc<Response> {
         return Arc::clone(hit);
     }
 
+    // The filtered recompute is the expensive path the per-request
+    // deadline guards: already over budget → don't start; over budget by
+    // the time the render lands → typed 503, and the result is *not*
+    // memoized (a response computed past its deadline must not become a
+    // cache entry other requests trust).
+    let clock = shared.clock.as_ref();
+    if deadline.expired(clock) {
+        return deadline_blown(shared, "before recompute");
+    }
     let valid = filter.apply(&snapshot.valid_rows);
     let comparable = filter.apply(&snapshot.comparable_rows);
     let response = Arc::new(if kind == "figures" {
@@ -670,6 +1072,9 @@ fn figure_or_data(shared: &Shared, path: &str, query: &str) -> Arc<Response> {
             render_data(n, &valid, &comparable),
         )
     });
+    if deadline.expired(clock) {
+        return deadline_blown(shared, "during recompute");
+    }
     snapshot
         .memo
         .lock()
@@ -686,8 +1091,10 @@ fn index_response() -> Response {
          endpoints:\n\
          \x20 /figures/<1..6>[?year=YYYY][&vendor=intel|amd|other]  figure SVG\n\
          \x20 /data/<1..6>[?year=YYYY][&vendor=intel|amd|other]     figure CSV\n\
-         \x20 /stats                                                cascade + partitions + metrics\n\
-         \x20 /shutdown                                             graceful shutdown\n",
+         \x20 /stats                                                cascade + partitions + lifecycle + metrics\n\
+         \x20 /healthz                                              liveness probe\n\
+         \x20 /readyz                                               readiness probe (503 while draining)\n\
+         \x20 /shutdown                                             graceful drain\n",
     )
 }
 
@@ -705,6 +1112,41 @@ fn stats_response(shared: &Shared) -> Response {
     out.push_str(&format!(
         "last_refresh: executed {} hits {} partitions_executed {}\n\n",
         snapshot.executed, snapshot.hits, snapshot.partitions_executed
+    ));
+    let life = &shared.life;
+    let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
+    out.push_str(&format!(
+        "lifecycle:\n\
+         conns_offered {}\n\
+         conns_shed {}\n\
+         conns_accepted {}\n\
+         conns_active {}\n\
+         conns_queued {}\n\
+         conns_completed {}\n\
+         conns_timed_out {}\n\
+         conns_aborted {}\n\
+         requests_served {}\n\
+         timeout_read {}\n\
+         timeout_write {}\n\
+         timeout_deadline {}\n\
+         drain_completed {}\n\
+         draining {}\n\
+         worker_panics {}\n\n",
+        load(&life.offered),
+        load(&life.shed),
+        load(&life.accepted),
+        load(&life.active),
+        shared.queue_len(),
+        load(&life.completed),
+        load(&life.timed_out),
+        load(&life.aborted),
+        load(&life.requests),
+        load(&life.timeout_read),
+        load(&life.timeout_write),
+        load(&life.timeout_deadline),
+        load(&life.drain_completed),
+        u8::from(shared.draining()),
+        load(&life.panics),
     ));
     out.push_str("partition       reports  valid  comparable  executed  hits\n");
     for p in &snapshot.partitions {
@@ -727,7 +1169,9 @@ fn stats_response(shared: &Shared) -> Response {
 
 #[cfg(test)]
 mod tests {
+    use super::faultnet::read_response;
     use super::*;
+    use std::io::{Read as _, Write as _};
     use spec_format::write_run;
     use spec_model::{linear_test_run, YearMonth};
 
@@ -744,18 +1188,26 @@ mod tests {
             .collect()
     }
 
-    fn test_server(n: u32) -> Server {
+    fn test_config(n: u32) -> ServeConfig {
         let mut config = ServeConfig::new(CorpusSource::Memory(corpus_texts(n)));
         config.addr = "127.0.0.1:0".to_string();
         config.threads = 2;
         config.settings = Settings::fast();
-        Server::start(config).expect("server starts")
+        config
     }
 
+    fn test_server(n: u32) -> Server {
+        Server::start(test_config(n)).expect("server starts")
+    }
+
+    /// One-shot GET (`Connection: close`): the server closes after the
+    /// response, so read-to-end sees exactly one response.
     fn get(addr: SocketAddr, target: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream
-            .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .write_all(
+                format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
             .expect("request");
         let mut buf = String::new();
         stream.read_to_string(&mut buf).expect("response");
@@ -769,6 +1221,22 @@ mod tests {
             .map(|(_, b)| b.to_string())
             .unwrap_or_default();
         (status, body)
+    }
+
+    /// Send raw bytes, read the whole reply (server closes on rejects).
+    fn raw(addr: SocketAddr, bytes: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(bytes).expect("send");
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        buf
+    }
+
+    fn stat_line(stats: &str, key: &str) -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|r| r.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("no {key} in {stats}"))
     }
 
     #[test]
@@ -790,6 +1258,18 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("generation 0"));
         assert!(body.contains("partition"));
+        assert!(body.contains("conns_offered"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_and_readiness_probes() {
+        let server = test_server(6);
+        let addr = server.addr();
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = get(addr, "/readyz");
+        assert_eq!((status, body.as_str()), (200, "ready\n"));
         server.shutdown();
     }
 
@@ -830,33 +1310,199 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_get_4xx_not_panics() {
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        for i in 0..5 {
+            stream
+                .write_all(format!("GET /data/{} HTTP/1.1\r\nHost: t\r\n\r\n", 1 + i % 6).as_bytes())
+                .expect("request");
+            let resp = read_response(&mut stream)
+                .expect("read")
+                .expect("one response per request");
+            assert_eq!(resp.status, 200, "request {i}");
+            assert!(resp.complete, "request {i} complete body");
+            assert!(!resp.close, "connection persists after request {i}");
+        }
+        // The same socket served all five: /stats sees one accepted
+        // connection carrying five (now six) requests.
+        stream
+            .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("request");
+        let resp = read_response(&mut stream).expect("read").expect("stats");
+        assert!(resp.close, "close honoured on request");
+        let stats = String::from_utf8_lossy(&resp.body).to_string();
+        assert_eq!(stat_line(&stats, "conns_accepted "), 1, "{stats}");
+        assert_eq!(stat_line(&stats, "requests_served "), 5, "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_burst_answers_every_request_in_order() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut burst = String::new();
+        for _ in 0..3 {
+            burst.push_str("GET /data/1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        }
+        burst.push_str("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        stream.write_all(burst.as_bytes()).expect("pipelined send");
+        for i in 0..3 {
+            let resp = read_response(&mut stream).expect("read").expect("response");
+            assert_eq!(resp.status, 200, "pipelined {i}");
+            assert!(resp.complete, "pipelined {i}");
+        }
+        let last = read_response(&mut stream).expect("read").expect("final");
+        assert_eq!(last.status, 200);
+        assert_eq!(last.body, b"ok\n");
+        assert!(last.close);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_typed_status_codes_not_panics() {
         let server = test_server(6);
         let addr = server.addr();
         assert_eq!(get(addr, "/data/2?year=banana").0, 400);
         assert_eq!(get(addr, "/data/2?frobnicate=1").0, 400);
         assert_eq!(get(addr, "/data/9").0, 404);
         assert_eq!(get(addr, "/nope").0, 404);
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.write_all(b"BOGUS\r\n\r\n").expect("send");
-        let mut buf = String::new();
-        stream.read_to_string(&mut buf).expect("read");
-        assert!(buf.starts_with("HTTP/1.1 400"), "got {buf:?}");
-        // POST is rejected with 405.
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .write_all(b"POST /stats HTTP/1.1\r\nHost: t\r\n\r\n")
-            .expect("send");
-        let mut buf = String::new();
-        stream.read_to_string(&mut buf).expect("read");
-        assert!(buf.starts_with("HTTP/1.1 405"), "got {buf:?}");
+        // Unknown method → 501; known-but-unsupported → 405 with Allow.
+        assert!(raw(addr, b"BOGUS / HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 501"));
+        let post = raw(addr, b"POST /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "got {post:?}");
+        assert!(post.contains("Allow: GET"), "got {post:?}");
+        // A GET smuggling a body is rejected outright.
+        let body = raw(addr, b"GET /stats HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert!(body.starts_with("HTTP/1.1 400"), "got {body:?}");
+        // Unsupported version → 505.
+        assert!(raw(addr, b"GET / HTTP/3.0\r\n\r\n").starts_with("HTTP/1.1 505"));
         // Server still alive and serving.
         assert_eq!(get(addr, "/stats").0, 200);
         server.shutdown();
     }
 
     #[test]
-    fn refresh_swaps_snapshot_and_shutdown_joins() {
+    fn header_flood_is_431_and_query_flood_is_414() {
+        let server = test_server(6);
+        let addr = server.addr();
+        let mut flood = String::from("GET /stats HTTP/1.1\r\n");
+        for i in 0..2000 {
+            flood.push_str(&format!("X-Flood-{i}: {}\r\n", "a".repeat(32)));
+        }
+        flood.push_str("\r\n");
+        let reply = raw(addr, flood.as_bytes());
+        assert!(reply.starts_with("HTTP/1.1 431"), "got {:?}", &reply[..40.min(reply.len())]);
+        let long_query = format!("GET /data/2?{} HTTP/1.1\r\n\r\n", "y".repeat(4096));
+        let reply = raw(addr, long_query.as_bytes());
+        assert!(reply.starts_with("HTTP/1.1 414"), "got {:?}", &reply[..40.min(reply.len())]);
+        assert_eq!(get(addr, "/stats").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_retry_after() {
+        let mut config = test_config(6);
+        config.threads = 1;
+        config.limits.max_inflight = 1;
+        config.limits.queue_depth = 1;
+        config.limits.idle_timeout_ms = 10_000;
+        let server = Server::start(config).expect("server starts");
+        let addr = server.addr();
+        // Two silent connections: one occupies the only worker (parked in
+        // its idle read), the next occupies the whole admission queue.
+        let hold_a = TcpStream::connect(addr).expect("hold a");
+        std::thread::sleep(Duration::from_millis(150));
+        let hold_b = TcpStream::connect(addr).expect("hold b");
+        std::thread::sleep(Duration::from_millis(150));
+        // The third connection must be shed at admission.
+        let mut stream = TcpStream::connect(addr).expect("shed victim");
+        stream
+            .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("request");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let resp = read_response(&mut stream).expect("read").expect("shed response");
+        assert_eq!(resp.status, 503);
+        assert!(resp.retry_after, "503 must carry Retry-After");
+        assert!(resp.complete);
+        drop(hold_a);
+        drop(hold_b);
+        // The daemon keeps serving; the shed connection is accounted.
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, stats) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        assert_eq!(stat_line(&stats, "conns_shed "), 1, "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn blown_deadline_is_503_and_never_memoized() {
+        let mut config = test_config(12);
+        let clock = Arc::new(net::TestClock::new());
+        config.clock = Arc::clone(&clock) as Arc<dyn net::Clock>;
+        config.limits.request_deadline_ms = 100;
+        let server = Server::start(config).expect("server starts");
+        let addr = server.addr();
+        // Frozen clock: everything is instant; the memo fills normally.
+        let (status, _) = get(addr, "/data/2?vendor=intel");
+        assert_eq!(status, 200);
+        // Step the clock past the deadline on every read: the next
+        // *uncached* filtered recompute blows its budget mid-flight.
+        clock.set_step(Duration::from_millis(250));
+        let (status, body) = get(addr, "/data/3?vendor=amd");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("deadline"), "{body}");
+        // Memoized responses still answer 200 (no recompute to guard) and
+        // static exports are untouched.
+        assert_eq!(get(addr, "/data/2?vendor=intel").0, 200);
+        assert_eq!(get(addr, "/data/2").0, 200);
+        // Freeze time again: the failed query recomputes from scratch —
+        // proof the 503 was never memoized.
+        clock.set_step(Duration::ZERO);
+        let (status, body) = get(addr, "/data/3?vendor=amd");
+        assert_eq!(status, 200, "{body}");
+        let (_, stats) = get(addr, "/stats");
+        assert_eq!(stat_line(&stats, "timeout_deadline "), 1, "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_is_shed_by_the_read_deadline() {
+        let mut config = test_config(6);
+        config.limits.request_deadline_ms = 200;
+        config.limits.idle_timeout_ms = 200;
+        let server = Server::start(config).expect("server starts");
+        let addr = server.addr();
+        // Trickle a request head slower than the deadline allows.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /st").expect("partial");
+        std::thread::sleep(Duration::from_millis(400));
+        // The server has cut us off; the write eventually fails or the
+        // read returns EOF with no response bytes.
+        let mut buf = Vec::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let _ = stream.read_to_end(&mut buf);
+        assert!(buf.is_empty(), "no torn response for a timed-out request");
+        let (_, stats) = get(addr, "/stats");
+        assert_eq!(stat_line(&stats, "conns_timed_out "), 1, "{stats}");
+        assert_eq!(stat_line(&stats, "timeout_read "), 1, "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn refresh_swaps_snapshot_and_drain_completes_in_flight() {
         let server = test_server(6);
         let addr = server.addr();
         assert_eq!(server.refresh().expect("refresh"), 1);
@@ -865,6 +1511,32 @@ mod tests {
         let (status, _) = get(addr, "/shutdown");
         assert_eq!(status, 200);
         assert!(server.shutdown_requested());
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_accounting_balances_exactly() {
+        let server = test_server(12);
+        let addr = server.addr();
+        for target in ["/", "/data/1", "/figures/2", "/data/2?vendor=amd", "/nope"] {
+            let _ = get(addr, target);
+        }
+        // Brief settle: terminal accounting lands when the worker finishes
+        // the connection, marginally after the client sees the close.
+        std::thread::sleep(Duration::from_millis(100));
+        let (_, stats) = get(addr, "/stats");
+        let offered = stat_line(&stats, "conns_offered ");
+        let shed = stat_line(&stats, "conns_shed ");
+        let accepted = stat_line(&stats, "conns_accepted ");
+        let queued = stat_line(&stats, "conns_queued ");
+        let active = stat_line(&stats, "conns_active ");
+        let completed = stat_line(&stats, "conns_completed ");
+        let timed_out = stat_line(&stats, "conns_timed_out ");
+        let aborted = stat_line(&stats, "conns_aborted ");
+        assert_eq!(offered, shed + accepted + queued, "{stats}");
+        assert_eq!(accepted, completed + timed_out + aborted + active, "{stats}");
+        assert_eq!(active, 1, "the /stats request itself: {stats}");
+        assert_eq!(stat_line(&stats, "worker_panics "), 0, "{stats}");
         server.shutdown();
     }
 }

@@ -1,0 +1,435 @@
+//! # FaultNet — seeded adversarial HTTP clients
+//!
+//! The network-side twin of `spec-vfs`'s `FaultVfs`: deterministic,
+//! seed-driven misbehaving clients for chaos-testing the serve daemon's
+//! connection lifecycle. Each [`ClientKind`] models one hostile traffic
+//! shape:
+//!
+//! | kind                    | behaviour                                          |
+//! |-------------------------|----------------------------------------------------|
+//! | `Valid`                 | well-formed keep-alive GETs (the control group)    |
+//! | `SlowLoris`             | trickles a request head slower than the deadline   |
+//! | `HeaderFlood`           | unbounded header lines (expects 431)               |
+//! | `TornRequest`           | half a request head, then FIN                      |
+//! | `MidResponseDisconnect` | valid GET, reads a few bytes, vanishes             |
+//! | `PipelinedBurst`        | many requests in one write                         |
+//!
+//! [`run_client`] drives one client against a live daemon and returns a
+//! [`ClientReport`] of what came back. The invariants the chaos suite
+//! pins from these reports: **zero torn responses** (every byte sequence
+//! the server emits parses as HTTP), and **every 503 carries
+//! `Retry-After`**. Server-side lifecycle accounting is checked against
+//! `/stats` separately — the reports here are the client's-eye view.
+//!
+//! [`read_response`] is also the response parser used by the daemon's
+//! own keep-alive unit tests: it reads *exactly one* response (head
+//! byte-at-a-time, body by `Content-Length`) and never over-reads into
+//! the next pipelined response.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// xorshift64* — deterministic, seed-stable across platforms. Matches
+/// the generator family `FaultVfs` and the chaos suite already use.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator (zero is mapped to a fixed odd constant).
+    pub fn seeded(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// One parsed HTTP response (or the torn prefix of one).
+pub struct RespInfo {
+    /// Parsed status code; 0 means the head did not parse (torn).
+    pub status: u16,
+    /// `Connection: close` was present.
+    pub close: bool,
+    /// A `Retry-After` header was present.
+    pub retry_after: bool,
+    /// The full `Content-Length` body arrived.
+    pub complete: bool,
+    /// Body bytes (or the torn prefix when `status == 0`).
+    pub body: Vec<u8>,
+}
+
+impl RespInfo {
+    /// The server emitted bytes that are not a valid HTTP response head.
+    pub fn torn(&self) -> bool {
+        self.status == 0
+    }
+}
+
+fn torn_info(partial: Vec<u8>) -> RespInfo {
+    RespInfo {
+        status: 0,
+        close: true,
+        retry_after: false,
+        complete: false,
+        body: partial,
+    }
+}
+
+/// Read exactly one HTTP/1.1 response off `stream`. Returns `Ok(None)`
+/// on clean EOF at a response boundary. Head bytes are read one at a
+/// time so pipelined follow-up responses are never consumed.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<Option<RespInfo>> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some(torn_info(head)));
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+                if head.len() > 64 * 1024 {
+                    return Ok(Some(torn_info(head)));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&head).into_owned();
+    if !text.starts_with("HTTP/1.1 ") {
+        return Ok(Some(torn_info(head)));
+    }
+    let Some(status) = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+    else {
+        return Ok(Some(torn_info(head)));
+    };
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut retry_after = false;
+    for line in text.lines().skip(1) {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        } else if lower.starts_with("connection:") && lower.contains("close") {
+            close = true;
+        } else if lower.starts_with("retry-after:") {
+            retry_after = true;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let complete = filled == content_length;
+    body.truncate(filled);
+    Ok(Some(RespInfo {
+        status,
+        close,
+        retry_after,
+        complete,
+        body,
+    }))
+}
+
+/// The adversarial client shapes. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Well-formed keep-alive GETs — the control group.
+    Valid,
+    /// Trickles a request head slower than the read deadline.
+    SlowLoris,
+    /// Writes header lines far past the head byte cap.
+    HeaderFlood,
+    /// Sends half a request head, then FIN.
+    TornRequest,
+    /// Sends a valid GET, reads a few bytes of the reply, vanishes.
+    MidResponseDisconnect,
+    /// Writes several requests in a single burst.
+    PipelinedBurst,
+}
+
+/// All kinds, for building chaos fleets.
+pub const KINDS: &[ClientKind] = &[
+    ClientKind::Valid,
+    ClientKind::SlowLoris,
+    ClientKind::HeaderFlood,
+    ClientKind::TornRequest,
+    ClientKind::MidResponseDisconnect,
+    ClientKind::PipelinedBurst,
+];
+
+/// Request targets the well-formed clients draw from: static, filtered
+/// (memo-exercising), probes, and a not-found.
+pub const TARGETS: &[&str] = &[
+    "/",
+    "/healthz",
+    "/readyz",
+    "/data/1",
+    "/data/2",
+    "/figures/3",
+    "/data/2?vendor=amd",
+    "/data/5?year=2011",
+    "/figures/5?year=2012&vendor=intel",
+    "/nope",
+];
+
+/// What one client saw. All counts are of *responses*, except `cut`,
+/// which counts connections the server terminated mid-response or before
+/// responding (expected for the hostile kinds).
+#[derive(Debug, Default)]
+pub struct ClientReport {
+    /// Complete, well-formed responses received.
+    pub completed: usize,
+    /// 503 responses (shed / drain / blown deadline).
+    pub shed: usize,
+    /// 503 responses **missing** `Retry-After` — must stay 0.
+    pub bad_shed: usize,
+    /// Byte sequences that do not parse as an HTTP response — must stay 0.
+    pub torn: usize,
+    /// Connections ended by the server before/inside a response.
+    pub cut: usize,
+    /// The initial connect failed (daemon draining or backlog refused).
+    pub connect_failed: bool,
+}
+
+impl ClientReport {
+    fn observe(&mut self, resp: &RespInfo) {
+        if resp.torn() {
+            self.torn += 1;
+        } else if !resp.complete {
+            self.cut += 1;
+        } else {
+            self.completed += 1;
+            if resp.status == 503 {
+                self.shed += 1;
+                if !resp.retry_after {
+                    self.bad_shed += 1;
+                }
+            }
+        }
+    }
+}
+
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn connect(addr: SocketAddr) -> Option<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT)).ok()?;
+    let _ = stream.set_nodelay(true);
+    Some(stream)
+}
+
+fn get_line(target: &str, close: bool) -> String {
+    format!(
+        "GET {target} HTTP/1.1\r\nHost: faultnet\r\n{}\r\n",
+        if close { "Connection: close\r\n" } else { "" }
+    )
+}
+
+/// Drain every remaining response on `stream` into `report`.
+fn read_all(stream: &mut TcpStream, report: &mut ClientReport) {
+    loop {
+        match read_response(stream) {
+            Ok(Some(resp)) => {
+                let stop = resp.close || resp.torn() || !resp.complete;
+                report.observe(&resp);
+                if stop {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                // Reset/timeout after the server killed the connection.
+                report.cut += 1;
+                return;
+            }
+        }
+    }
+}
+
+/// Run one adversarial client to completion against a live daemon.
+/// Never panics and never blocks longer than the client read timeout.
+pub fn run_client(addr: SocketAddr, kind: ClientKind, seed: u64) -> ClientReport {
+    let mut rng = Rng::seeded(seed);
+    let mut report = ClientReport::default();
+    let Some(mut stream) = connect(addr) else {
+        report.connect_failed = true;
+        return report;
+    };
+    match kind {
+        ClientKind::Valid => {
+            let n = 1 + rng.below(4) as usize;
+            for i in 0..n {
+                let target = TARGETS[rng.below(TARGETS.len() as u64) as usize];
+                let last = i == n - 1;
+                if stream.write_all(get_line(target, last).as_bytes()).is_err() {
+                    report.cut += 1;
+                    return report;
+                }
+                match read_response(&mut stream) {
+                    Ok(Some(resp)) => {
+                        let closed = resp.close || resp.torn() || !resp.complete;
+                        report.observe(&resp);
+                        if closed {
+                            return report;
+                        }
+                    }
+                    Ok(None) => {
+                        report.cut += 1;
+                        return report;
+                    }
+                    Err(_) => {
+                        report.cut += 1;
+                        return report;
+                    }
+                }
+            }
+        }
+        ClientKind::SlowLoris => {
+            // Trickle the head in 3-byte sips with 20–50 ms gaps: the
+            // whole head takes far longer than any sane request deadline.
+            let request = get_line("/stats", true);
+            for chunk in request.as_bytes().chunks(3) {
+                if stream.write_all(chunk).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20 + rng.below(31)));
+            }
+            read_all(&mut stream, &mut report);
+        }
+        ClientKind::HeaderFlood => {
+            // ~24 KiB of headers — far past any sane head cap, but small
+            // enough to stay inside kernel socket buffers.
+            let mut flood = String::from("GET /stats HTTP/1.1\r\n");
+            for i in 0..512 {
+                flood.push_str(&format!("X-Flood-{i}: {}\r\n", "f".repeat(24)));
+            }
+            flood.push_str("\r\n");
+            let _ = stream.write_all(flood.as_bytes());
+            read_all(&mut stream, &mut report);
+        }
+        ClientKind::TornRequest => {
+            // Half a request head, then FIN.
+            let request = get_line("/data/2", false);
+            let cut_at = 1 + rng.below(request.len() as u64 - 1) as usize;
+            let _ = stream.write_all(&request.as_bytes()[..cut_at]);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            read_all(&mut stream, &mut report);
+        }
+        ClientKind::MidResponseDisconnect => {
+            // Ask for a large figure, read a token amount, vanish.
+            let _ = stream.write_all(get_line("/figures/4", false).as_bytes());
+            let mut sip = [0u8; 64];
+            let _ = stream.read(&mut sip);
+            drop(stream);
+            // Nothing observable client-side; the server must simply
+            // survive (asserted via /stats accounting and panic counts).
+            return report;
+        }
+        ClientKind::PipelinedBurst => {
+            let n = 2 + rng.below(5) as usize;
+            let mut burst = String::new();
+            for i in 0..n {
+                let target = TARGETS[rng.below(TARGETS.len() as u64) as usize];
+                burst.push_str(&get_line(target, i == n - 1));
+            }
+            let _ = stream.write_all(burst.as_bytes());
+            read_all(&mut stream, &mut report);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seeded(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seeded(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::seeded(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut r = Rng::seeded(0);
+        for _ in 0..64 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn response_reader_parses_one_response_without_overreading() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let payload: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nContent-Length: 5\r\nConnection: keep-alive\r\nRetry-After: 1\r\n\r\nhello\
+                               HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            sock.write_all(payload).expect("write");
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let first = read_response(&mut stream).expect("read").expect("resp 1");
+        assert_eq!(first.status, 503);
+        assert!(first.retry_after);
+        assert!(!first.close);
+        assert!(first.complete);
+        assert_eq!(first.body, b"hello");
+        let second = read_response(&mut stream).expect("read").expect("resp 2");
+        assert_eq!(second.status, 200);
+        assert!(second.close);
+        assert_eq!(second.body, b"ok");
+        assert!(read_response(&mut stream).expect("read").is_none());
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn garbage_bytes_classify_as_torn() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            sock.write_all(b"not http at all\r\n\r\n").expect("write");
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let resp = read_response(&mut stream).expect("read").expect("resp");
+        assert!(resp.torn());
+        server.join().expect("server thread");
+    }
+}

@@ -45,7 +45,7 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn get_raw(addr: SocketAddr, target: &str) -> (u16, String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
         .expect("request");
     let mut buf = Vec::new();
     stream.read_to_end(&mut buf).expect("response");

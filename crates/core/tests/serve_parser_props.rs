@@ -1,0 +1,118 @@
+//! Property tests for the serve daemon's HTTP request parser.
+//!
+//! The parser sits directly on hostile network input, so the bar is the
+//! same one `spec-format` holds for report files: arbitrary byte soup
+//! must never panic, well-formed requests must round-trip exactly, and
+//! oversized input must classify as a 431 — never an unbounded scan.
+
+use proptest::prelude::*;
+use spec_analysis::serve::net::{parse_head, scan_head, HeadScan, Limits};
+
+fn limits() -> Limits {
+    Limits::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // Both layers must be total: the terminator scan and the parse.
+        let lim = limits();
+        match scan_head(&bytes, lim.max_header_bytes) {
+            HeadScan::Complete(len) => {
+                // Whatever parse_head decides, it must decide calmly.
+                let _ = parse_head(&bytes[..len], &lim);
+            }
+            HeadScan::TooLarge | HeadScan::Incomplete => {}
+        }
+        // And parse_head itself must be total on un-scanned soup too.
+        let _ = parse_head(&bytes, &lim);
+    }
+
+    #[test]
+    fn valid_requests_round_trip(
+        segments in prop::collection::vec("[a-z0-9_.-]{1,12}", 0..4),
+        year in 1990i32..2100,
+        with_query in any::<bool>(),
+        close in any::<bool>(),
+        http10 in any::<bool>(),
+    ) {
+        let path = format!("/{}", segments.join("/"));
+        let query = if with_query { format!("year={year}") } else { String::new() };
+        let target = if with_query { format!("{path}?{query}") } else { path.clone() };
+        let version = if http10 { "HTTP/1.0" } else { "HTTP/1.1" };
+        let mut raw = format!("GET {target} {version}\r\nHost: props\r\n");
+        if close {
+            raw.push_str("Connection: close\r\n");
+        }
+        raw.push_str("\r\n");
+
+        let head = parse_head(raw.as_bytes(), &limits()).expect("well-formed request parses");
+        prop_assert_eq!(&head.method, "GET");
+        prop_assert_eq!(&head.path, &path);
+        prop_assert_eq!(&head.query, &query);
+        prop_assert_eq!(head.http11, !http10);
+        prop_assert_eq!(head.close, close);
+        // Keep-alive: HTTP/1.1 default-on unless closed; 1.0 default-off.
+        prop_assert_eq!(head.allows_keep_alive(), !http10 && !close);
+    }
+
+    #[test]
+    fn oversized_heads_classify_as_431(
+        fill in prop::collection::vec("[A-Za-z0-9]{60,70}", 2..8),
+        extra in 1usize..4096,
+    ) {
+        let lim = limits();
+        // A terminator-free stream longer than the cap: TooLarge, which
+        // the connection layer answers with 431.
+        let mut soup: Vec<u8> = fill.join(" ").into_bytes();
+        while soup.len() <= lim.max_header_bytes + extra {
+            let again = soup.clone();
+            soup.extend_from_slice(&again);
+        }
+        prop_assert!(!soup.windows(4).any(|w| w == b"\r\n\r\n"));
+        prop_assert!(matches!(
+            scan_head(&soup, lim.max_header_bytes),
+            HeadScan::TooLarge
+        ));
+        // Even with a terminator past the cap, the classification holds
+        // (the scan is bounded by the cap, not the flood).
+        soup.extend_from_slice(b"\r\n\r\n");
+        prop_assert!(matches!(
+            scan_head(&soup, lim.max_header_bytes),
+            HeadScan::TooLarge
+        ));
+    }
+
+    #[test]
+    fn method_and_body_classification_is_typed(
+        verb in "[A-Z]{2,8}",
+        query in "[a-z=&]{1100,1400}",
+        body_len in 1u32..9999,
+    ) {
+        let lim = limits();
+        // Known-but-unsupported methods → 405; unknown tokens → 501.
+        let req = format!("{verb} / HTTP/1.1\r\n\r\n");
+        let known = ["HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE", "CONNECT"];
+        match parse_head(req.as_bytes(), &lim) {
+            // The verb regex can produce GET itself — then it parses.
+            Ok(head) => prop_assert_eq!(&head.method, "GET"),
+            Err(reject) if known.contains(&verb.as_str()) => {
+                prop_assert_eq!(reject.status, 405);
+            }
+            Err(reject) => prop_assert_eq!(reject.status, 501),
+        }
+        // A GET announcing a body → 400, whatever the length.
+        let req = format!("GET / HTTP/1.1\r\nContent-Length: {body_len}\r\n\r\n");
+        prop_assert_eq!(parse_head(req.as_bytes(), &lim).expect_err("body rejects").status, 400);
+        // Query strings past the cap → 414.
+        let req = format!("GET /data/1?{query} HTTP/1.1\r\n\r\n");
+        prop_assert_eq!(parse_head(req.as_bytes(), &lim).expect_err("long query rejects").status, 414);
+        // Unsupported versions → 505.
+        let req = b"GET / HTTP/2.0\r\n\r\n";
+        prop_assert_eq!(parse_head(req, &lim).expect_err("bad version rejects").status, 505);
+    }
+}

@@ -3,7 +3,11 @@
 # synthetic corpus written to a watched directory, curl every endpoint,
 # drop one new report into the directory, and assert the watcher
 # refreshes the snapshot re-executing exactly ONE (year, vendor)
-# partition. Finishes with a graceful `/shutdown`.
+# partition. Then exercise the hostile-traffic hardening with raw
+# sockets: a header flood (431), a slow-loris client (cut by the read
+# deadline), and an overload shed (503 + Retry-After while the daemon
+# keeps serving) — finishing with an exact check of the /stats
+# connection-lifecycle accounting and a graceful `/shutdown`.
 #
 #   ./scripts/serve_smoke.sh [port]
 #
@@ -17,19 +21,29 @@ CORPUS=.ci-serve-corpus
 CACHE=.ci-serve-cache
 rm -rf "$CORPUS" "$CACHE"
 
+# One-shot GET: `Connection: close` frees the single worker immediately
+# instead of leaving it parked in the keep-alive idle wait until curl
+# gets around to closing its side.
+qget() { curl -sf -H 'Connection: close' "$@"; }
+
 cargo build --release -p spec-trends
 
 ./target/release/spec-trends generate --out "$CORPUS"
 test "$(ls "$CORPUS" | wc -l)" -eq 1017
 
+# Tight limits on purpose: one worker slot and a one-deep queue make the
+# shed scenario below deterministic, and a 1 s request deadline makes the
+# slow-loris cut fast.
 ./target/release/spec-trends serve --data "$CORPUS" --addr "127.0.0.1:${PORT}" \
-  --cache-dir "$CACHE" --poll-ms 50 &
+  --cache-dir "$CACHE" --poll-ms 50 \
+  --max-inflight 1 --queue-depth 1 --request-deadline-ms 1000 \
+  --idle-timeout-ms 2000 --drain-timeout-ms 3000 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
 # Wait for the daemon to come up (cold snapshot builds first).
 for _ in $(seq 1 120); do
-  curl -sf "$BASE/stats" > /dev/null 2>&1 && break
+  qget "$BASE/stats" > /dev/null 2>&1 && break
   sleep 0.5
 done
 
@@ -38,17 +52,17 @@ for target in / /stats \
     /figures/1 /figures/2 /figures/3 /figures/4 /figures/5 /figures/6 \
     /data/1 /data/2 /data/3 /data/4 /data/5 /data/6 \
     "/data/2?vendor=amd" "/figures/3?year=2015&vendor=intel"; do
-  body="$(curl -sf "$BASE$target")"
+  body="$(qget "$BASE$target")"
   test -n "$body" || { echo "serve_smoke: empty body for $target" >&2; exit 1; }
 done
-curl -sf "$BASE/figures/2" | grep -q '</svg>'
-curl -sf "$BASE/data/2" | head -1 | grep -q 'year'
+qget "$BASE/figures/2" | grep -q '</svg>'
+qget "$BASE/data/2" | head -1 | grep -q 'year'
 
-stats="$(curl -sf "$BASE/stats")"
+stats="$(qget "$BASE/stats")"
 echo "$stats" | grep -q 'raw 1017' || {
   echo "serve_smoke: expected raw 1017 in /stats" >&2; echo "$stats" >&2; exit 1
 }
-curl -sf "$BASE/data/1" > .ci-serve-data1-before.csv
+qget "$BASE/data/1" > .ci-serve-data1-before.csv
 
 # Drop one new report into the watched directory: a copy of an existing
 # report under a new name lands in the same (year, vendor) partition.
@@ -56,7 +70,7 @@ cp "$(ls "$CORPUS"/*.txt | head -1)" "$CORPUS/zz_smoke_new.txt"
 
 # The poller notices within a few intervals and refreshes incrementally.
 for _ in $(seq 1 200); do
-  stats="$(curl -sf "$BASE/stats")"
+  stats="$(qget "$BASE/stats")"
   echo "$stats" | grep -q 'raw 1018' && break
   sleep 0.1
 done
@@ -71,16 +85,90 @@ echo "$stats" | grep -q 'partitions_executed 1' || {
   echo "$stats" >&2; exit 1
 }
 # The refreshed snapshot is visible in the data endpoints.
-curl -sf "$BASE/data/1" > .ci-serve-data1-after.csv
+qget "$BASE/data/1" > .ci-serve-data1-after.csv
 if cmp -s .ci-serve-data1-before.csv .ci-serve-data1-after.csv; then
   echo "serve_smoke: /data/1 did not change after the corpus update" >&2
   exit 1
 fi
 
+# --- hostile-traffic hardening ---------------------------------------
+
+# Liveness and readiness probes.
+test "$(qget "$BASE/healthz")" = "ok"
+test "$(qget "$BASE/readyz")" = "ready"
+
+# Header flood: a single oversized header must classify as 431, and the
+# daemon must keep serving afterwards.
+flood="$(printf 'x%.0s' $(seq 1 9000))"
+code="$(curl -s -o /dev/null -w '%{http_code}' -H "Connection: close" -H "X-Flood: $flood" "$BASE/stats")"
+test "$code" = "431" || { echo "serve_smoke: expected 431 for header flood, got $code" >&2; exit 1; }
+
+# Unknown method → 501, known-but-unsupported → 405.
+test "$(curl -s -o /dev/null -w '%{http_code}' -X BOGUS "$BASE/stats")" = "501"
+test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/stats")" = "405"
+
+# Slow-loris via a raw socket: trickle half a request line, then stall
+# past the 1 s request deadline. The daemon must cut the connection
+# without writing a byte (no torn response), and count the timeout.
+exec 5<>"/dev/tcp/127.0.0.1/${PORT}"
+printf 'GET /st' >&5
+sleep 1.5
+loris="$(timeout 2 cat <&5 || true)"
+exec 5<&- 5>&-
+test -z "$loris" || { echo "serve_smoke: slow-loris got bytes: $loris" >&2; exit 1; }
+sleep 0.3
+stats="$(qget "$BASE/stats")"
+echo "$stats" | grep -q 'conns_timed_out 1' || {
+  echo "serve_smoke: slow-loris not counted as timed out" >&2; echo "$stats" >&2; exit 1
+}
+echo "$stats" | grep -q 'timeout_read 1' || {
+  echo "serve_smoke: slow-loris not counted as a read timeout" >&2; echo "$stats" >&2; exit 1
+}
+
+# Overload shed: hold the only worker slot and the one-deep queue with
+# silent raw sockets; the next connection must be shed immediately with
+# 503 + Retry-After — and the daemon must keep serving once released.
+exec 6<>"/dev/tcp/127.0.0.1/${PORT}"
+sleep 0.3
+exec 7<>"/dev/tcp/127.0.0.1/${PORT}"
+sleep 0.3
+shed_headers="$(curl -s -D - -o /dev/null --max-time 10 -H 'Connection: close' "$BASE/stats" || true)"
+echo "$shed_headers" | grep -q '^HTTP/1.1 503' || {
+  echo "serve_smoke: expected a 503 shed, got:" >&2; echo "$shed_headers" >&2; exit 1
+}
+echo "$shed_headers" | grep -qi '^Retry-After:' || {
+  echo "serve_smoke: shed 503 missing Retry-After" >&2; echo "$shed_headers" >&2; exit 1
+}
+exec 6<&- 6>&-
+exec 7<&- 7>&-
+sleep 0.3
+
+# The daemon is alive, the shed is accounted, and the lifecycle ledger
+# balances exactly: offered = shed + accepted + queued, and
+# accepted = completed + timed_out + aborted + active.
+stats="$(qget "$BASE/stats")"
+stat() { echo "$stats" | awk -v k="$1" '$1 == k { print $2 }'; }
+test "$(stat conns_shed)" = "1" || {
+  echo "serve_smoke: expected exactly one shed connection" >&2; echo "$stats" >&2; exit 1
+}
+offered="$(stat conns_offered)"
+rhs=$(( $(stat conns_shed) + $(stat conns_accepted) + $(stat conns_queued) ))
+test "$offered" -eq "$rhs" || {
+  echo "serve_smoke: offered ($offered) != shed+accepted+queued ($rhs)" >&2
+  echo "$stats" >&2; exit 1
+}
+accepted="$(stat conns_accepted)"
+rhs=$(( $(stat conns_completed) + $(stat conns_timed_out) + $(stat conns_aborted) + $(stat conns_active) ))
+test "$accepted" -eq "$rhs" || {
+  echo "serve_smoke: accepted ($accepted) != completed+timed_out+aborted+active ($rhs)" >&2
+  echo "$stats" >&2; exit 1
+}
+test "$(stat worker_panics)" = "0"
+
 # Graceful shutdown: the endpoint drains the workers and the process exits.
-curl -sf "$BASE/shutdown" > /dev/null
+qget "$BASE/shutdown" > /dev/null
 wait "$SERVE_PID"
 trap - EXIT
 
 rm -rf "$CORPUS" "$CACHE" .ci-serve-data1-before.csv .ci-serve-data1-after.csv
-echo "serve_smoke: OK (1017+1 reports, one partition re-executed)"
+echo "serve_smoke: OK (1017+1 reports, one partition re-executed, 431/503/slow-loris hardened)"
