@@ -1,0 +1,265 @@
+//! Parser-only micro-throughput: the SWAR structural-byte kernels versus
+//! the byte-at-a-time loops they replaced, at three honesty levels.
+//!
+//! Unlike `corpus_scaling` (which measures the whole ingest pipeline),
+//! this bench isolates the splitter work on the hot parse path and
+//! reports it at three levels, because they tell different stories:
+//!
+//! 1. **Kernel** — locate every `\n`, `|` and `:` in each report with
+//!    [`scan::for_each_byte`] versus the naive byte loop. This is the
+//!    work the SWAR rewrite actually replaced, measured without per-line
+//!    bookkeeping, and it is what the `SPEEDUP_FLOOR` gates.
+//! 2. **Walk** — the full per-line splitter walk (fused
+//!    [`scan::classified_lines`] + level-row cell cuts + headline prefix
+//!    tests) versus the same walk on `scan::naive` and on plain `std`
+//!    machinery. Report lines average ~32 bytes, so per-line iterator
+//!    and dispatch bookkeeping — identical on every side — compresses
+//!    the ratio below the kernel's; the walk is gated only against
+//!    regressing past the naive baseline. (The pre-SWAR parser rode
+//!    `str::lines`/`split_once`, which are themselves
+//!    memchr-accelerated inside `core` — the naive walk, not the std
+//!    walk, is the true byte-at-a-time baseline.)
+//! 3. **End-to-end** — `parse_run_interned` over the corpus, the rate
+//!    users actually feel.
+//!
+//! All three walk variants must produce identical checksums. The run
+//! fails (nonzero exit) if the kernel speedup is under `SPEEDUP_FLOOR`,
+//! and upserts a `"parse_micro"` section into `BENCH_ingest.json`
+//! without disturbing the sections other benches own.
+
+use std::time::Instant;
+
+use spec_format::scan;
+
+/// Required SWAR-over-naive kernel speedup; the run exits nonzero below it.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Timing passes per variant; the best (minimum) wall time is reported.
+const PASSES: usize = 7;
+
+/// The three structural bytes the splitter locates.
+const STRUCTURAL: [u8; 3] = [b'\n', b'|', b':'];
+
+macro_rules! make_kernel {
+    ($name:ident, $for_each:expr) => {
+        /// Bulk structural-byte pass: every `\n`/`|`/`:` position in
+        /// every report, folded into a checksum so nothing is elided.
+        fn $name(texts: &[&str]) -> u64 {
+            let mut sum = 0u64;
+            for text in texts {
+                for needle in STRUCTURAL {
+                    $for_each(text.as_bytes(), needle, |i: usize| {
+                        sum = sum.wrapping_add(i as u64 ^ u64::from(needle));
+                    });
+                }
+            }
+            sum
+        }
+    };
+}
+
+make_kernel!(kernel_swar, scan::for_each_byte);
+make_kernel!(kernel_naive, scan::naive::for_each_byte);
+
+macro_rules! make_walk {
+    ($name:ident, $classified:expr, $for_each:expr, $prefix:expr) => {
+        /// One full splitter walk over the corpus: per line, cut every
+        /// pipe cell boundary of level rows, else take the header colon,
+        /// else test the headline prefix — folding positions into a
+        /// checksum so the compiler cannot elide any of it and so
+        /// variants can be diffed.
+        fn $name(texts: &[&str]) -> u64 {
+            let mut sum = 0u64;
+            for text in texts {
+                for cuts in $classified(text) {
+                    if cuts.pipe.is_some() {
+                        let mut cells = 0u64;
+                        $for_each(cuts.line.as_bytes(), b'|', |i: usize| {
+                            cells = cells.wrapping_add(i as u64 + 1);
+                        });
+                        sum = sum.wrapping_add(cells);
+                    } else if let Some(colon) = cuts.colon {
+                        sum = sum
+                            .wrapping_add(colon as u64)
+                            .wrapping_add(cuts.line.len() as u64);
+                    } else if $prefix(cuts.line, "SPECpower_ssj2008") {
+                        sum = sum.wrapping_add(cuts.line.len() as u64 ^ 0x5bec);
+                    }
+                }
+            }
+            sum
+        }
+    };
+}
+
+make_walk!(
+    walk_swar,
+    scan::classified_lines,
+    scan::for_each_byte,
+    scan::starts_with_ignore_case
+);
+make_walk!(
+    walk_naive,
+    scan::naive::classified_lines,
+    scan::naive::for_each_byte,
+    scan::naive::starts_with_ignore_case
+);
+
+/// The same walk on plain `std` machinery, mirroring the
+/// [`scan::LineCuts`] contract by hand: first pipe anywhere, first
+/// colon before it (or anywhere when no pipe).
+fn walk_std(texts: &[&str]) -> u64 {
+    let mut sum = 0u64;
+    for text in texts {
+        for line in text.lines() {
+            let bytes = line.as_bytes();
+            let pipe = bytes.iter().position(|&b| b == b'|');
+            if pipe.is_some() {
+                let mut cells = 0u64;
+                for (i, &b) in bytes.iter().enumerate() {
+                    if b == b'|' {
+                        cells = cells.wrapping_add(i as u64 + 1);
+                    }
+                }
+                sum = sum.wrapping_add(cells);
+            } else if let Some(colon) = bytes.iter().position(|&b| b == b':') {
+                sum = sum
+                    .wrapping_add(colon as u64)
+                    .wrapping_add(line.len() as u64);
+            } else if line.len() >= 17 && line[..17].eq_ignore_ascii_case("SPECpower_ssj2008") {
+                sum = sum.wrapping_add(line.len() as u64 ^ 0x5bec);
+            }
+        }
+    }
+    sum
+}
+
+/// Best-of-`PASSES` wall time for `f`, plus its (pass-invariant) result.
+fn time_best(f: impl Fn() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut value = 0u64;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, value)
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("SPEC_BENCH_OUT") {
+        return std::path::PathBuf::from(p);
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ingest.json")
+}
+
+fn main() {
+    let dataset = spec_bench::dataset();
+    let texts: Vec<&str> = dataset.texts().collect();
+    let reports = texts.len();
+    let total_bytes: usize = texts.iter().map(|t| t.len()).sum();
+    let mb = total_bytes as f64 / (1024.0 * 1024.0);
+    println!("parse_micro: {reports} reports, {mb:.2} MiB of report text");
+
+    // Level 1: the structural-byte kernel, three passes per report.
+    let (ker_swar_s, ker_swar_sum) = time_best(|| kernel_swar(&texts));
+    let (ker_naive_s, ker_naive_sum) = time_best(|| kernel_naive(&texts));
+    assert_eq!(
+        ker_swar_sum, ker_naive_sum,
+        "SWAR and naive structural-byte kernels disagree on the corpus"
+    );
+    let kernel_speedup = ker_naive_s / ker_swar_s;
+    let kernel_mb = 3.0 * mb; // three needles = three passes over the bytes
+    println!(
+        "kernel/swar      {:>9.3} ms  {:>8.1} MiB/s",
+        ker_swar_s * 1e3,
+        kernel_mb / ker_swar_s
+    );
+    println!(
+        "kernel/naive     {:>9.3} ms  {:>8.1} MiB/s  (swar is {kernel_speedup:.2}x)",
+        ker_naive_s * 1e3,
+        kernel_mb / ker_naive_s
+    );
+
+    // Level 2: the full splitter walk, bookkeeping included.
+    let (swar_s, swar_sum) = time_best(|| walk_swar(&texts));
+    let (naive_s, naive_sum) = time_best(|| walk_naive(&texts));
+    let (std_s, std_sum) = time_best(|| walk_std(&texts));
+    assert_eq!(
+        swar_sum, naive_sum,
+        "SWAR and naive splitter walks disagree on the corpus"
+    );
+    assert_eq!(
+        swar_sum, std_sum,
+        "SWAR and std splitter walks disagree on the corpus"
+    );
+    let walk_speedup = naive_s / swar_s;
+    println!(
+        "walk/swar        {:>9.3} ms  {:>8.1} MiB/s",
+        swar_s * 1e3,
+        mb / swar_s
+    );
+    println!(
+        "walk/naive       {:>9.3} ms  {:>8.1} MiB/s  (swar is {walk_speedup:.2}x)",
+        naive_s * 1e3,
+        mb / naive_s
+    );
+    println!(
+        "walk/std         {:>9.3} ms  {:>8.1} MiB/s  (swar is {:.2}x)",
+        std_s * 1e3,
+        mb / std_s,
+        std_s / swar_s
+    );
+
+    // Level 3: end-to-end parser rate on the same corpus.
+    let (parse_s, parsed_ok) = time_best(|| {
+        let mut ok = 0u64;
+        for t in &texts {
+            if spec_format::parse_run_interned(t).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    });
+    println!(
+        "parse/interned   {:>9.3} ms  {:>8.0} reports/s  ({parsed_ok} parsed ok)",
+        parse_s * 1e3,
+        reports as f64 / parse_s
+    );
+
+    let section = format!(
+        "{{\"reports\": {reports}, \"bytes\": {total_bytes}, \
+         \"kernel_swar_seconds\": {ker_swar_s:.6}, \
+         \"kernel_naive_seconds\": {ker_naive_s:.6}, \
+         \"kernel_swar_mib_per_s\": {:.1}, \
+         \"splitter_speedup\": {kernel_speedup:.3}, \
+         \"walk_swar_seconds\": {swar_s:.6}, \"walk_naive_seconds\": {naive_s:.6}, \
+         \"walk_std_seconds\": {std_s:.6}, \"walk_speedup\": {walk_speedup:.3}, \
+         \"interned_parse_seconds\": {parse_s:.6}, \
+         \"interned_reports_per_s\": {:.1}}}",
+        kernel_mb / ker_swar_s,
+        reports as f64 / parse_s
+    );
+    let path = out_path();
+    let original = std::fs::read_to_string(&path).unwrap_or_default();
+    let updated = spec_bench::upsert_json_section(&original, "parse_micro", &section);
+    std::fs::write(&path, updated).expect("write BENCH_ingest.json");
+    println!("wrote {}", path.display());
+
+    if kernel_speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: SWAR structural-byte kernel speedup {kernel_speedup:.2}x \
+             is below the {SPEEDUP_FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+    if walk_speedup < 1.0 {
+        eprintln!(
+            "FAIL: the fused splitter walk regressed below the naive walk \
+             ({walk_speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -48,6 +48,126 @@ pub fn valid() -> &'static [RunResult] {
     &analysis_set().valid
 }
 
+/// Insert or replace a top-level `"key": value` entry in a hand-rolled
+/// JSON object document, preserving every other entry byte-for-byte.
+///
+/// `BENCH_ingest.json` is written by more than one bench binary (the
+/// vendored serde is a no-op marker crate, so each bench emits JSON by
+/// hand): `corpus_scaling` owns the overall document while `parse_micro`
+/// contributes only its own section. This helper lets the latter splice
+/// its section in without clobbering the former's results.
+///
+/// If `original` is not a JSON object (missing, empty, or malformed), a
+/// fresh `{ "<key>": <section> }` document is returned instead.
+pub fn upsert_json_section(original: &str, key: &str, section: &str) -> String {
+    let fallback = || format!("{{\n  \"{key}\": {section}\n}}\n");
+    let trimmed = original.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return fallback();
+    }
+    let mut doc = trimmed.to_string();
+    let needle = format!("\"{key}\"");
+    if let Some(key_at) = doc.find(&needle) {
+        // Replace the existing value: skip past the colon, then
+        // brace/bracket-match (or scan a scalar) to find the value end.
+        let after_key = key_at + needle.len();
+        let colon = match doc[after_key..].find(':') {
+            Some(c) => after_key + c + 1,
+            None => return fallback(),
+        };
+        let bytes = doc.as_bytes();
+        let mut i = colon;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let value_end = match bytes.get(i) {
+            Some(&open @ (b'{' | b'[')) => {
+                let close = if open == b'{' { b'}' } else { b']' };
+                let mut depth = 0usize;
+                let mut in_str = false;
+                let mut end = None;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if in_str {
+                        if b == b'\\' {
+                            j += 1;
+                        } else if b == b'"' {
+                            in_str = false;
+                        }
+                    } else if b == b'"' {
+                        in_str = true;
+                    } else if b == open {
+                        depth += 1;
+                    } else if b == close {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(j + 1);
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                match end {
+                    Some(e) => e,
+                    None => return fallback(),
+                }
+            }
+            Some(_) => {
+                // Scalar: runs to the next top-level ',' or the final '}'.
+                let mut j = i;
+                let mut in_str = false;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if in_str {
+                        if b == b'\\' {
+                            j += 1;
+                        } else if b == b'"' {
+                            in_str = false;
+                        }
+                    } else if b == b'"' {
+                        in_str = true;
+                    } else if b == b',' || b == b'}' {
+                        break;
+                    }
+                    j += 1;
+                }
+                j
+            }
+            None => return fallback(),
+        };
+        doc.replace_range(colon..value_end, &format!(" {section}"));
+        if !doc.ends_with('\n') {
+            doc.push('\n');
+        }
+        return doc;
+    }
+    // No existing entry: insert before the closing brace, adding a comma
+    // after the last entry if the object is non-empty.
+    let close = match doc.rfind('}') {
+        Some(c) => c,
+        None => return fallback(),
+    };
+    let body_is_empty = doc[1..close].trim().is_empty();
+    let insertion = if body_is_empty {
+        format!("\n  \"{key}\": {section}\n")
+    } else {
+        let before = doc[..close].trim_end().len();
+        doc.truncate(before);
+        doc.push_str(&format!(",\n  \"{key}\": {section}\n"));
+        doc.push('}');
+        if !doc.ends_with('\n') {
+            doc.push('\n');
+        }
+        return doc;
+    };
+    doc.replace_range(close..close, &insertion);
+    if !doc.ends_with('\n') {
+        doc.push('\n');
+    }
+    doc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +177,53 @@ mod tests {
         assert_eq!(dataset().submissions.len(), 1017);
         assert_eq!(valid().len(), 960);
         assert_eq!(comparable().len(), 676);
+    }
+
+    #[test]
+    fn upsert_creates_document_when_missing_or_malformed() {
+        for original in ["", "   ", "not json", "[1, 2]"] {
+            let out = upsert_json_section(original, "parse_micro", "{\"x\": 1}");
+            assert_eq!(out, "{\n  \"parse_micro\": {\"x\": 1}\n}\n");
+        }
+    }
+
+    #[test]
+    fn upsert_inserts_into_existing_document() {
+        let original = "{\n  \"bench\": \"corpus_scaling\",\n  \"parser\": {\"speedup\": 1.002}\n}\n";
+        let out = upsert_json_section(original, "parse_micro", "{\"x\": 1}");
+        assert!(out.contains("\"bench\": \"corpus_scaling\""), "{out}");
+        assert!(out.contains("\"parser\": {\"speedup\": 1.002}"), "{out}");
+        assert!(out.contains("\"parse_micro\": {\"x\": 1}"), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+    }
+
+    #[test]
+    fn upsert_replaces_existing_object_section() {
+        let original = "{\n  \"parse_micro\": {\"old\": true, \"nested\": {\"a\": [1, 2]}},\n  \"parser\": {\"speedup\": 1.0}\n}\n";
+        let out = upsert_json_section(original, "parse_micro", "{\"new\": 2}");
+        assert!(out.contains("\"parse_micro\": {\"new\": 2}"), "{out}");
+        assert!(!out.contains("\"old\""), "{out}");
+        assert!(out.contains("\"parser\": {\"speedup\": 1.0}"), "{out}");
+    }
+
+    #[test]
+    fn upsert_replaces_scalar_and_handles_strings_with_braces() {
+        let original = "{\"parse_micro\": 7, \"note\": \"a } in a string\"}";
+        let out = upsert_json_section(original, "parse_micro", "{\"y\": 3}");
+        assert!(out.contains("\"parse_micro\": {\"y\": 3}"), "{out}");
+        assert!(out.contains("\"note\": \"a } in a string\""), "{out}");
+    }
+
+    #[test]
+    fn upsert_into_empty_object() {
+        let out = upsert_json_section("{}", "parse_micro", "{\"z\": 4}");
+        assert_eq!(out, "{\n  \"parse_micro\": {\"z\": 4}\n}\n");
+    }
+
+    #[test]
+    fn upsert_is_idempotent_under_repeated_writes() {
+        let once = upsert_json_section("{\"a\": 1}", "parse_micro", "{\"v\": 1}");
+        let twice = upsert_json_section(&once, "parse_micro", "{\"v\": 1}");
+        assert_eq!(once, twice);
     }
 }

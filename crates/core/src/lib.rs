@@ -50,7 +50,7 @@ pub use export::{yearly_summary, yearly_summary_markdown};
 pub use features::{runs_to_frame, runs_to_seg_frame, FEATURE_COLUMNS};
 pub use pipeline::{
     list_report_files, load_from_dir, load_from_dir_vfs, load_from_inputs, load_from_named_texts,
-    load_from_texts, load_from_texts_parallel, read_input, stage1_validate,
+    load_from_texts, load_from_texts_parallel, read_input, read_inputs_shared, stage1_validate,
     stage1_validate_inputs, stage2_split, AnalysisSet, FilterReport, ParseFailureRecord, RawInput,
     RawInputRef,
 };

@@ -29,10 +29,15 @@ use spec_vfs::Vfs;
 /// counts it as a parse failure in category `io-error` (with the OS error
 /// detail) and keeps going, so `spec-trends explain` can surface exactly
 /// which files were lost and why.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub enum RawInput {
-    /// The input was read successfully.
+    /// The input was read successfully into an owned string.
     Text(String),
+    /// The input was read successfully into a slice of a shared slab
+    /// ([`spec_vfs::SlabArena`]) — the zero-copy ingest path. Semantically
+    /// identical to [`RawInput::Text`]: same [`RawInputRef`], same
+    /// equality, same cache encoding.
+    Shared(spec_vfs::SharedText),
     /// The input could not be read; the payload is the error detail.
     IoError(String),
 }
@@ -42,10 +47,23 @@ impl RawInput {
     pub fn as_ref(&self) -> RawInputRef<'_> {
         match self {
             RawInput::Text(t) => RawInputRef::Text(t),
+            RawInput::Shared(t) => RawInputRef::Text(t.as_str()),
             RawInput::IoError(e) => RawInputRef::IoError(e),
         }
     }
 }
+
+/// Equality follows the borrowed view, so a `Shared` input compares equal
+/// to the `Text` input with the same content — the two are
+/// interchangeable everywhere (and encode identically into the artifact
+/// cache).
+impl PartialEq for RawInput {
+    fn eq(&self, other: &RawInput) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for RawInput {}
 
 /// Borrowed view of a [`RawInput`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -415,11 +433,49 @@ pub fn list_report_files(vfs: &dyn Vfs, dir: &Path) -> spec_diag::Result<Vec<Pat
 /// [`RawInput::IoError`] record instead of propagating it.
 pub fn read_input(vfs: &dyn Vfs, path: &Path) -> (Option<String>, RawInput) {
     let origin = path.file_name().map(|n| n.to_string_lossy().into_owned());
-    let input = match vfs.read_to_string(path) {
-        Ok(text) => RawInput::Text(text),
+    let input = match vfs.read_to_shared(path) {
+        Ok(text) => RawInput::Shared(text),
         Err(e) => RawInput::IoError(format!("could not read file: {e}")),
     };
     (origin, input)
+}
+
+/// Read a batch of report files into slab-packed shared buffers: one
+/// [`spec_vfs::SlabArena`] per call packs the texts of all readable files
+/// into a few large allocations, and each input borrows its slice as a
+/// [`RawInput::Shared`]. Unreadable files degrade to
+/// [`RawInput::IoError`] exactly like [`read_input`]. Returns one
+/// `(origin, input)` pair per path, in path order.
+pub fn read_inputs_shared(vfs: &dyn Vfs, paths: &[PathBuf]) -> Vec<(Option<String>, RawInput)> {
+    let mut arena = spec_vfs::SlabArena::new();
+    // First pass reads (filling the arena), second pass zips the sealed
+    // texts back to their origins; errors hold their slot so the zip
+    // stays aligned.
+    let slots: Vec<(Option<String>, Option<String>)> = paths
+        .iter()
+        .map(|path| {
+            let origin = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            match vfs.read_to_string(path) {
+                Ok(text) => {
+                    arena.push_owned(text);
+                    (origin, None)
+                }
+                Err(e) => (origin, Some(format!("could not read file: {e}"))),
+            }
+        })
+        .collect();
+    let mut shared = arena.finish().into_iter();
+    slots
+        .into_iter()
+        .map(|(origin, err)| match err {
+            Some(detail) => (origin, RawInput::IoError(detail)),
+            None => match shared.next() {
+                Some(text) => (origin, RawInput::Shared(text)),
+                // Unreachable: the arena yields one text per pushed file.
+                None => (origin, RawInput::IoError("slab arena underflow".into())),
+            },
+        })
+        .collect()
 }
 
 /// Run the cascade over owned `(origin, input)` pairs.
@@ -467,10 +523,7 @@ pub fn load_from_dir_vfs(vfs: &dyn Vfs, dir: &Path) -> spec_diag::Result<Analysi
             sp.record("items", range.len());
             sp.observe_into("ingest.shard_us");
         }
-        let items: Vec<(Option<String>, RawInput)> = entries[range.clone()]
-            .iter()
-            .map(|path| read_input(vfs, path))
-            .collect();
+        let items = read_inputs_shared(vfs, &entries[range.clone()]);
         load_from_inputs(items)
     });
     Ok(merge_shards(shards))

@@ -518,10 +518,18 @@ struct_codec!(ParseFailureRecord {
 impl Codec for crate::pipeline::RawInput {
     fn encode(&self, w: &mut Writer) {
         use crate::pipeline::RawInput;
+        // `Shared` encodes byte-identically to `Text` (and decodes back as
+        // `Text`): the zero-copy representation is an in-memory detail and
+        // must not perturb content hashes or cached artifacts.
         match self {
             RawInput::Text(t) => {
                 0u8.encode(w);
                 t.encode(w);
+            }
+            RawInput::Shared(t) => {
+                0u8.encode(w);
+                t.len().encode(w);
+                w.buf.extend_from_slice(t.as_str().as_bytes());
             }
             RawInput::IoError(e) => {
                 1u8.encode(w);

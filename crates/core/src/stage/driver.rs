@@ -322,10 +322,7 @@ impl PipelineDriver {
     /// `io-error` parse failure — one lost file never aborts the run.
     fn read_dir_corpus(&self, dir: &std::path::Path) -> spec_diag::Result<CorpusArtifact> {
         let files = crate::pipeline::list_report_files(&*self.vfs, dir)?;
-        let items = files
-            .iter()
-            .map(|path| crate::pipeline::read_input(&*self.vfs, path))
-            .collect();
+        let items = crate::pipeline::read_inputs_shared(&*self.vfs, &files);
         Ok(CorpusArtifact { items })
     }
 

@@ -50,7 +50,7 @@ pub use graph::{
 /// (`/2`: the corpus artifact gained the `RawInput` tag byte.
 /// `/3`: the Validate artifact switched to dictionary-encoded strings.
 /// `/5`: artifacts are partitioned by (year, vendor) with merge stages.)
-pub const CODE_VERSION: &str = "spec-trends/stage-graph/5";
+pub const CODE_VERSION: &str = "spec-trends/stage-graph/6";
 
 /// Write rendered `(name, content)` files into `dir` (created if needed)
 /// through `vfs`, returning the written paths in order. Each file lands

@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use spec_model::{CpuVendor, RunResult, YearMonth};
+use spec_model::{CpuVendor, RunResult};
 use spec_obs as obs;
 use spec_ssj::Settings;
 use spec_synth::generate_dataset;
@@ -107,23 +107,26 @@ impl PartKey {
     }
 }
 
-/// Derive the partition key from raw report text: scan for the
-/// `Hardware Availability:` and `CPU Name:` header lines (last occurrence
-/// wins, mirroring the parser) without running the full parser.
+/// Derive the partition key from raw report text without running the full
+/// parser, using the parser's own SWAR header scan
+/// ([`spec_format::header_lines`]) so the two walks classify lines
+/// identically: level rows (any line containing a pipe) are skipped, keys
+/// and values are trimmed the same way, and `\r\n` endings behave like
+/// `\n`.
+///
+/// Last occurrence wins for duplicated headers, *including* when the last
+/// value is unparseable — the parser overwrites `hw_available` with the
+/// ambiguous value (no year), so the key must fall back to `-1` rather
+/// than keep a year from an earlier line. [`spec_format::date_year`]
+/// encodes exactly the parser's date semantics; the
+/// `part_key_agreement` proptest pins the equivalence.
 pub fn part_key_of_text(text: &str) -> PartKey {
     let mut year = -1;
     let mut vendor = CpuVendor::Other;
-    for line in text.lines() {
-        let Some((key, value)) = line.split_once(':') else {
-            continue;
-        };
-        match key.trim() {
-            "Hardware Availability" => {
-                if let Ok(ym) = YearMonth::parse(value.trim()) {
-                    year = ym.year();
-                }
-            }
-            "CPU Name" => vendor = CpuVendor::classify(value.trim()),
+    for (key, value) in spec_format::header_lines(text) {
+        match key {
+            "Hardware Availability" => year = spec_format::date_year(value).unwrap_or(-1),
+            "CPU Name" => vendor = CpuVendor::classify(value),
             _ => {}
         }
     }
@@ -135,6 +138,7 @@ pub fn part_key_of_text(text: &str) -> PartKey {
 pub fn part_key_of_input(input: &RawInput) -> PartKey {
     match input {
         RawInput::Text(text) => part_key_of_text(text),
+        RawInput::Shared(text) => part_key_of_text(text.as_str()),
         RawInput::IoError(_) => PartKey::UNKNOWN,
     }
 }

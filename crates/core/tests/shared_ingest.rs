@@ -1,0 +1,189 @@
+//! Zero-copy shared-buffer ingest: slab packing, boundary invariants, and
+//! byte-identical results versus the owned-`String` path.
+//!
+//! Directory ingest now reads report files into `SlabArena`-packed
+//! [`spec_vfs::SharedText`] buffers (`RawInput::Shared`) instead of
+//! per-file `String`s. Nothing downstream may be able to tell: the
+//! cascade results, codec bytes, content hashes, and partition keys must
+//! match the owned representation exactly — including for files that
+//! straddle or exactly hit a slab boundary, CRLF files, and unreadable
+//! files interleaved with shared ones.
+
+use std::path::PathBuf;
+
+use spec_analysis::stage::part_key_of_input;
+use spec_analysis::{
+    load_from_dir_vfs, load_from_inputs, load_from_texts, read_inputs_shared, RawInput,
+};
+use spec_format::write_run;
+use spec_model::linear_test_run;
+use spec_vfs::{RealVfs, SlabArena};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spec_shared_ingest_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn corpus_texts(n: u32) -> Vec<String> {
+    (0..n)
+        .map(|i| write_run(&linear_test_run(i, 1e6 + f64::from(i), 60.0, 300.0)))
+        .collect()
+}
+
+#[test]
+fn dir_ingest_packs_files_into_shared_slabs() {
+    let dir = tmp_dir("packs");
+    let texts = corpus_texts(12);
+    for (i, text) in texts.iter().enumerate() {
+        std::fs::write(dir.join(format!("r{i:03}.txt")), text).unwrap();
+    }
+    let vfs = RealVfs;
+    let files = spec_analysis::list_report_files(&vfs, &dir).unwrap();
+    let items = read_inputs_shared(&vfs, &files);
+    assert_eq!(items.len(), 12);
+
+    // Every input is Shared, contents match, and the small files share
+    // far fewer slabs than there are files.
+    let mut slab_ids = Vec::new();
+    for (i, (origin, input)) in items.iter().enumerate() {
+        assert_eq!(origin.as_deref(), Some(format!("r{i:03}.txt").as_str()));
+        match input {
+            RawInput::Shared(t) => {
+                assert_eq!(t.as_str(), texts[i]);
+                slab_ids.push(t.slab_id());
+            }
+            other => panic!("expected Shared, got {other:?}"),
+        }
+    }
+    slab_ids.sort_unstable();
+    slab_ids.dedup();
+    assert!(
+        slab_ids.len() < 12,
+        "12 small reports should pack into fewer slabs, got {}",
+        slab_ids.len()
+    );
+
+    // The full directory cascade equals the in-memory owned-text cascade.
+    let via_dir = load_from_dir_vfs(&vfs, &dir).unwrap();
+    let via_texts = load_from_texts(&texts);
+    assert_eq!(via_dir.valid, via_texts.valid);
+    assert_eq!(via_dir.comparable, via_texts.comparable);
+    assert_eq!(via_dir.report.valid, via_texts.report.valid);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_and_owned_inputs_are_interchangeable() {
+    let text = write_run(&linear_test_run(9, 1e6, 60.0, 300.0));
+    let owned = RawInput::Text(text.clone());
+    let mut arena = SlabArena::with_slab_bytes(64);
+    arena.push("padding so the report does not start at offset 0");
+    arena.push(&text);
+    let shared = RawInput::Shared(arena.finish().remove(1));
+
+    // Equality, borrowed view, and partition key all agree.
+    assert_eq!(owned, shared);
+    assert_eq!(owned.as_ref(), shared.as_ref());
+    assert_eq!(part_key_of_input(&owned), part_key_of_input(&shared));
+
+    // The cascade can consume either representation identically.
+    let a = load_from_inputs([(Some("a.txt".to_string()), owned)]);
+    let b = load_from_inputs([(Some("a.txt".to_string()), shared)]);
+    assert_eq!(a.valid, b.valid);
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn file_exactly_at_slab_boundary_parses_whole() {
+    // A report padded to exactly DEFAULT_SLAB_BYTES takes the
+    // dedicated-slab path; smaller neighbours pack around it. Every text
+    // must come back contiguous and parse identically to its owned twin.
+    let dir = tmp_dir("boundary");
+    let base = write_run(&linear_test_run(1, 1e6, 60.0, 300.0));
+    let pad = spec_vfs::DEFAULT_SLAB_BYTES - base.len();
+    // Pad with full-width comment lines the parser ignores.
+    let filler_line = "padding line with no colon or pipe\n";
+    let mut padded = base.clone();
+    while padded.len() + filler_line.len() <= spec_vfs::DEFAULT_SLAB_BYTES {
+        padded.push_str(filler_line);
+    }
+    while padded.len() < spec_vfs::DEFAULT_SLAB_BYTES {
+        padded.push('z');
+    }
+    assert_eq!(padded.len(), spec_vfs::DEFAULT_SLAB_BYTES, "pad={pad}");
+
+    std::fs::write(dir.join("a_small.txt"), &base).unwrap();
+    std::fs::write(dir.join("b_boundary.txt"), &padded).unwrap();
+    std::fs::write(dir.join("c_small.txt"), &base).unwrap();
+
+    let vfs = RealVfs;
+    let files = spec_analysis::list_report_files(&vfs, &dir).unwrap();
+    let items = read_inputs_shared(&vfs, &files);
+    let texts: Vec<&str> = items
+        .iter()
+        .map(|(_, input)| match input {
+            RawInput::Shared(t) => t.as_str(),
+            other => panic!("expected Shared, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(texts, vec![base.as_str(), padded.as_str(), base.as_str()]);
+
+    let set = load_from_dir_vfs(&vfs, &dir).unwrap();
+    assert_eq!(set.report.raw, 3);
+    assert_eq!(set.valid.len(), 3, "boundary-sized report must stay valid");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crlf_directory_matches_lf_directory() {
+    // The same corpus with \r\n endings must produce an identical
+    // analysis set (fields never keep a trailing \r).
+    let lf_dir = tmp_dir("lf");
+    let crlf_dir = tmp_dir("crlf");
+    let texts = corpus_texts(6);
+    for (i, text) in texts.iter().enumerate() {
+        std::fs::write(lf_dir.join(format!("r{i}.txt")), text).unwrap();
+        std::fs::write(crlf_dir.join(format!("r{i}.txt")), text.replace('\n', "\r\n")).unwrap();
+    }
+    let vfs = RealVfs;
+    let lf = load_from_dir_vfs(&vfs, &lf_dir).unwrap();
+    let crlf = load_from_dir_vfs(&vfs, &crlf_dir).unwrap();
+    assert_eq!(lf.valid, crlf.valid);
+    assert_eq!(lf.comparable, crlf.comparable);
+    assert_eq!(lf.report.valid, crlf.report.valid);
+    assert_eq!(lf.report.comparable, crlf.report.comparable);
+    for run in &crlf.valid {
+        assert!(!format!("{run:?}").contains("\\r"), "field kept a \\r");
+    }
+    let _ = std::fs::remove_dir_all(&lf_dir);
+    let _ = std::fs::remove_dir_all(&crlf_dir);
+}
+
+#[test]
+fn unreadable_files_interleave_with_shared_reads() {
+    // A directory with a non-UTF-8 file: the bad file degrades to
+    // IoError while its neighbours still arrive as Shared slices, with
+    // origins aligned.
+    let dir = tmp_dir("ioerr");
+    let text = write_run(&linear_test_run(3, 1e6, 60.0, 300.0));
+    std::fs::write(dir.join("a.txt"), &text).unwrap();
+    std::fs::write(dir.join("bad.txt"), [0xFFu8, 0xFE, 0x00, 0x41]).unwrap();
+    std::fs::write(dir.join("z.txt"), &text).unwrap();
+
+    let vfs = RealVfs;
+    let files = spec_analysis::list_report_files(&vfs, &dir).unwrap();
+    let items = read_inputs_shared(&vfs, &files);
+    assert_eq!(items.len(), 3);
+    assert!(matches!(items[0].1, RawInput::Shared(_)));
+    assert!(matches!(items[1].1, RawInput::IoError(_)));
+    assert!(matches!(items[2].1, RawInput::Shared(_)));
+    assert_eq!(items[1].0.as_deref(), Some("bad.txt"));
+
+    let set = load_from_dir_vfs(&vfs, &dir).unwrap();
+    assert_eq!(set.report.raw, 3);
+    assert_eq!(set.valid.len(), 2);
+    assert_eq!(set.report.not_reports, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,9 +21,10 @@ use spec_model::{LoadLevel, YearMonth};
 
 use crate::numfmt::parse_grouped;
 use crate::parser::{
-    classify_date, diagnose_non_report, first_uint, parse_level_row, starts_with_ignore_case,
-    DateClass, DateField, NotAReport, ParseFailure, ParsedRun,
+    classify_cuts, classify_date, diagnose_non_report, first_uint, parse_level_row,
+    starts_with_ignore_case, DateClass, DateField, LineKind, NotAReport, ParseFailure, ParsedRun,
 };
+use crate::scan;
 
 /// A date field in interned form: like [`DateField`] but the ambiguous raw
 /// text is a [`Sym`], making the whole value `Copy`.
@@ -204,7 +205,7 @@ fn parse_characteristics(run: &mut ParsedRunRef, value: &str) {
 /// [`crate::parser::parse_run`]; categorical values are interned instead
 /// of copied.
 pub fn parse_run_interned(text: &str) -> Result<ParsedRunRef, NotAReport> {
-    if !text.contains("SPECpower_ssj2008") {
+    if !scan::contains_str(text, "SPECpower_ssj2008") {
         return Err(NotAReport);
     }
     let mut run = ParsedRunRef {
@@ -212,25 +213,24 @@ pub fn parse_run_interned(text: &str) -> Result<ParsedRunRef, NotAReport> {
         ..ParsedRunRef::default()
     };
 
-    for line in text.lines() {
-        let line = line.trim_end();
-        // Results-summary rows have a pipe-separated shape.
-        if line.contains('|') {
-            if let Some(row) = parse_level_row(line) {
-                run.levels.push(row);
+    for cuts in scan::classified_lines(text) {
+        let (key, value) = match classify_cuts(&cuts) {
+            // Results-summary rows have a pipe-separated shape.
+            LineKind::Level(row) => {
+                if let Some(row) = parse_level_row(row) {
+                    run.levels.push(row);
+                }
+                continue;
             }
-            continue;
-        }
-        let Some((key, value)) = line.split_once(':') else {
             // Headline metric line: "SPECpower_ssj2008 = 15,112 overall …".
-            if let Some(rest) = line.strip_prefix("SPECpower_ssj2008 =") {
-                run.reported_overall =
-                    parse_grouped(rest.split_whitespace().next().unwrap_or(""));
+            LineKind::Headline(token) => {
+                run.reported_overall = parse_grouped(token);
+                continue;
             }
-            continue;
+            LineKind::Header(key, value) => (key, value),
+            LineKind::Other => continue,
         };
-        let value = value.trim();
-        match key.trim() {
+        match key {
             "Result Number" => run.id = first_uint(value),
             "Test Sponsor" => run.submitter = Some(intern(value)),
             "Status" => run.status_raw = Some(intern(value)),

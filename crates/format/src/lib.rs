@@ -28,14 +28,15 @@
 pub mod interned;
 pub mod numfmt;
 pub mod parser;
+pub mod scan;
 pub mod validity;
 pub mod writer;
 
 pub use interned::{parse_run_interned, parse_run_interned_diagnosed, DateSym, ParsedRunRef};
 pub use numfmt::{group_thousands, parse_grouped};
 pub use parser::{
-    diagnose_non_report, parse_run, parse_run_diagnosed, DateField, NotAReport, ParseFailure,
-    ParsedRun, PARSE_FAILURE_CATEGORIES,
+    date_year, diagnose_non_report, header_lines, parse_run, parse_run_diagnosed, DateField,
+    NotAReport, ParseFailure, ParsedRun, PARSE_FAILURE_CATEGORIES,
 };
 pub use validity::{
     comparability_error, comparability_issues, cpu_name_ambiguous, validate, validate_interned,

@@ -49,32 +49,60 @@ pub fn parse_grouped(s: &str) -> Option<f64> {
     if s.is_empty() {
         return None;
     }
-    if !s.contains(',') {
+    if !crate::scan::contains_byte(s.as_bytes(), b',') {
         // Comma-free numbers keep full `f64::from_str` syntax (exponents,
         // inf/NaN spellings) exactly as before.
         return s.parse().ok();
     }
-    let rest = s.strip_prefix(['-', '+']).unwrap_or(s);
-    let (int_part, frac) = match rest.split_once('.') {
-        Some((i, f)) => (i, Some(f)),
-        None => (rest, None),
-    };
-    if let Some(f) = frac {
-        if f.is_empty() || !f.bytes().all(|b| b.is_ascii_digit()) {
-            return None;
-        }
+    // One byte walk both validates and builds the comma-free rendering, so
+    // no input can pass the validator yet confuse the cleaner (the old
+    // code validated a sign-stripped view but cleaned the original).
+    let bytes = s.as_bytes();
+    let mut cleaned = String::with_capacity(bytes.len());
+    let mut i = 0;
+    if bytes[0] == b'+' || bytes[0] == b'-' {
+        cleaned.push(char::from(bytes[0]));
+        i = 1;
     }
-    let mut groups = int_part.split(',');
-    let first = groups.next()?;
-    if first.is_empty() || first.len() > 3 || !first.bytes().all(|b| b.is_ascii_digit()) {
+    // Leading digit group: one to three digits.
+    let start = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() && i - start < 3 {
+        i += 1;
+    }
+    if i == start {
         return None;
     }
-    for g in groups {
-        if g.len() != 3 || !g.bytes().all(|b| b.is_ascii_digit()) {
+    cleaned.push_str(&s[start..i]);
+    // Every following group: a comma then exactly three digits.
+    while i < bytes.len() && bytes[i] == b',' {
+        i += 1;
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() && i - start < 3 {
+            i += 1;
+        }
+        if i - start != 3 {
             return None;
         }
+        cleaned.push_str(&s[start..i]);
     }
-    let cleaned: String = s.chars().filter(|&c| c != ',').collect();
+    // Optional all-digit fraction.
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == start {
+            return None;
+        }
+        cleaned.push('.');
+        cleaned.push_str(&s[start..i]);
+    }
+    // Anything left over — a fourth digit in a group, an exponent, a second
+    // dot, embedded whitespace — rejects the whole field.
+    if i != bytes.len() {
+        return None;
+    }
     cleaned.parse().ok()
 }
 

@@ -10,6 +10,7 @@
 use spec_model::{LoadLevel, YearMonth};
 
 use crate::numfmt::parse_grouped;
+use crate::scan;
 
 /// A date field as found in a report: cleanly parsed, present but
 /// ambiguous/unparseable, or absent.
@@ -210,7 +211,7 @@ pub fn diagnose_non_report(text: &str) -> ParseFailure {
             line: None,
         };
     }
-    let first = text.lines().next().unwrap_or("");
+    let first = scan::lines(text).next().unwrap_or("");
     ParseFailure {
         category: "missing-header",
         detail: format!(
@@ -255,9 +256,9 @@ pub(crate) fn contains_ignore_case(haystack: &str, needle: &str) -> bool {
     h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
 }
 
-/// Case-insensitive prefix test without allocating a lowered copy.
+/// Case-insensitive prefix test, via the SWAR word-compare kernel.
 pub(crate) fn starts_with_ignore_case(s: &str, prefix: &str) -> bool {
-    s.len() >= prefix.len() && s.as_bytes()[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+    scan::starts_with_ignore_case(s, prefix)
 }
 
 /// Classify a date value without allocating. Two alternatives
@@ -277,6 +278,18 @@ pub(crate) fn classify_date(raw: &str) -> DateClass<'_> {
     match YearMonth::parse(trimmed) {
         Ok(d) => DateClass::Parsed(d),
         Err(_) => DateClass::Ambiguous(trimmed),
+    }
+}
+
+/// The hardware/software-availability *year* of a raw date value, `None`
+/// when the value is missing, ambiguous, or unparseable — exactly the
+/// year [`parse_run`] ends up with for that field. The stage graph's
+/// `part_key_of_text` uses this so partition keys can never drift from
+/// the parser's date semantics.
+pub fn date_year(raw: &str) -> Option<i32> {
+    match classify_date(raw) {
+        DateClass::Parsed(d) => Some(d.year()),
+        DateClass::Ambiguous(_) | DateClass::Missing => None,
     }
 }
 
@@ -314,14 +327,14 @@ pub(crate) fn first_uint(s: &str) -> Option<u32> {
 }
 
 /// Parse a load-level row of the results summary with an in-place splitter
-/// (no per-row `Vec<&str>` collect).
+/// (no per-row `Vec<&str>` collect); cells split on the SWAR kernel.
 pub(crate) fn parse_level_row(line: &str) -> Option<(LoadLevel, f64, f64)> {
-    let mut cells = line.split('|').map(str::trim);
+    let mut cells = scan::split_byte(line, b'|').map(str::trim);
     let level_cell = cells.next()?;
     let _target = cells.next()?;
     let ops_cell = cells.next()?;
     let watts_cell = cells.next()?;
-    let level = if level_cell.eq_ignore_ascii_case("active idle") {
+    let level = if scan::eq_ignore_case(level_cell, "active idle") {
         LoadLevel::ActiveIdle
     } else {
         let pct = level_cell.strip_suffix('%')?.trim().parse::<u8>().ok()?;
@@ -330,6 +343,53 @@ pub(crate) fn parse_level_row(line: &str) -> Option<(LoadLevel, f64, f64)> {
     let ops = parse_grouped(ops_cell).unwrap_or(f64::NAN);
     let watts = parse_grouped(watts_cell).unwrap_or(f64::NAN);
     Some((level, ops, watts))
+}
+
+/// How one report line is dispatched, shared verbatim by the owned and
+/// interned parsers (and, through [`header_lines`], by the stage graph's
+/// partition-key scan). One classification per line: level rows are
+/// recognized by a pipe anywhere, then `Key: value` headers by the first
+/// colon, then the headline metric by its literal prefix.
+pub(crate) enum LineKind<'a> {
+    /// Pipe-separated results-summary row (already right-trimmed).
+    Level(&'a str),
+    /// `Key: value` header line, both sides trimmed.
+    Header(&'a str, &'a str),
+    /// `SPECpower_ssj2008 = …` headline; carries the first token after `=`.
+    Headline(&'a str),
+    /// Anything else — ignored by every consumer.
+    Other,
+}
+
+/// Classify one pre-scanned line from the cut offsets the fused
+/// [`scan::classified_lines`] pass already found, so no line is rescanned
+/// for its pipe or colon. The offsets index non-whitespace bytes, which
+/// keeps them valid after the right-trim.
+pub(crate) fn classify_cuts<'a>(cuts: &scan::LineCuts<'a>) -> LineKind<'a> {
+    let line = cuts.line.trim_end();
+    if cuts.pipe.is_some() {
+        return LineKind::Level(line);
+    }
+    if let Some(colon) = cuts.colon {
+        return LineKind::Header(line[..colon].trim(), line[colon + 1..].trim());
+    }
+    if let Some(rest) = scan::strip_prefix(line, "SPECpower_ssj2008 =") {
+        return LineKind::Headline(rest.split_whitespace().next().unwrap_or(""));
+    }
+    LineKind::Other
+}
+
+/// Iterate the `Key: value` header lines of a report, classified exactly
+/// as [`parse_run`] classifies them: level rows (any line containing a
+/// pipe) are skipped first, keys and values are trimmed, and `\r\n` line
+/// endings are handled identically. Consumers that scan headers without
+/// running the full parser (the stage graph's `part_key_of_text`) use
+/// this so the two walks cannot disagree.
+pub fn header_lines(text: &str) -> impl Iterator<Item = (&str, &str)> {
+    scan::classified_lines(text).filter_map(|cuts| match classify_cuts(&cuts) {
+        LineKind::Header(key, value) => Some((key, value)),
+        _ => None,
+    })
 }
 
 /// Parse the characteristics line written by the canonical writer:
@@ -353,30 +413,29 @@ fn parse_characteristics(run: &mut ParsedRun, value: &str) {
 /// Returns [`NotAReport`] only when the header line is absent; everything
 /// else degrades to `None`/`Missing` fields for the validity stage to judge.
 pub fn parse_run(text: &str) -> Result<ParsedRun, NotAReport> {
-    if !text.contains("SPECpower_ssj2008") {
+    if !scan::contains_str(text, "SPECpower_ssj2008") {
         return Err(NotAReport);
     }
     let mut run = ParsedRun::default();
 
-    for line in text.lines() {
-        let line = line.trim_end();
-        // Results-summary rows have a pipe-separated shape.
-        if line.contains('|') {
-            if let Some(row) = parse_level_row(line) {
-                run.levels.push(row);
+    for cuts in scan::classified_lines(text) {
+        let (key, value) = match classify_cuts(&cuts) {
+            // Results-summary rows have a pipe-separated shape.
+            LineKind::Level(row) => {
+                if let Some(row) = parse_level_row(row) {
+                    run.levels.push(row);
+                }
+                continue;
             }
-            continue;
-        }
-        let Some((key, value)) = line.split_once(':') else {
             // Headline metric line: "SPECpower_ssj2008 = 15,112 overall …".
-            if let Some(rest) = line.strip_prefix("SPECpower_ssj2008 =") {
-                run.reported_overall =
-                    parse_grouped(rest.split_whitespace().next().unwrap_or(""));
+            LineKind::Headline(token) => {
+                run.reported_overall = parse_grouped(token);
+                continue;
             }
-            continue;
+            LineKind::Header(key, value) => (key, value),
+            LineKind::Other => continue,
         };
-        let value = value.trim();
-        match key.trim() {
+        match key {
             "Result Number" => run.id = first_uint(value),
             "Test Sponsor" => run.submitter = Some(value.to_string()),
             "Status" => run.status_raw = Some(value.to_string()),

@@ -80,7 +80,7 @@ fn drop_lines(text: &str, prefix: &str) -> String {
 /// covers every stage-1 filter category plus structural damage (truncation,
 /// dropped/duplicated lines, control bytes, separator garbage).
 fn corrupt(text: &str, op: u32, k: usize) -> String {
-    match op % 16 {
+    match op % 18 {
         0 => text.to_string(),
         1 => set_value(text, "Test Date", "Jun-2014 or Jul-2014"),
         2 => set_value(text, "Hardware Availability", "n/a"),
@@ -147,7 +147,7 @@ fn corrupt(text: &str, op: u32, k: usize) -> String {
             }
             out
         }
-        _ => {
+        15 => {
             // Garble a level row: swap its pipes' payload for junk.
             let mut out = String::with_capacity(text.len());
             let mut garbled = false;
@@ -162,6 +162,30 @@ fn corrupt(text: &str, op: u32, k: usize) -> String {
             }
             out
         }
+        16 => {
+            // CRLF line endings (normalize first so stacking the op twice
+            // cannot produce \r\r\n).
+            text.replace("\r\n", "\n").replace('\n', "\r\n")
+        }
+        _ => {
+            // Append a duplicate, *conflicting* header line — last
+            // occurrence must win on both paths, including resetting a
+            // previously-parsed date to ambiguous.
+            let dup = [
+                "Hardware Availability: n/a",
+                "Hardware Availability: Mar-2019",
+                "CPU Name: AMD EPYC 9999",
+                "CPU Name: something else entirely",
+                "Status: Accepted",
+            ][k % 5];
+            let mut out = text.to_string();
+            if !out.ends_with('\n') && !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(dup);
+            out.push('\n');
+            out
+        }
     }
 }
 
@@ -174,8 +198,8 @@ proptest! {
         max_ops in 1e4f64..1e7,
         idle_w in 20.0f64..200.0,
         max_w in 150.0f64..900.0,
-        op_a in 0u32..16,
-        op_b in 0u32..16,
+        op_a in 0u32..18,
+        op_b in 0u32..18,
         k_a in 0usize..4096,
         k_b in 0usize..4096,
     ) {

@@ -34,10 +34,12 @@
 mod fault;
 mod real;
 mod retry;
+mod shared;
 
 pub use fault::{Fault, FaultKind, FaultVfs, OpKind, TraceEntry};
 pub use real::RealVfs;
 pub use retry::{is_transient, Clock, RealClock, RetryPolicy, RetryVfs, TestClock};
+pub use shared::{SharedText, SlabArena, DEFAULT_SLAB_BYTES};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -109,6 +111,14 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
                 format!("{} is not valid UTF-8", path.display()),
             )
         })
+    }
+
+    /// [`Vfs::read_to_string`] wrapped into an [`Arc`]-backed immutable
+    /// [`SharedText`], the zero-copy ingest input: downstream stages and
+    /// shards clone the handle (two words + a refcount bump) and borrow
+    /// `&str` slices instead of copying per-file `String`s around.
+    fn read_to_shared(&self, path: &Path) -> io::Result<SharedText> {
+        self.read_to_string(path).map(SharedText::new)
     }
 
     /// Durable atomic write with an explicit temp path: write `tmp`, fsync
