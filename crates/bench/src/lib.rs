@@ -67,7 +67,7 @@ pub fn upsert_json_section(original: &str, key: &str, section: &str) -> String {
     }
     let mut doc = trimmed.to_string();
     let needle = format!("\"{key}\"");
-    if let Some(key_at) = doc.find(&needle) {
+    if let Some(key_at) = find_top_level_key(&doc, &needle) {
         // Replace the existing value: skip past the colon, then
         // brace/bracket-match (or scan a scalar) to find the value end.
         let after_key = key_at + needle.len();
@@ -168,6 +168,46 @@ pub fn upsert_json_section(original: &str, key: &str, section: &str) -> String {
     doc
 }
 
+/// Find `needle` (a quoted key, `"name"`) where it is a *key of the root
+/// object*: at nesting depth 1, outside any string, and followed by `:`.
+/// A plain substring search would also match the needle appearing as a
+/// string *value* (`"bench": "serve_replay"`) or as a key of a nested
+/// object, and replacing from there corrupts the document.
+fn find_top_level_key(doc: &str, needle: &str) -> Option<usize> {
+    let bytes = doc.as_bytes();
+    let nb = needle.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            if b == b'\\' {
+                i += 1;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else if b == b'"' {
+            if depth == 1 && bytes[i..].starts_with(nb) {
+                let mut j = i + nb.len();
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b':') {
+                    return Some(i);
+                }
+            }
+            in_str = true;
+        } else if b == b'{' || b == b'[' {
+            depth += 1;
+        } else if b == b'}' || b == b']' {
+            depth = depth.saturating_sub(1);
+        }
+        i += 1;
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +225,25 @@ mod tests {
             let out = upsert_json_section(original, "parse_micro", "{\"x\": 1}");
             assert_eq!(out, "{\n  \"parse_micro\": {\"x\": 1}\n}\n");
         }
+    }
+
+    #[test]
+    fn upsert_ignores_key_appearing_as_string_value() {
+        // Legacy flat documents carry `"bench": "serve_replay"`; the
+        // needle must not match that value (or a nested key) and splice
+        // the section over the *next* entry's value.
+        let original =
+            "{\n  \"bench\": \"serve_replay\",\n  \"code_version\": \"v5\",\n  \
+             \"nested\": {\"serve_replay\": 1}\n}\n";
+        let out = upsert_json_section(original, "serve_replay", "{\"x\": 1}");
+        assert!(out.contains("\"bench\": \"serve_replay\""), "{out}");
+        assert!(out.contains("\"code_version\": \"v5\""), "{out}");
+        assert!(out.contains("\"nested\": {\"serve_replay\": 1}"), "{out}");
+        assert!(out.contains("\"serve_replay\": {\"x\": 1}"), "{out}");
+        // And once present at top level, a re-upsert replaces in place.
+        let again = upsert_json_section(&out, "serve_replay", "{\"x\": 2}");
+        assert!(again.contains("\"serve_replay\": {\"x\": 2}"), "{again}");
+        assert!(!again.contains("{\"x\": 1}"), "{again}");
     }
 
     #[test]

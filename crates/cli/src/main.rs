@@ -27,12 +27,15 @@
 //!                                                spill to disk so ×1000 (~1M
 //!                                                reports) runs in bounded memory
 //! spec-trends serve [--data DIR] [--addr A] [--cache-dir D] [--poll-ms N]
+//!                   [--scale K] [--max-resident-mb M]
+//!                   [--shard I/N | --fan-out A1,A2,...]
 //!                   [--max-inflight N] [--queue-depth N]
 //!                   [--request-deadline-ms N] [--idle-timeout-ms N]
 //!                   [--max-header-bytes N] [--drain-timeout-ms N]
 //!                                                start the HTTP query daemon:
 //!                                                /figures/<n>, /data/<n> (with
-//!                                                ?year=/?vendor= filters), /stats,
+//!                                                ?year=YYYY[-YYYY], ?vendor=v[,v...]
+//!                                                and ?agg=year filters), /stats,
 //!                                                /healthz, /readyz, /shutdown.
 //!                                                Keep-alive connections with hard
 //!                                                deadlines, a bounded admission
@@ -40,7 +43,15 @@
 //!                                                full) and graceful drain. Watches
 //!                                                --data for new reports; a change
 //!                                                re-executes only the touched
-//!                                                (year, vendor) partition's stages
+//!                                                (year, vendor) partition's stages.
+//!                                                With --scale/--max-resident-mb the
+//!                                                snapshot streams into an out-of-core
+//!                                                row store (×100 corpora in fixed
+//!                                                RSS); --shard i/N serves one
+//!                                                deterministic partition subset and
+//!                                                --fan-out scatter-gathers a shard
+//!                                                fleet behind one byte-identical
+//!                                                front end
 //! ```
 //!
 //! Without `--data`, commands operate on the built-in synthetic dataset
@@ -67,7 +78,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spec_analysis::stream::{SpillConfig, StreamConfig, StreamIngest};
-use spec_analysis::{ArtifactCache, CorpusSource, PipelineDriver, ServeConfig, Server, StageId};
+use spec_analysis::{
+    ArtifactCache, CorpusSource, PipelineDriver, ServeConfig, Server, ShardSpec, SnapshotMode,
+    StageId,
+};
 use spec_diag::TrendsError;
 use spec_ssj::Settings;
 use spec_synth::{
@@ -79,7 +93,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spec-trends <generate|analyze|explain|figures|table1|report|export|trends|doctor|stats|ingest|serve> \
          [--out PATH] [--data DIR] [--seed N] [--scale K] [--cache-dir DIR] [--threads N] [--trace-out FILE] \
-         [--max-resident-mb M] [--addr HOST:PORT] [--poll-ms N] [--max-inflight N] [--queue-depth N] \
+         [--max-resident-mb M] [--addr HOST:PORT] [--poll-ms N] [--shard I/N] [--fan-out A1,A2,...] \
+         [--max-inflight N] [--queue-depth N] \
          [--request-deadline-ms N] [--idle-timeout-ms N] [--max-header-bytes N] [--drain-timeout-ms N]\n\
          \n\
          --scale K     replicate the synthetic corpus K×: `generate` writes the\n\
@@ -105,6 +120,18 @@ fn usage() -> ExitCode {
          \x20               without a flag; `stats` prints the metrics table.\n\
          --addr HOST:PORT  (serve) bind address, default 127.0.0.1:7878.\n\
          --poll-ms N   (serve) corpus-watch poll interval, default 500.\n\
+         --shard I/N   (serve) host only the partitions a deterministic hash\n\
+         \x20             assigns to shard I of N (one-based). Shards answer\n\
+         \x20             /shard/meta and /shard/rows for a front end.\n\
+         --fan-out A1,A2,...  (serve) run a front-end daemon with no local\n\
+         \x20             snapshot: filtered queries scatter to the listed shard\n\
+         \x20             addresses over keep-alive HTTP/1.1 and the gathered\n\
+         \x20             rows merge into byte-identical responses. A dead shard\n\
+         \x20             degrades to 503 + Retry-After within the request\n\
+         \x20             deadline. Mutually exclusive with --shard.\n\
+         \x20             serve with --scale or --max-resident-mb streams the\n\
+         \x20             corpus into an out-of-core row store (spilled segments\n\
+         \x20             are checksummed) instead of materializing it.\n\
          --max-inflight N        (serve) connections served concurrently, default 32.\n\
          --queue-depth N         (serve) admission queue bound; a full queue sheds\n\
          \x20                      new connections with 503 + Retry-After. Default 64.\n\
@@ -138,6 +165,8 @@ struct Args {
     idle_timeout_ms: Option<u64>,
     max_header_bytes: Option<usize>,
     drain_timeout_ms: Option<u64>,
+    shard: Option<String>,
+    fan_out: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -162,6 +191,8 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
     let mut idle_timeout_ms = None;
     let mut max_header_bytes = None;
     let mut drain_timeout_ms = None;
+    let mut shard = None;
+    let mut fan_out = None;
     // Shared shape for the serve limit flags: a positive integer.
     fn positive<T: std::str::FromStr + PartialEq + From<u8>>(raw: Option<String>) -> Option<T> {
         let value: T = raw?.parse().ok()?;
@@ -217,6 +248,8 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
                 max_header_bytes = Some(bytes);
             }
             "--drain-timeout-ms" => drain_timeout_ms = Some(positive::<u64>(args.next())?),
+            "--shard" => shard = Some(args.next()?),
+            "--fan-out" => fan_out = Some(args.next()?),
             _ => return None,
         }
     }
@@ -238,6 +271,8 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Option<Args> {
         idle_timeout_ms,
         max_header_bytes,
         drain_timeout_ms,
+        shard,
+        fan_out,
     })
 }
 
@@ -666,14 +701,49 @@ fn render_stats_table(rows: &[(String, String, String)]) -> String {
 /// `spec-trends serve`: bind the query daemon, watch `--data` for corpus
 /// changes, block until `/shutdown` (or process signal) and join.
 fn run_serve(args: &Args) -> spec_diag::Result<()> {
-    let source = match &args.data {
-        Some(dir) => CorpusSource::Dir(dir.clone()),
-        None => CorpusSource::Synthetic(SynthConfig {
-            seed: args.seed,
-            ..SynthConfig::default()
-        }),
+    let fan_out: Vec<String> = args
+        .fan_out
+        .as_deref()
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    if args.fan_out.is_some() && fan_out.is_empty() {
+        return Err(TrendsError::config(
+            "serve",
+            "--fan-out needs at least one shard address",
+        ));
+    }
+    let source = if fan_out.is_empty() {
+        match &args.data {
+            Some(dir) => CorpusSource::Dir(dir.clone()),
+            None => CorpusSource::Synthetic(SynthConfig {
+                seed: args.seed,
+                ..SynthConfig::default()
+            }),
+        }
+    } else {
+        // A fan-out front end holds no local snapshot; the corpus lives
+        // behind the shard daemons.
+        CorpusSource::Memory(Vec::new())
     };
     let mut config = ServeConfig::new(source);
+    config.fan_out = fan_out;
+    if let Some(spec) = &args.shard {
+        config.shard = Some(ShardSpec::parse(spec).map_err(|e| TrendsError::config("serve", e))?);
+    }
+    config.scale = args.scale;
+    config.max_resident_mb = args.max_resident_mb;
+    // --scale past ×1 or a resident bound both imply the corpus may not fit
+    // in memory: build the snapshot by streaming into the out-of-core row
+    // store instead of materializing the stage graph's merged row vectors.
+    if args.max_resident_mb.is_some() || args.scale > 1 {
+        config.mode = SnapshotMode::Stream;
+    }
     if let Some(addr) = &args.addr {
         config.addr = addr.clone();
     }
@@ -708,11 +778,17 @@ fn run_serve(args: &Args) -> spec_diag::Result<()> {
     // Watch the corpus directory when serving one; synthetic corpora
     // cannot change underneath us.
     config.watch = args.data.clone();
+    // Spilled row segments live in a per-process scratch directory whose
+    // guard outlives the server, so a drain on any exit path also removes
+    // the spill files.
+    let scratch = ScratchDir::new("serve");
+    config.spill_dir = Some(scratch.path().to_path_buf());
     let server = Server::start(config)?;
     println!("listening on http://{}", server.addr());
     server.wait();
     eprintln!("shutdown requested, draining workers");
     server.shutdown();
+    drop(scratch);
     Ok(())
 }
 
@@ -935,6 +1011,40 @@ mod tests {
         let defaults = parse(&["serve"]).unwrap();
         assert_eq!(defaults.max_inflight, None);
         assert_eq!(defaults.queue_depth, None);
+    }
+
+    #[test]
+    fn serve_shard_and_fan_out_flags_parse() {
+        let args = parse(&["serve", "--shard", "1/2"]).unwrap();
+        assert_eq!(args.shard.as_deref(), Some("1/2"));
+        assert_eq!(args.fan_out, None);
+        let args = parse(&["serve", "--fan-out", "127.0.0.1:7001,127.0.0.1:7002"]).unwrap();
+        assert_eq!(args.fan_out.as_deref(), Some("127.0.0.1:7001,127.0.0.1:7002"));
+        // The shard spec is validated when the server is configured, not
+        // at flag-parse time; a missing value still fails here.
+        assert!(parse(&["serve", "--shard"]).is_none());
+        assert!(parse(&["serve", "--fan-out"]).is_none());
+    }
+
+    #[test]
+    fn serve_rejects_bad_shard_spec_and_empty_fan_out() {
+        let args = parse(&["serve", "--addr", "127.0.0.1:0", "--shard", "three/4"]).unwrap();
+        let err = run_serve(&args).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+        let args = parse(&["serve", "--addr", "127.0.0.1:0", "--fan-out", " , "]).unwrap();
+        let err = run_serve(&args).unwrap_err();
+        assert!(err.to_string().contains("fan-out"), "{err}");
+        // --shard and --fan-out on one daemon is a configuration error
+        // (a shard owns rows, a front end owns none).
+        let args = parse(&[
+            "serve",
+            "--addr", "127.0.0.1:0",
+            "--shard", "1/2",
+            "--fan-out", "127.0.0.1:7001",
+        ])
+        .unwrap();
+        let err = run_serve(&args).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -55,9 +55,10 @@ pub use pipeline::{
     RawInputRef,
 };
 pub use stage::{
-    ArtifactCache, CacheHealth, CorpusSource, FsckReport, PipelineDriver, StageId, StageStats,
+    ArtifactCache, CacheHealth, CorpusSource, FsckReport, PipelineDriver, ShardSpec, StageId,
+    StageStats,
 };
 pub use proportionality::{ep_metrics, ep_trend, normalized_curve, EpMetrics, EpTrend};
 pub use report::{run_study, Comparison, Study};
-pub use serve::{ServeConfig, Server};
+pub use serve::{ServeConfig, Server, SnapshotMode};
 pub use table1::{sr645_v3, sr650_v3, Table1, Table1Entry};

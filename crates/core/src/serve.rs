@@ -2,11 +2,13 @@
 //!
 //! A std-only HTTP/1.1 server over [`std::net`] that answers figure and
 //! data queries straight from warm partition artifacts. The daemon keeps
-//! one immutable [`Snapshot`] (pre-rendered figures/CSVs plus the merged
-//! [`RunRow`] extracts) behind an `RwLock<Arc<_>>`; every request reads
-//! whichever snapshot is current, so a refresh that fails mid-flight —
-//! including under `FaultVfs` chaos — can never produce a torn response:
-//! the old snapshot simply stays live.
+//! one immutable [`Snapshot`] — pre-rendered figures/CSVs plus an
+//! out-of-core per-partition row store (`SegFrame`-backed, spilling
+//! cold segments checksummed to disk under `max_resident_mb`) — behind
+//! an `RwLock<Arc<_>>`; every request reads whichever snapshot is
+//! current, so a refresh that fails mid-flight — including under
+//! `FaultVfs` chaos — can never produce a torn response: the old
+//! snapshot simply stays live.
 //!
 //! Endpoints (all `GET`):
 //!
@@ -19,13 +21,37 @@
 //! | `/healthz`      | liveness probe (always 200 while the process is up) |
 //! | `/readyz`       | readiness probe (503 once draining)             |
 //! | `/shutdown`     | begins graceful drain                           |
+//! | `/shard/meta`   | shard-mode only: generation, cascade, owned partitions |
+//! | `/shard/rows`   | shard-mode only: codec-framed filtered rows     |
 //!
-//! `/figures/<n>` and `/data/<n>` accept `?year=YYYY` and
-//! `?vendor=intel|amd|other` filters; filtered responses are recomputed
-//! from the snapshot's row extracts via the same `compute_rows` reduce
-//! the pipeline uses, then memoized per snapshot so repeated queries are
-//! sub-millisecond. Unfiltered responses serve the stage graph's cached
-//! export bytes unchanged.
+//! `/figures/<n>` and `/data/<n>` accept `?year=YYYY`, `?year=YYYY-YYYY`
+//! ranges, `?vendor=v[,v...]` lists over `intel|amd|other`, and
+//! `?agg=year` (yearly-mean CSVs, `/data/2|3|5|6` only); malformed
+//! filters answer typed `400`s. Filtered responses are recomputed from
+//! the snapshot's row store via the same `compute_rows` reduce the
+//! pipeline uses, then memoized per snapshot in an LRU bounded by
+//! `memo_cap` (`serve.memo_entries` / `serve.memo_evictions` gauges) so
+//! repeated queries are sub-millisecond. Unfiltered responses serve the
+//! stage graph's cached export bytes unchanged.
+//!
+//! ## Snapshots, shards and fan-out (see DESIGN.md §17)
+//!
+//! [`SnapshotMode::Graph`] builds through the partitioned stage graph;
+//! [`SnapshotMode::Stream`] streams the corpus (optionally `scale`×
+//! replicated) through [`crate::stream::StreamRows`] straight into the
+//! row store, so a ×100 corpus serves in fixed RSS. Both modes produce
+//! byte-identical responses.
+//!
+//! `ServeConfig::shard = Some(i/N)` keeps only the partitions a
+//! deterministic hash of the partition key assigns to shard *i*;
+//! `ServeConfig::fan_out = [addr, ...]` runs a front end with **no local
+//! snapshot** that scatters each filtered query to every shard over
+//! keep-alive HTTP/1.1 (`/shard/rows`), gathers the codec-framed
+//! partial rows, re-sorts them by global row index and runs the same
+//! reduce — responses are byte-identical to a single-process daemon. A
+//! dead shard degrades that query to `503` + `Retry-After` inside the
+//! request deadline; `/stats` grows a per-shard table (address, owned
+//! partitions, proxied requests, p99, last error).
 //!
 //! ## Connection lifecycle (see [`net`] and DESIGN.md §15)
 //!
@@ -66,6 +92,7 @@
 
 pub mod faultnet;
 pub mod net;
+mod rows;
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -81,14 +108,38 @@ use spec_model::CpuVendor;
 use spec_obs as obs;
 use spec_ssj::Settings;
 use spec_vfs::Vfs;
+use tinyframe::{Column, Frame};
 
 use crate::export::{fig1_frame, fig4_frame, series_frame};
 use crate::figures::common::RunRow;
 use crate::figures::{fig1, fig2, fig3, fig4, fig5, fig6};
-use crate::pipeline::FilterReport;
-use crate::stage::{ArtifactCache, CorpusSource, PartitionSummary, PartitionedDriver};
+use crate::pipeline::{FilterReport, RawInput};
+use crate::stage::{
+    decode_from_slice, encode_to_vec, ArtifactCache, CorpusSource, PartKey, PartitionSummary,
+    PartitionedDriver, ShardSpec,
+};
+use crate::stream::StreamRows;
 
 pub use net::Limits;
+
+/// Reports per streaming ingest batch (the CLI's ingest batch size).
+const STREAM_BATCH: usize = 4096;
+
+/// Map a row-store frame error into the serve error category.
+fn frame_err(e: tinyframe::FrameError) -> TrendsError {
+    TrendsError::config("serve", format!("row store: {e}"))
+}
+
+/// Which build path produces snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Drive the partitioned stage graph (artifact-cached, incremental).
+    #[default]
+    Graph,
+    /// Stream the corpus in bounded batches straight into the out-of-core
+    /// row store: fixed RSS, no artifact cache — the ×100 hosting path.
+    Stream,
+}
 
 /// How the daemon is built and where it listens.
 #[derive(Clone)]
@@ -115,6 +166,22 @@ pub struct ServeConfig {
     pub limits: Limits,
     /// Time source for request deadlines (chaos-injectable).
     pub clock: Arc<dyn net::Clock>,
+    /// Snapshot build path: stage graph (cached) or streaming (bounded RSS).
+    pub mode: SnapshotMode,
+    /// Synthetic corpus replication factor (streaming builds only).
+    pub scale: u32,
+    /// Resident row-store budget in MiB; rows past it spill to checksummed
+    /// segment files. `None` keeps every row resident.
+    pub max_resident_mb: Option<usize>,
+    /// Spill directory for out-of-core rows (a temp dir when `None`).
+    pub spill_dir: Option<PathBuf>,
+    /// Filtered-response memo capacity (LRU entries per snapshot).
+    pub memo_cap: usize,
+    /// Serve only the partitions this shard owns (`--shard i/N`).
+    pub shard: Option<ShardSpec>,
+    /// Scatter queries to these shard daemons instead of local rows
+    /// (`--fan-out addr,addr,...`); mutually exclusive with `shard`.
+    pub fan_out: Vec<String>,
 }
 
 impl ServeConfig {
@@ -132,6 +199,13 @@ impl ServeConfig {
             vfs: spec_vfs::default_vfs(),
             limits: Limits::default(),
             clock: Arc::new(net::SystemClock),
+            mode: SnapshotMode::Graph,
+            scale: 1,
+            max_resident_mb: None,
+            spill_dir: None,
+            memo_cap: 256,
+            shard: None,
+            fan_out: Vec::new(),
         }
     }
 }
@@ -217,20 +291,78 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
+/// A bounded LRU of memoized responses. `tick` is a logical clock
+/// bumped on every touch; reaching `cap` evicts the least-recently
+/// touched entry, so distinct query strings can no longer grow the memo
+/// without bound. Entry count and eviction total surface in `/stats` as
+/// `serve.memo_entries` / `serve.memo_evictions`.
+struct Memo {
+    cap: usize,
+    tick: u64,
+    evictions: u64,
+    map: HashMap<String, (u64, Arc<Response>)>,
+}
+
+impl Memo {
+    fn new(cap: usize) -> Memo {
+        Memo {
+            cap: cap.max(1),
+            tick: 0,
+            evictions: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<Response>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(t, response)| {
+            *t = tick;
+            Arc::clone(response)
+        })
+    }
+
+    fn insert(&mut self, key: String, response: Arc<Response>) {
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.tick, response));
+        obs::set_gauge("serve.memo_entries", self.map.len() as i64);
+        obs::set_gauge("serve.memo_evictions", self.evictions as i64);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// Everything a request can be answered from, built once per refresh.
-/// Immutable after construction except the per-snapshot response memo.
+/// Immutable after construction except the out-of-core row store (whose
+/// spill slots shuffle under queries) and the response memo.
 struct Snapshot {
     /// Monotonic refresh counter (0 = the startup build).
     generation: u64,
-    /// Full §II cascade accounting.
+    /// Full §II cascade accounting (shard builds: the owned slice).
     report: FilterReport,
-    /// Row extracts of the valid runs (Figure 1 input).
-    valid_rows: Vec<RunRow>,
-    /// Row extracts of the comparable runs (Figures 2–6 input).
-    comparable_rows: Vec<RunRow>,
-    /// Pre-rendered figure SVGs from the stage graph, by file name.
+    /// Out-of-core `(gidx, comparable, row)` store, per partition — the
+    /// filtered-query and scatter-gather row source.
+    rows: Mutex<rows::RowStore>,
+    /// Pre-rendered figure SVGs, by file name.
     figure_files: Vec<(String, String)>,
-    /// Pre-rendered CSVs from the stage graph, by file name.
+    /// Pre-rendered CSVs, by file name.
     data_files: Vec<(String, String)>,
     /// Per-partition cascade summary from the build that made this.
     partitions: Vec<PartitionSummary>,
@@ -240,15 +372,48 @@ struct Snapshot {
     hits: usize,
     /// Partitions with ≥1 execution during the refresh.
     partitions_executed: usize,
-    /// Memoized filtered responses, keyed by `path?query`.
-    memo: Mutex<HashMap<String, Arc<Response>>>,
+    /// Which build path produced this snapshot.
+    mode: SnapshotMode,
+    /// Memoized filtered responses, keyed by `path?query` (LRU-bounded).
+    memo: Mutex<Memo>,
 }
 
 impl Snapshot {
+    fn build(config: &ServeConfig, generation: u64) -> spec_diag::Result<Snapshot> {
+        match config.mode {
+            SnapshotMode::Graph => Snapshot::build_graph(config, generation),
+            SnapshotMode::Stream => Snapshot::build_stream(config, generation),
+        }
+    }
+
+    /// The per-generation row store, spilling once `--max-resident-mb`
+    /// is set. Each generation gets its own scratch subdirectory so a
+    /// refresh can never collide with the snapshot still serving, and
+    /// the store removes it on drop.
+    fn row_store(config: &ServeConfig, generation: u64) -> spec_diag::Result<rows::RowStore> {
+        let spill = config.max_resident_mb.map(|mb| {
+            let dir = config
+                .spill_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir)
+                .join(format!(
+                    "spec-serve-spill-{}-gen{generation}",
+                    std::process::id()
+                ));
+            (dir, mb.saturating_mul(1024 * 1024).max(1))
+        });
+        rows::RowStore::new(rows::RowStoreConfig {
+            spill,
+            cleanup: true,
+            ..rows::RowStoreConfig::default()
+        })
+        .map_err(frame_err)
+    }
+
     /// Build a snapshot by driving the partitioned stage graph. Runs
     /// entirely in the calling thread (the driver is single-threaded
     /// state; partition work inside still fans out over `tinypool`).
-    fn build(config: &ServeConfig, generation: u64) -> spec_diag::Result<Snapshot> {
+    fn build_graph(config: &ServeConfig, generation: u64) -> spec_diag::Result<Snapshot> {
         let mut sp = obs::span("serve.refresh");
         let mut driver = PartitionedDriver::new(
             config.source.clone(),
@@ -259,28 +424,155 @@ impl Snapshot {
         if let Some(cache) = &config.cache {
             driver = driver.with_cache(cache.clone());
         }
+        if let Some(shard) = config.shard {
+            driver = driver.with_shard(shard);
+        }
         let report = driver.filter_report()?;
-        let merged = driver.merged()?;
-        let valid_rows = merged.valid_rows.clone();
-        let comparable_rows = merged.comparable_rows.clone();
         let figure_files = driver.figure_files()?;
         let data_files = driver.data_files()?;
         let partitions = driver.partition_summary()?;
+        let mut store = Snapshot::row_store(config, generation)?;
+        for part in driver.partition_rows()? {
+            store.push_part(&part).map_err(frame_err)?;
+        }
+        store.seal().map_err(frame_err)?;
         sp.record("generation", generation);
         sp.record("executed", driver.executed_total());
         sp.observe_into("serve.refresh_us");
         Ok(Snapshot {
             generation,
             report,
-            valid_rows,
-            comparable_rows,
+            rows: Mutex::new(store),
             figure_files,
             data_files,
             partitions,
             executed: driver.executed_total(),
             hits: driver.hits_total(),
             partitions_executed: driver.partitions_executed(),
-            memo: Mutex::new(HashMap::new()),
+            mode: SnapshotMode::Graph,
+            memo: Mutex::new(Memo::new(config.memo_cap)),
+        })
+    }
+
+    /// Build a snapshot by streaming the corpus in bounded batches
+    /// straight into the row store — fixed RSS, no stage-graph
+    /// artifacts. The exports are then rendered from one full-row
+    /// query; by the stream/merge-order invariant those bytes equal the
+    /// stage graph's cached exports for the same corpus.
+    fn build_stream(config: &ServeConfig, generation: u64) -> spec_diag::Result<Snapshot> {
+        let mut sp = obs::span("serve.refresh");
+        let shard = config.shard;
+        let owns = |key: &PartKey| shard.is_none_or(|s| s.owns(key));
+        let mut stream = StreamRows::new();
+        let mut store = Snapshot::row_store(config, generation)?;
+        {
+            let mut sink = |key: PartKey, gidx: u32, comparable: bool, row: RunRow| {
+                if owns(&key) {
+                    store.push(key, gidx, comparable, row)
+                } else {
+                    Ok(())
+                }
+            };
+            match &config.source {
+                CorpusSource::Synthetic(synth) => {
+                    let base = spec_synth::generate_dataset(synth);
+                    spec_synth::for_each_scaled_batch(
+                        &base,
+                        config.scale.max(1),
+                        STREAM_BATCH,
+                        |texts| stream.push_batch(texts, &mut sink),
+                    )
+                    .map_err(frame_err)?;
+                }
+                CorpusSource::Dir(dir) => {
+                    let files = crate::pipeline::list_report_files(&*config.vfs, dir)?;
+                    for chunk in files.chunks(STREAM_BATCH) {
+                        let items: Vec<(Option<String>, RawInput)> = chunk
+                            .iter()
+                            .map(|path| crate::pipeline::read_input(&*config.vfs, path))
+                            .collect();
+                        stream
+                            .push_input_batch(&items, &mut sink)
+                            .map_err(frame_err)?;
+                    }
+                }
+                CorpusSource::Memory(items) => {
+                    for chunk in items.chunks(STREAM_BATCH) {
+                        let owned: Vec<(Option<String>, RawInput)> = chunk
+                            .iter()
+                            .map(|(origin, text)| {
+                                (origin.clone(), RawInput::Text(text.clone()))
+                            })
+                            .collect();
+                        stream
+                            .push_input_batch(&owned, &mut sink)
+                            .map_err(frame_err)?;
+                    }
+                }
+            }
+        }
+        store.seal().map_err(frame_err)?;
+        let mut query_sp = obs::span("serve.refresh.full_query");
+        let tagged = store.query(|_| true, |_| true).map_err(frame_err)?;
+        let (valid, comparable) = split_tagged(&tagged);
+        drop(tagged);
+        query_sp.observe_into("serve.refresh_full_query_us");
+        let figure_files: Vec<(String, String)> = (1..=6)
+            .map(|n| {
+                let mut fig_sp = obs::span("serve.refresh.render_figure");
+                fig_sp.record("figure", u64::from(n));
+                let rendered = render_figure(n, &valid, &comparable);
+                fig_sp.observe_into("serve.refresh_render_us");
+                (figure_file_name(n).to_string(), rendered)
+            })
+            .collect();
+        let data_files: Vec<(String, String)> = (1..=6)
+            .map(|n| {
+                let mut data_sp = obs::span("serve.refresh.render_data");
+                data_sp.record("data", u64::from(n));
+                let rendered = render_data(n, &valid, &comparable);
+                data_sp.observe_into("serve.refresh_render_us");
+                (data_file_name(n).to_string(), rendered)
+            })
+            .collect();
+        let partitions: Vec<PartitionSummary> = stream
+            .partition_counts()
+            .iter()
+            .filter(|(key, _)| owns(key))
+            .map(|(key, counts)| PartitionSummary {
+                key: *key,
+                reports: counts.raw,
+                valid: counts.valid,
+                comparable: counts.comparable,
+                executed: 0,
+                hits: 0,
+            })
+            .collect();
+        let report = if shard.is_some() {
+            // A shard's cascade header counts the partitions it owns.
+            let mut report = FilterReport::default();
+            report.raw = partitions.iter().map(|p| p.reports).sum();
+            report.valid = partitions.iter().map(|p| p.valid).sum();
+            report.comparable = partitions.iter().map(|p| p.comparable).sum();
+            report
+        } else {
+            stream.report().clone()
+        };
+        sp.record("generation", generation);
+        sp.record("rows", store.n_rows());
+        sp.observe_into("serve.refresh_us");
+        Ok(Snapshot {
+            generation,
+            report,
+            rows: Mutex::new(store),
+            figure_files,
+            data_files,
+            partitions,
+            executed: 0,
+            hits: 0,
+            partitions_executed: 0,
+            mode: SnapshotMode::Stream,
+            memo: Mutex::new(Memo::new(config.memo_cap)),
         })
     }
 
@@ -297,59 +589,113 @@ impl Snapshot {
     }
 }
 
-/// A `?year=`/`?vendor=` filter over the row extracts.
+/// Aggregation level for `/data` responses (`agg=year` groups the CSV
+/// by vendor × hardware year; figures — and the share/grid CSVs, which
+/// carry no yearly-mean series — reject it with 400).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+enum AggLevel {
+    #[default]
+    None,
+    Year,
+}
+
+/// The bit each vendor occupies in a [`RowFilter`] vendor mask.
+fn vendor_bit(vendor: CpuVendor) -> u8 {
+    match vendor {
+        CpuVendor::Intel => 0,
+        CpuVendor::Amd => 1,
+        CpuVendor::Other => 2,
+    }
+}
+
+/// A parsed `?year=`/`?vendor=`/`?agg=` filter over the row extracts.
 #[derive(Clone, Copy, Default, PartialEq, Eq)]
 struct RowFilter {
-    year: Option<i32>,
-    vendor: Option<CpuVendor>,
+    /// Inclusive hardware-year range (`year=2010` or `year=2010-2015`).
+    years: Option<(i32, i32)>,
+    /// Accepted vendors as a [`vendor_bit`] mask (`vendor=intel,amd`).
+    vendors: Option<u8>,
+    agg: AggLevel,
 }
 
 impl RowFilter {
     fn is_empty(self) -> bool {
-        self.year.is_none() && self.vendor.is_none()
+        self.years.is_none() && self.vendors.is_none() && self.agg == AggLevel::None
     }
 
-    fn apply(self, rows: &[RunRow]) -> Vec<RunRow> {
-        rows.iter()
-            .filter(|r| self.year.is_none_or(|y| r.hw_year == y))
-            .filter(|r| self.vendor.is_none_or(|v| r.vendor == v))
-            .copied()
-            .collect()
+    fn matches_row(self, row: &RunRow) -> bool {
+        self.years
+            .is_none_or(|(lo, hi)| (lo..=hi).contains(&row.hw_year))
+            && self
+                .vendors
+                .is_none_or(|mask| mask & (1 << vendor_bit(row.vendor)) != 0)
+    }
+
+    /// Partition-pruning predicate: whether any row keyed here can match.
+    fn matches_key(self, key: &PartKey) -> bool {
+        self.years
+            .is_none_or(|(lo, hi)| (lo..=hi).contains(&key.year))
+            && self
+                .vendors
+                .is_none_or(|mask| mask & (1 << vendor_bit(key.vendor)) != 0)
     }
 }
 
 /// Parse the query string; unknown keys and malformed values are client
 /// errors (400), reported through a [`spec_diag`] config-category error.
+///
+/// Grammar: `year=YYYY` or `year=YYYY-YYYY` (inclusive range),
+/// `vendor=v[,v...]` with each v in intel|amd|other, `agg=none|year`.
 fn parse_filter(query: &str) -> Result<RowFilter, TrendsError> {
+    let bad = |detail: String| TrendsError::config("serve", detail);
     let mut filter = RowFilter::default();
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
         match key {
             "year" => {
-                let year: i32 = value.parse().map_err(|_| {
-                    TrendsError::config("serve", format!("year must be an integer, got {value:?}"))
-                })?;
-                filter.year = Some(year);
+                let parse = |s: &str| {
+                    s.parse::<i32>().map_err(|_| {
+                        bad(format!(
+                            "year must be an integer or a YYYY-YYYY range, got {value:?}"
+                        ))
+                    })
+                };
+                let range = match value.split_once('-') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let year = parse(value)?;
+                        (year, year)
+                    }
+                };
+                if range.0 > range.1 {
+                    return Err(bad(format!("year range is reversed: {value:?}")));
+                }
+                filter.years = Some(range);
             }
             "vendor" => {
-                filter.vendor = Some(match value.to_ascii_lowercase().as_str() {
-                    "intel" => CpuVendor::Intel,
-                    "amd" => CpuVendor::Amd,
-                    "other" => CpuVendor::Other,
-                    _ => {
-                        return Err(TrendsError::config(
-                            "serve",
-                            format!("vendor must be intel|amd|other, got {value:?}"),
-                        ))
-                    }
-                });
+                let mut mask = 0u8;
+                for token in value.split(',') {
+                    mask |= 1 << vendor_bit(match token.to_ascii_lowercase().as_str() {
+                        "intel" => CpuVendor::Intel,
+                        "amd" => CpuVendor::Amd,
+                        "other" => CpuVendor::Other,
+                        _ => {
+                            return Err(bad(format!(
+                                "vendor must be a comma list of intel|amd|other, got {token:?}"
+                            )))
+                        }
+                    });
+                }
+                filter.vendors = Some(mask);
             }
-            _ => {
-                return Err(TrendsError::config(
-                    "serve",
-                    format!("unknown query parameter {key:?}"),
-                ))
+            "agg" => {
+                filter.agg = match value {
+                    "none" => AggLevel::None,
+                    "year" => AggLevel::Year,
+                    _ => return Err(bad(format!("agg must be none|year, got {value:?}"))),
+                };
             }
+            _ => return Err(bad(format!("unknown query parameter {key:?}"))),
         }
     }
     Ok(filter)
@@ -410,6 +756,131 @@ fn render_data(n: u8, valid: &[RunRow], comparable: &[RunRow]) -> String {
     }
 }
 
+/// Split `(gidx, comparable, row)` tuples — already sorted by global
+/// corpus index — into the valid/comparable row vectors every render
+/// path consumes. The order is exactly the monolithic merged order,
+/// which makes the float reduces (and therefore the rendered bytes)
+/// identical whether the rows came from one process or a gather.
+fn split_tagged(tagged: &[rows::TaggedRow]) -> (Vec<RunRow>, Vec<RunRow>) {
+    let mut valid = Vec::with_capacity(tagged.len());
+    let mut comparable = Vec::new();
+    for (_, comp, row) in tagged {
+        valid.push(*row);
+        if *comp {
+            comparable.push(*row);
+        }
+    }
+    (valid, comparable)
+}
+
+/// `agg=year`: the per-vendor yearly-mean series behind figure `n`'s
+/// trend lines, as CSV. Only figures 2/3/5/6 carry such a series.
+fn render_agg_year(n: u8, comparable: &[RunRow]) -> String {
+    let (metric, means) = match n {
+        2 => (
+            "w_per_socket_mean",
+            fig2::compute_rows(comparable).yearly_means,
+        ),
+        3 => (
+            "overall_eff_mean",
+            fig3::compute_rows(comparable).yearly_means,
+        ),
+        5 => (
+            "idle_fraction_mean",
+            fig5::compute_rows(comparable).yearly_means,
+        ),
+        _ => (
+            "extrap_quotient_mean",
+            fig6::compute_rows(comparable).yearly_means,
+        ),
+    };
+    let mut vendors = Vec::new();
+    let mut years = Vec::new();
+    let mut values = Vec::new();
+    for (vendor, points) in &means {
+        for &(year, mean) in points {
+            vendors.push(vendor.label().to_string());
+            years.push(i64::from(year));
+            values.push(mean);
+        }
+    }
+    Frame::from_columns([
+        ("vendor", Column::Str(vendors)),
+        ("year", Column::I64(years)),
+        (metric, Column::F64(values)),
+    ])
+    .expect("aggregate frame")
+    .to_csv()
+}
+
+/// Which row-backed endpoint family a path names.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Figures,
+    Data,
+}
+
+/// Parse and validate a figure/data target: path shape, figure number,
+/// filter grammar, and the agg-vs-endpoint rule. Any failure is the
+/// exact typed 4xx response to send — shared by the local and fan-out
+/// paths so both reject malformed input identically.
+fn parse_target(path: &str, query: &str) -> Result<(Kind, u8, RowFilter), Response> {
+    let (kind, rest) = if let Some(rest) = path.strip_prefix("/figures/") {
+        (Kind::Figures, rest)
+    } else if let Some(rest) = path.strip_prefix("/data/") {
+        (Kind::Data, rest)
+    } else {
+        return Err(Response::error(404, &format!("no such endpoint {path:?}")));
+    };
+    let Ok(n @ 1..=6) = rest.parse::<u8>() else {
+        return Err(Response::error(
+            404,
+            &format!("figure number must be 1..=6, got {rest:?}"),
+        ));
+    };
+    let filter = match parse_filter(query) {
+        Ok(filter) => filter,
+        // Malformed request → 4xx through the spec-diag error, never a
+        // panic; the category names the config-error class.
+        Err(err) => {
+            return Err(Response::error(
+                400,
+                &format!("[{}] {err}", err.kind.category()),
+            ))
+        }
+    };
+    if filter.agg == AggLevel::Year {
+        if kind == Kind::Figures {
+            return Err(Response::error(
+                400,
+                "agg=year applies to /data/<n> endpoints only",
+            ));
+        }
+        if n == 1 || n == 4 {
+            return Err(Response::error(
+                400,
+                "agg=year needs a yearly-mean series: use /data/2, /data/3, /data/5 or /data/6",
+            ));
+        }
+    }
+    Ok((kind, n, filter))
+}
+
+/// Render one filtered (or aggregated) response from gathered rows.
+fn render_filtered(kind: Kind, n: u8, filter: RowFilter, tagged: &[rows::TaggedRow]) -> Response {
+    let (valid, comparable) = split_tagged(tagged);
+    match (kind, filter.agg) {
+        (Kind::Figures, _) => Response::ok("image/svg+xml", render_figure(n, &valid, &comparable)),
+        (Kind::Data, AggLevel::None) => Response::ok(
+            "text/csv; charset=utf-8",
+            render_data(n, &valid, &comparable),
+        ),
+        (Kind::Data, AggLevel::Year) => {
+            Response::ok("text/csv; charset=utf-8", render_agg_year(n, &comparable))
+        }
+    }
+}
+
 /// Terminal fate of one admitted connection (exactly one per connection).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Outcome {
@@ -465,11 +936,121 @@ impl Lifecycle {
     }
 }
 
+/// How many recent per-shard request latencies feed the `/stats` p99.
+const SHARD_LAT_WINDOW: usize = 512;
+
+/// Health and cascade header re-polled from a shard's `/shard/meta`.
+#[derive(Clone, Default)]
+struct ShardMeta {
+    /// At least one successful poll has happened.
+    fetched: bool,
+    /// The most recent poll succeeded.
+    reachable: bool,
+    generation: u64,
+    raw: u64,
+    valid: u64,
+    comparable: u64,
+    /// Partition labels the shard owns.
+    partitions: Vec<String>,
+}
+
+/// One upstream shard: a keep-alive connection pool plus the health and
+/// latency accounting behind the front-end's `/stats` shard table.
+struct ShardClient {
+    pool: net::ShardPool,
+    /// Row fetches answered by this shard.
+    proxied: AtomicU64,
+    /// Row fetches that failed (connect, status, decode, timeout).
+    errors: AtomicU64,
+    last_error: Mutex<String>,
+    lat_us: Mutex<VecDeque<u64>>,
+    meta: Mutex<ShardMeta>,
+}
+
+impl ShardClient {
+    fn new(addr: &str) -> ShardClient {
+        ShardClient {
+            pool: net::ShardPool::new(addr.to_string()),
+            proxied: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            last_error: Mutex::new(String::new()),
+            lat_us: Mutex::new(VecDeque::new()),
+            meta: Mutex::new(ShardMeta::default()),
+        }
+    }
+
+    fn record_latency(&self, us: u64) {
+        let mut window = self.lat_us.lock().expect("latency lock");
+        if window.len() == SHARD_LAT_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(us);
+    }
+
+    fn p99_us(&self) -> u64 {
+        let window = self.lat_us.lock().expect("latency lock");
+        if window.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = window.iter().copied().collect();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 99 / 100]
+    }
+
+    fn fail(&self, detail: String) -> String {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        detail.clone_into(&mut self.last_error.lock().expect("error lock"));
+        detail
+    }
+
+    /// Fetch this shard's filtered rows within `budget`.
+    fn fetch_rows(&self, query: &str, budget: Duration) -> Result<Vec<rows::TaggedRow>, String> {
+        let target = if query.is_empty() {
+            "/shard/rows".to_string()
+        } else {
+            format!("/shard/rows?{query}")
+        };
+        let start = Instant::now();
+        let resp = match self.pool.get(&target, budget) {
+            Ok(resp) => resp,
+            Err(e) => return Err(self.fail(e.to_string())),
+        };
+        self.record_latency(start.elapsed().as_micros() as u64);
+        if resp.status != 200 {
+            return Err(self.fail(format!("status {}", resp.status)));
+        }
+        let (_generation, tagged): (u64, Vec<rows::TaggedRow>) =
+            match decode_from_slice(&resp.body) {
+                Ok(decoded) => decoded,
+                Err(e) => return Err(self.fail(format!("bad row payload: {e}"))),
+            };
+        self.proxied.fetch_add(1, Ordering::Relaxed);
+        Ok(tagged)
+    }
+}
+
+/// The scatter-gather front-end state: one client per shard plus a
+/// front-end response memo (invalidated when any shard's generation
+/// moves).
+struct FanOut {
+    shards: Vec<ShardClient>,
+    memo: Mutex<Memo>,
+}
+
+/// Where responses come from: a local snapshot, or a scatter over
+/// shard daemons.
+enum Backend {
+    /// Rows and pre-rendered exports live in this process.
+    Local { snapshot: RwLock<Arc<Snapshot>> },
+    /// Front-end: gather rows from shards, render locally.
+    FanOut(FanOut),
+}
+
 /// Shared state between the acceptor, workers, watcher and [`Server`].
 struct Shared {
     listener: TcpListener,
     addr: SocketAddr,
-    snapshot: RwLock<Arc<Snapshot>>,
+    backend: Backend,
     shutdown: AtomicBool,
     generation: AtomicU64,
     /// Refresh failures since startup (stale snapshot kept each time).
@@ -485,12 +1066,19 @@ struct Shared {
 }
 
 impl Shared {
+    /// The live local snapshot. Local-backend paths only — every
+    /// fan-out route branches away before calling this.
     fn current(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read().expect("snapshot lock"))
+        match &self.backend {
+            Backend::Local { snapshot } => Arc::clone(&snapshot.read().expect("snapshot lock")),
+            Backend::FanOut(_) => unreachable!("fan-out front-end has no local snapshot"),
+        }
     }
 
-    fn swap(&self, snapshot: Snapshot) {
-        *self.snapshot.write().expect("snapshot lock") = Arc::new(snapshot);
+    fn swap(&self, next: Snapshot) {
+        if let Backend::Local { snapshot } = &self.backend {
+            *snapshot.write().expect("snapshot lock") = Arc::new(next);
+        }
     }
 
     fn draining(&self) -> bool {
@@ -535,18 +1123,35 @@ pub struct Server {
 
 impl Server {
     /// Bind, build the initial snapshot (propagating corpus errors) and
-    /// start the acceptor + worker + watcher threads.
+    /// start the acceptor + worker + watcher threads. A fan-out config
+    /// builds no local snapshot; it polls its shards' `/shard/meta`
+    /// instead.
     pub fn start(config: ServeConfig) -> spec_diag::Result<Server> {
+        if config.shard.is_some() && !config.fan_out.is_empty() {
+            return Err(TrendsError::config(
+                "serve",
+                "--shard and --fan-out are mutually exclusive",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| TrendsError::io("serve", &e).with_origin(config.addr.clone()))?;
         let addr = listener
             .local_addr()
             .map_err(|e| TrendsError::io("serve", &e))?;
-        let snapshot = Snapshot::build(&config, 0)?;
+        let backend = if config.fan_out.is_empty() {
+            Backend::Local {
+                snapshot: RwLock::new(Arc::new(Snapshot::build(&config, 0)?)),
+            }
+        } else {
+            Backend::FanOut(FanOut {
+                shards: config.fan_out.iter().map(|a| ShardClient::new(a)).collect(),
+                memo: Mutex::new(Memo::new(config.memo_cap)),
+            })
+        };
         let shared = Arc::new(Shared {
             listener,
             addr,
-            snapshot: RwLock::new(Arc::new(snapshot)),
+            backend,
             shutdown: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             refresh_errors: AtomicU64::new(0),
@@ -557,6 +1162,11 @@ impl Server {
             drain_end: Mutex::new(None),
             life: Lifecycle::default(),
         });
+        if matches!(shared.backend, Backend::FanOut(_)) {
+            // Best-effort initial shard census so the first requests and
+            // /stats see reachability without waiting a poll interval.
+            fanout_poll_meta(&shared);
+        }
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -578,15 +1188,27 @@ impl Server {
             })
             .collect();
 
-        let watcher = config.watch.as_ref().map(|dir| {
-            let shared = Arc::clone(&shared);
-            let config = config.clone();
-            let dir = dir.clone();
-            std::thread::Builder::new()
-                .name("serve-watcher".to_string())
-                .spawn(move || watcher_loop(&shared, &config, &dir))
-                .expect("spawn watcher")
-        });
+        let watcher = match &shared.backend {
+            Backend::Local { .. } => config.watch.as_ref().map(|dir| {
+                let shared = Arc::clone(&shared);
+                let config = config.clone();
+                let dir = dir.clone();
+                std::thread::Builder::new()
+                    .name("serve-watcher".to_string())
+                    .spawn(move || watcher_loop(&shared, &config, &dir))
+                    .expect("spawn watcher")
+            }),
+            Backend::FanOut(_) => {
+                let shared = Arc::clone(&shared);
+                let poll_ms = config.poll_ms;
+                Some(
+                    std::thread::Builder::new()
+                        .name("serve-shard-meta".to_string())
+                        .spawn(move || fanout_meta_loop(&shared, poll_ms))
+                        .expect("spawn shard meta poller"),
+                )
+            }
+        };
 
         obs::count("serve.started", 1);
         Ok(Server {
@@ -648,6 +1270,12 @@ impl Server {
 
 /// Refresh the shared snapshot from the corpus; stale-on-failure.
 fn refresh(shared: &Shared, config: &ServeConfig) -> spec_diag::Result<u64> {
+    if matches!(shared.backend, Backend::FanOut(_)) {
+        return Err(TrendsError::config(
+            "serve",
+            "fan-out front-ends hold no local snapshot to refresh",
+        ));
+    }
     let generation = shared.generation.load(Ordering::SeqCst) + 1;
     match Snapshot::build(config, generation) {
         Ok(snapshot) => {
@@ -699,6 +1327,74 @@ fn watcher_loop(shared: &Shared, config: &ServeConfig, dir: &std::path::Path) {
             // Stale-on-failure: a failed rebuild keeps the old snapshot.
             let _ = refresh(shared, config);
         }
+    }
+}
+
+/// Parse a `/shard/meta` body (`key value` lines).
+fn parse_shard_meta(body: &[u8]) -> Option<ShardMeta> {
+    let text = std::str::from_utf8(body).ok()?;
+    let mut meta = ShardMeta::default();
+    for line in text.lines() {
+        let (key, value) = line.split_once(' ')?;
+        match key {
+            "generation" => meta.generation = value.parse().ok()?,
+            "raw" => meta.raw = value.parse().ok()?,
+            "valid" => meta.valid = value.parse().ok()?,
+            "comparable" => meta.comparable = value.parse().ok()?,
+            "partitions" => {
+                meta.partitions = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    Some(meta)
+}
+
+/// Poll every shard's `/shard/meta` once. A generation change on any
+/// previously seen shard invalidates the front-end memo — its gathered
+/// renders may no longer match what the shards would answer.
+fn fanout_poll_meta(shared: &Shared) {
+    let Backend::FanOut(fan) = &shared.backend else {
+        return;
+    };
+    let mut changed = false;
+    for client in &fan.shards {
+        let fetched = client
+            .pool
+            .get("/shard/meta", Duration::from_millis(500))
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .and_then(|resp| parse_shard_meta(&resp.body));
+        let mut meta = client.meta.lock().expect("meta lock");
+        match fetched {
+            Some(mut next) => {
+                next.fetched = true;
+                next.reachable = true;
+                if meta.fetched && meta.generation != next.generation {
+                    changed = true;
+                }
+                *meta = next;
+            }
+            None => meta.reachable = false,
+        }
+    }
+    if changed {
+        fan.memo.lock().expect("memo lock").clear();
+        obs::count("serve.fanout_memo_invalidated", 1);
+    }
+}
+
+/// The fan-out front-end's watcher-slot thread: keep the shard census
+/// fresh so dead shards surface in `/stats` within a poll interval.
+fn fanout_meta_loop(shared: &Shared, poll_ms: u64) {
+    let step = Duration::from_millis(poll_ms.clamp(10, 1000));
+    while !shared.draining() {
+        std::thread::sleep(step);
+        fanout_poll_meta(shared);
     }
 }
 
@@ -963,6 +1659,7 @@ fn route(shared: &Shared, head: &net::RequestHead, deadline: net::Deadline) -> A
         "/stats" => "serve.stats_us",
         "/healthz" | "/readyz" => "serve.probe_us",
         "/shutdown" => "serve.shutdown_us",
+        p if p.starts_with("/shard/") => "serve.shard_us",
         p if p.starts_with("/figures/") => "serve.figures_us",
         p if p.starts_with("/data/") => "serve.data_us",
         _ => "serve.other_us",
@@ -981,7 +1678,12 @@ fn route(shared: &Shared, head: &net::RequestHead, deadline: net::Deadline) -> A
             obs::count("serve.shutdown_requests", 1);
             Arc::new(Response::ok("text/plain; charset=utf-8", "shutting down\n"))
         }
-        _ => figure_or_data(shared, path, query, deadline),
+        "/shard/meta" => shard_meta_response(shared),
+        "/shard/rows" => shard_rows_response(shared, query, deadline),
+        _ => match &shared.backend {
+            Backend::Local { .. } => figure_or_data(shared, path, query, deadline),
+            Backend::FanOut(fan) => fanout_figure_or_data(shared, fan, path, query, deadline),
+        },
     };
     if obs::enabled() {
         sp.record("path", path);
@@ -1009,37 +1711,17 @@ fn figure_or_data(
     query: &str,
     deadline: net::Deadline,
 ) -> Arc<Response> {
-    let (kind, rest) = if let Some(rest) = path.strip_prefix("/figures/") {
-        ("figures", rest)
-    } else if let Some(rest) = path.strip_prefix("/data/") {
-        ("data", rest)
-    } else {
-        return Arc::new(Response::error(404, &format!("no such endpoint {path:?}")));
-    };
-    let Ok(n @ 1..=6) = rest.parse::<u8>() else {
-        return Arc::new(Response::error(
-            404,
-            &format!("figure number must be 1..=6, got {rest:?}"),
-        ));
-    };
-    let filter = match parse_filter(query) {
-        Ok(filter) => filter,
-        // Malformed request → 4xx through the spec-diag error, never a
-        // panic; the category names the config-error class.
-        Err(err) => {
-            return Arc::new(Response::error(
-                400,
-                &format!("[{}] {err}", err.kind.category()),
-            ))
-        }
+    let (kind, n, filter) = match parse_target(path, query) {
+        Ok(target) => target,
+        Err(response) => return Arc::new(response),
     };
 
     let snapshot = shared.current();
     if filter.is_empty() {
-        // Unfiltered: the stage graph's cached export bytes, verbatim.
+        // Unfiltered: the build's pre-rendered export bytes, verbatim.
         let (files, name) = match kind {
-            "figures" => (&snapshot.figure_files, figure_file_name(n)),
-            _ => (&snapshot.data_files, data_file_name(n)),
+            Kind::Figures => (&snapshot.figure_files, figure_file_name(n)),
+            Kind::Data => (&snapshot.data_files, data_file_name(n)),
         };
         return match snapshot.file(files, name) {
             Some(response) => response,
@@ -1050,7 +1732,7 @@ fn figure_or_data(
     let memo_key = format!("{path}?{query}");
     if let Some(hit) = snapshot.memo.lock().expect("memo lock").get(&memo_key) {
         obs::count("serve.memo_hit", 1);
-        return Arc::clone(hit);
+        return hit;
     }
 
     // The filtered recompute is the expensive path the per-request
@@ -1062,16 +1744,16 @@ fn figure_or_data(
     if deadline.expired(clock) {
         return deadline_blown(shared, "before recompute");
     }
-    let valid = filter.apply(&snapshot.valid_rows);
-    let comparable = filter.apply(&snapshot.comparable_rows);
-    let response = Arc::new(if kind == "figures" {
-        Response::ok("image/svg+xml", render_figure(n, &valid, &comparable))
-    } else {
-        Response::ok(
-            "text/csv; charset=utf-8",
-            render_data(n, &valid, &comparable),
-        )
-    });
+    let tagged = match snapshot
+        .rows
+        .lock()
+        .expect("rows lock")
+        .query(|key| filter.matches_key(key), |row| filter.matches_row(row))
+    {
+        Ok(tagged) => tagged,
+        Err(e) => return Arc::new(Response::error(500, &format!("row store: {e}"))),
+    };
+    let response = Arc::new(render_filtered(kind, n, filter, &tagged));
     if deadline.expired(clock) {
         return deadline_blown(shared, "during recompute");
     }
@@ -1084,35 +1766,170 @@ fn figure_or_data(
     response
 }
 
+/// `/shard/meta` — the census line a fan-out front-end polls.
+fn shard_meta_response(shared: &Shared) -> Arc<Response> {
+    if matches!(shared.backend, Backend::FanOut(_)) {
+        return Arc::new(Response::error(404, "front-end daemons hold no shard rows"));
+    }
+    let snapshot = shared.current();
+    let labels: Vec<String> = snapshot.partitions.iter().map(|p| p.key.label()).collect();
+    Arc::new(Response::ok(
+        "text/plain; charset=utf-8",
+        format!(
+            "generation {}\nraw {}\nvalid {}\ncomparable {}\npartitions {}\n",
+            snapshot.generation,
+            snapshot.report.raw,
+            snapshot.report.valid,
+            snapshot.report.comparable,
+            labels.join(","),
+        ),
+    ))
+}
+
+/// `/shard/rows?<filter>` — the scatter-gather wire endpoint: this
+/// daemon's matching tagged rows, codec-encoded as
+/// `(generation, Vec<(gidx, comparable, RunRow)>)`.
+fn shard_rows_response(shared: &Shared, query: &str, deadline: net::Deadline) -> Arc<Response> {
+    if matches!(shared.backend, Backend::FanOut(_)) {
+        return Arc::new(Response::error(404, "front-end daemons hold no shard rows"));
+    }
+    let filter = match parse_filter(query) {
+        Ok(filter) => filter,
+        Err(err) => {
+            return Arc::new(Response::error(
+                400,
+                &format!("[{}] {err}", err.kind.category()),
+            ))
+        }
+    };
+    let snapshot = shared.current();
+    let memo_key = format!("/shard/rows?{query}");
+    if let Some(hit) = snapshot.memo.lock().expect("memo lock").get(&memo_key) {
+        obs::count("serve.memo_hit", 1);
+        return hit;
+    }
+    let clock = shared.clock.as_ref();
+    if deadline.expired(clock) {
+        return deadline_blown(shared, "before row scan");
+    }
+    let tagged = match snapshot
+        .rows
+        .lock()
+        .expect("rows lock")
+        .query(|key| filter.matches_key(key), |row| filter.matches_row(row))
+    {
+        Ok(tagged) => tagged,
+        Err(e) => return Arc::new(Response::error(500, &format!("row store: {e}"))),
+    };
+    let body = encode_to_vec(&(snapshot.generation, tagged));
+    if deadline.expired(clock) {
+        return deadline_blown(shared, "during row scan");
+    }
+    let response = Arc::new(Response::ok("application/octet-stream", body));
+    snapshot
+        .memo
+        .lock()
+        .expect("memo lock")
+        .insert(memo_key, Arc::clone(&response));
+    obs::count("serve.memo_fill", 1);
+    response
+}
+
+/// Front-end answer path: parse and validate locally (typed 4xx never
+/// needs a network hop), scatter the filter to every shard, gather the
+/// partial rows, restore the global merged order, and render through
+/// the same reduce/render path a single-process daemon uses — which is
+/// what makes the bytes identical. Any shard failure degrades the
+/// answer to 503 + `Retry-After` within the request deadline: a partial
+/// gather must never render, because missing rows would silently change
+/// the reduces.
+fn fanout_figure_or_data(
+    shared: &Shared,
+    fan: &FanOut,
+    path: &str,
+    query: &str,
+    deadline: net::Deadline,
+) -> Arc<Response> {
+    let (kind, n, filter) = match parse_target(path, query) {
+        Ok(target) => target,
+        Err(response) => return Arc::new(response),
+    };
+    let memo_key = if query.is_empty() {
+        path.to_string()
+    } else {
+        format!("{path}?{query}")
+    };
+    if let Some(hit) = fan.memo.lock().expect("memo lock").get(&memo_key) {
+        obs::count("serve.memo_hit", 1);
+        return hit;
+    }
+    let clock = shared.clock.as_ref();
+    let Some(budget) = deadline.remaining(clock) else {
+        return deadline_blown(shared, "before scatter");
+    };
+    let gathered: Vec<Result<Vec<rows::TaggedRow>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fan
+            .shards
+            .iter()
+            .map(|client| scope.spawn(move || client.fetch_rows(query, budget)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("gather thread panicked".to_string()))
+            })
+            .collect()
+    });
+    let mut tagged = Vec::new();
+    for (client, result) in fan.shards.iter().zip(gathered) {
+        match result {
+            Ok(rows) => tagged.extend(rows),
+            Err(detail) => {
+                obs::count("serve.fanout_error", 1);
+                return Arc::new(Response::unavailable(&format!(
+                    "shard {} unavailable: {detail}",
+                    client.pool.addr()
+                )));
+            }
+        }
+    }
+    // Restore the monolithic merged order before the reduces run.
+    tagged.sort_unstable_by_key(|t| t.0);
+    let response = Arc::new(render_filtered(kind, n, filter, &tagged));
+    if deadline.expired(clock) {
+        return deadline_blown(shared, "during gather");
+    }
+    fan.memo
+        .lock()
+        .expect("memo lock")
+        .insert(memo_key, Arc::clone(&response));
+    obs::count("serve.memo_fill", 1);
+    response
+}
+
 fn index_response() -> Response {
     Response::ok(
         "text/plain; charset=utf-8",
         "spec-trends serve\n\
          endpoints:\n\
-         \x20 /figures/<1..6>[?year=YYYY][&vendor=intel|amd|other]  figure SVG\n\
-         \x20 /data/<1..6>[?year=YYYY][&vendor=intel|amd|other]     figure CSV\n\
-         \x20 /stats                                                cascade + partitions + lifecycle + metrics\n\
-         \x20 /healthz                                              liveness probe\n\
-         \x20 /readyz                                               readiness probe (503 while draining)\n\
-         \x20 /shutdown                                             graceful drain\n",
+         \x20 /figures/<1..6>[?filter]  figure SVG\n\
+         \x20 /data/<1..6>[?filter]     figure CSV (filter may add agg=year on 2,3,5,6)\n\
+         \x20 /stats                    cascade + partitions + lifecycle + metrics\n\
+         \x20 /shard/meta               shard census (generation, cascade, partitions)\n\
+         \x20 /shard/rows[?filter]      codec-encoded tagged rows (scatter-gather wire)\n\
+         \x20 /healthz                  liveness probe\n\
+         \x20 /readyz                   readiness probe (503 while draining)\n\
+         \x20 /shutdown                 graceful drain\n\
+         filter grammar:\n\
+         \x20 year=YYYY | year=YYYY-YYYY   inclusive hardware-year range\n\
+         \x20 vendor=v[,v...]              v in intel|amd|other\n\
+         \x20 agg=none|year                per-vendor yearly means (data 2,3,5,6)\n",
     )
 }
 
-fn stats_response(shared: &Shared) -> Response {
-    let snapshot = shared.current();
-    let mut out = String::new();
-    out.push_str(&format!(
-        "generation {}\nraw {}\nvalid {}\ncomparable {}\nrefresh_errors {}\n",
-        snapshot.generation,
-        snapshot.report.raw,
-        snapshot.report.valid,
-        snapshot.report.comparable,
-        shared.refresh_errors.load(Ordering::SeqCst),
-    ));
-    out.push_str(&format!(
-        "last_refresh: executed {} hits {} partitions_executed {}\n\n",
-        snapshot.executed, snapshot.hits, snapshot.partitions_executed
-    ));
+/// The lifecycle block shared by local and fan-out `/stats`.
+fn push_lifecycle_stats(shared: &Shared, out: &mut String) {
     let life = &shared.life;
     let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
     out.push_str(&format!(
@@ -1148,6 +1965,57 @@ fn stats_response(shared: &Shared) -> Response {
         u8::from(shared.draining()),
         load(&life.panics),
     ));
+}
+
+fn stats_response(shared: &Shared) -> Response {
+    match &shared.backend {
+        Backend::Local { .. } => local_stats_response(shared),
+        Backend::FanOut(fan) => fanout_stats_response(shared, fan),
+    }
+}
+
+fn local_stats_response(shared: &Shared) -> Response {
+    let snapshot = shared.current();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "generation {}\nraw {}\nvalid {}\ncomparable {}\nrefresh_errors {}\n",
+        snapshot.generation,
+        snapshot.report.raw,
+        snapshot.report.valid,
+        snapshot.report.comparable,
+        shared.refresh_errors.load(Ordering::SeqCst),
+    ));
+    out.push_str(&format!(
+        "last_refresh: executed {} hits {} partitions_executed {}\n",
+        snapshot.executed, snapshot.hits, snapshot.partitions_executed
+    ));
+    let (memo_entries, memo_evictions) = {
+        let memo = snapshot.memo.lock().expect("memo lock");
+        (memo.len(), memo.evictions)
+    };
+    let (rows_stored, rows_partitions, resident_bytes, spilled) = {
+        let rows = snapshot.rows.lock().expect("rows lock");
+        (
+            rows.n_rows(),
+            rows.n_partitions(),
+            rows.resident_bytes(),
+            rows.segments_spilled(),
+        )
+    };
+    out.push_str(&format!(
+        "snapshot_mode {}\n\
+         memo_entries {memo_entries}\n\
+         memo_evictions {memo_evictions}\n\
+         rows_stored {rows_stored}\n\
+         rows_partitions {rows_partitions}\n\
+         rows_resident_bytes {resident_bytes}\n\
+         rows_spilled_segments {spilled}\n\n",
+        match snapshot.mode {
+            SnapshotMode::Graph => "graph",
+            SnapshotMode::Stream => "stream",
+        },
+    ));
+    push_lifecycle_stats(shared, &mut out);
     out.push_str("partition       reports  valid  comparable  executed  hits\n");
     for p in &snapshot.partitions {
         out.push_str(&format!(
@@ -1158,6 +2026,63 @@ fn stats_response(shared: &Shared) -> Response {
             p.comparable,
             p.executed,
             p.hits
+        ));
+    }
+    if obs::enabled() {
+        out.push('\n');
+        out.push_str(&obs::snapshot().to_table());
+    }
+    Response::ok("text/plain; charset=utf-8", out)
+}
+
+/// Front-end `/stats`: summed cascade header plus the per-shard table —
+/// a dead shard shows `?` partitions and its last error at a glance.
+fn fanout_stats_response(shared: &Shared, fan: &FanOut) -> Response {
+    let metas: Vec<ShardMeta> = fan
+        .shards
+        .iter()
+        .map(|c| c.meta.lock().expect("meta lock").clone())
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "generation {}\nraw {}\nvalid {}\ncomparable {}\nrefresh_errors {}\n",
+        metas.iter().map(|m| m.generation).max().unwrap_or(0),
+        metas.iter().map(|m| m.raw).sum::<u64>(),
+        metas.iter().map(|m| m.valid).sum::<u64>(),
+        metas.iter().map(|m| m.comparable).sum::<u64>(),
+        shared.refresh_errors.load(Ordering::SeqCst),
+    ));
+    let (memo_entries, memo_evictions) = {
+        let memo = fan.memo.lock().expect("memo lock");
+        (memo.len(), memo.evictions)
+    };
+    out.push_str(&format!(
+        "snapshot_mode fan-out\nmemo_entries {memo_entries}\nmemo_evictions {memo_evictions}\n\n",
+    ));
+    push_lifecycle_stats(shared, &mut out);
+    out.push_str("shard                     partitions  proxied  errors  p99_us  last_error\n");
+    for (client, meta) in fan.shards.iter().zip(&metas) {
+        let partitions = if meta.reachable {
+            meta.partitions.len().to_string()
+        } else {
+            "?".to_string()
+        };
+        let last_error = {
+            let e = client.last_error.lock().expect("error lock");
+            if e.is_empty() {
+                "-".to_string()
+            } else {
+                e.clone()
+            }
+        };
+        out.push_str(&format!(
+            "{:<25} {:>10} {:>8} {:>7} {:>7}  {}\n",
+            client.pool.addr(),
+            partitions,
+            client.proxied.load(Ordering::Relaxed),
+            client.errors.load(Ordering::Relaxed),
+            client.p99_us(),
+            last_error,
         ));
     }
     if obs::enabled() {
@@ -1237,6 +2162,181 @@ mod tests {
             .lines()
             .find_map(|l| l.strip_prefix(key).and_then(|r| r.trim().parse().ok()))
             .unwrap_or_else(|| panic!("no {key} in {stats}"))
+    }
+
+    /// One-shot GET returning raw body bytes (for binary endpoints).
+    fn get_bytes(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
+            .expect("request");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let resp = read_response(&mut stream).expect("read").expect("response");
+        (resp.status, resp.body)
+    }
+
+    #[test]
+    fn query_grammar_accepts_ranges_lists_and_agg() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let (status, body) = get(addr, "/data/2?year=2010-2012&vendor=intel,amd");
+        assert_eq!(status, 200, "{body}");
+        let (status, agg) = get(addr, "/data/2?agg=year");
+        assert_eq!(status, 200, "{agg}");
+        assert!(agg.starts_with("vendor,year,w_per_socket_mean"), "{agg}");
+        let (status, _) = get(addr, "/data/5?year=2010-2011&vendor=amd&agg=year");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_grammar_rejects_malformed_input_with_400() {
+        let server = test_server(6);
+        let addr = server.addr();
+        for target in [
+            "/data/2?year=banana",
+            "/data/2?year=2015-2010",
+            "/data/2?year=2010-2015-2020",
+            "/data/2?vendor=intel,sparc",
+            "/data/2?vendor=",
+            "/data/2?agg=decade",
+            "/figures/2?agg=year",
+            "/data/1?agg=year",
+            "/data/4?agg=year",
+        ] {
+            let (status, body) = get(addr, target);
+            assert_eq!(status, 400, "{target} → {body}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn memo_is_lru_bounded_and_reports_evictions() {
+        let mut config = test_config(12);
+        config.memo_cap = 2;
+        let server = Server::start(config).expect("server starts");
+        let addr = server.addr();
+        for year in [2010, 2011, 2012, 2013] {
+            let (status, _) = get(addr, &format!("/data/2?year={year}"));
+            assert_eq!(status, 200);
+        }
+        let (_, stats) = get(addr, "/stats");
+        assert!(stat_line(&stats, "memo_entries ") <= 2, "{stats}");
+        assert_eq!(stat_line(&stats, "memo_evictions "), 2, "{stats}");
+        // An evicted query still answers correctly (recomputed + refilled).
+        assert_eq!(get(addr, "/data/2?year=2010").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_mode_serves_the_same_bytes_as_graph_mode() {
+        let graph = test_server(24);
+        let mut config = test_config(24);
+        config.mode = SnapshotMode::Stream;
+        config.max_resident_mb = Some(1);
+        let stream = Server::start(config).expect("stream server starts");
+        for target in [
+            "/figures/1",
+            "/figures/4",
+            "/data/2",
+            "/data/6",
+            "/data/3?vendor=amd",
+            "/figures/5?year=2011&vendor=intel",
+            "/data/2?agg=year",
+        ] {
+            let (graph_status, graph_body) = get(graph.addr(), target);
+            let (stream_status, stream_body) = get(stream.addr(), target);
+            assert_eq!(graph_status, stream_status, "{target}");
+            assert_eq!(graph_body, stream_body, "{target} bytes differ");
+        }
+        let (_, stats) = get(stream.addr(), "/stats");
+        assert!(stats.contains("snapshot_mode stream"), "{stats}");
+        graph.shutdown();
+        stream.shutdown();
+    }
+
+    #[test]
+    fn shard_rows_endpoint_ships_codec_rows() {
+        let server = test_server(12);
+        let addr = server.addr();
+        let (status, meta) = get(addr, "/shard/meta");
+        assert_eq!(status, 200);
+        assert!(meta.contains("generation 0"), "{meta}");
+        assert!(meta.contains("partitions "), "{meta}");
+        let (status, body) = get_bytes(addr, "/shard/rows?vendor=amd");
+        assert_eq!(status, 200);
+        let (generation, tagged): (u64, Vec<rows::TaggedRow>) =
+            decode_from_slice(&body).expect("decode rows");
+        assert_eq!(generation, 0);
+        assert!(!tagged.is_empty());
+        assert!(tagged.iter().all(|(_, _, row)| row.vendor == CpuVendor::Amd));
+        assert!(tagged.windows(2).all(|w| w[0].0 < w[1].0), "gidx sorted");
+        server.shutdown();
+    }
+
+    fn shard_test_config(n: u32, index: usize, count: usize) -> ServeConfig {
+        let mut config = test_config(n);
+        config.shard = Some(ShardSpec { index, count });
+        config
+    }
+
+    #[test]
+    fn two_shard_fan_out_is_byte_identical_and_degrades_to_503() {
+        let single = test_server(24);
+        let shard_a = Server::start(shard_test_config(24, 0, 2)).expect("shard a");
+        let shard_b = Server::start(shard_test_config(24, 1, 2)).expect("shard b");
+        let mut front_config = ServeConfig::new(CorpusSource::Memory(Vec::new()));
+        front_config.addr = "127.0.0.1:0".to_string();
+        front_config.threads = 2;
+        front_config.poll_ms = 50;
+        front_config.fan_out = vec![shard_a.addr().to_string(), shard_b.addr().to_string()];
+        let front = Server::start(front_config).expect("front-end starts");
+        let addr = front.addr();
+        for n in 1..=6 {
+            for target in [format!("/figures/{n}"), format!("/data/{n}")] {
+                let (single_status, single_body) = get(single.addr(), &target);
+                let (front_status, front_body) = get(addr, &target);
+                assert_eq!(single_status, front_status, "{target}");
+                assert_eq!(single_body, front_body, "{target} bytes differ");
+            }
+        }
+        for target in [
+            "/data/2?vendor=amd",
+            "/figures/5?year=2010-2012&vendor=intel,amd",
+            "/data/3?agg=year",
+        ] {
+            let (single_status, single_body) = get(single.addr(), target);
+            let (front_status, front_body) = get(addr, target);
+            assert_eq!(single_status, front_status, "{target}");
+            assert_eq!(single_body, front_body, "{target} bytes differ");
+        }
+        // Typed 4xx is validated locally, never scattered.
+        assert_eq!(get(addr, "/data/2?year=banana").0, 400);
+        // /stats: summed cascade header + per-shard table.
+        let (_, stats) = get(addr, "/stats");
+        assert_eq!(stat_line(&stats, "raw "), 24, "{stats}");
+        assert!(stats.contains(&shard_a.addr().to_string()), "{stats}");
+        assert!(stats.contains("last_error"), "{stats}");
+        // Kill one shard: an uncached query degrades to 503 + Retry-After
+        // within the request deadline — never a hang, never a partial render.
+        shard_b.shutdown();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /data/2?year=2013&vendor=intel HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("request");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let resp = read_response(&mut stream).expect("read").expect("degraded");
+        assert_eq!(resp.status, 503);
+        assert!(resp.retry_after, "503 must carry Retry-After");
+        front.shutdown();
+        shard_a.shutdown();
+        single.shutdown();
     }
 
     #[test]

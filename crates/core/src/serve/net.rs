@@ -507,6 +507,102 @@ fn set_write_timeout(stream: &TcpStream, d: Duration) -> std::io::Result<()> {
     stream.set_write_timeout(Some(d.max(Duration::from_millis(1))))
 }
 
+/// Idle upstream connections kept per shard pool.
+const POOL_IDLE_CAP: usize = 4;
+
+/// A keep-alive HTTP/1.1 client pool to one upstream shard daemon — the
+/// scatter side of the fan-out plane. Budgets are enforced with real
+/// socket timeouts (not the injectable [`Clock`]): the peer is another
+/// process, so only wall-clock time bounds it.
+pub(crate) struct ShardPool {
+    addr: String,
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+impl ShardPool {
+    pub fn new(addr: String) -> ShardPool {
+        ShardPool {
+            addr,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `GET target` within `budget`. Tries one pooled connection first
+    /// (the shard may have idled it out server-side), then one fresh
+    /// connection; a complete keep-alive response returns the socket to
+    /// the pool for the next query.
+    pub fn get(&self, target: &str, budget: Duration) -> std::io::Result<super::faultnet::RespInfo> {
+        let deadline = Instant::now() + budget;
+        let mut last_err: Option<std::io::Error> = None;
+        for fresh in [false, true] {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let mut stream = if fresh {
+                match self.connect(remaining) {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            } else {
+                match self.idle.lock().expect("pool lock").pop() {
+                    Some(stream) => stream,
+                    None => continue, // no pooled socket; go fresh
+                }
+            };
+            match self.attempt(&mut stream, target, remaining) {
+                Ok(resp) => {
+                    if resp.complete && !resp.close {
+                        let mut idle = self.idle.lock().expect("pool lock");
+                        if idle.len() < POOL_IDLE_CAP {
+                            idle.push(stream);
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| std::io::Error::new(std::io::ErrorKind::TimedOut, "budget spent")))
+    }
+
+    fn connect(&self, budget: Duration) -> std::io::Result<TcpStream> {
+        use std::net::ToSocketAddrs as _;
+        let addr = self
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no such address"))?;
+        TcpStream::connect_timeout(&addr, budget.max(Duration::from_millis(1)))
+    }
+
+    fn attempt(
+        &self,
+        stream: &mut TcpStream,
+        target: &str,
+        budget: Duration,
+    ) -> std::io::Result<super::faultnet::RespInfo> {
+        set_write_timeout(stream, budget)?;
+        set_read_timeout(stream, budget)?;
+        stream.write_all(format!("GET {target} HTTP/1.1\r\nHost: shard\r\n\r\n").as_bytes())?;
+        match super::faultnet::read_response(stream)? {
+            Some(resp) if resp.complete => Ok(resp),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated shard response",
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

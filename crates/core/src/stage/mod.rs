@@ -36,8 +36,8 @@ pub use cache::{
 pub use codec::{decode_from_slice, encode_to_vec, Codec, CodecError, Reader, Writer};
 pub use driver::{CorpusSource, PipelineDriver, StageStats};
 pub use partition::{
-    part_key_of_input, part_key_of_text, MergedAnalysis, PartKey, PartStageKind,
-    PartValidateArtifact, PartitionSummary, PartitionedDriver,
+    part_key_of_input, part_key_of_text, shard_of, MergedAnalysis, PartKey, PartRows,
+    PartStageKind, PartValidateArtifact, PartitionSummary, PartitionedDriver, ShardSpec,
 };
 pub use graph::{
     ComparableStage, DeriveStage, ExportDataStage, ExportFiguresStage, Fig1Stage, Fig2Stage,

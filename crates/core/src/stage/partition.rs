@@ -143,6 +143,62 @@ pub fn part_key_of_input(input: &RawInput) -> PartKey {
     }
 }
 
+/// Deterministic shard assignment for a partition: an FNV hash of the
+/// partition label folded modulo the shard count. Every process — shard
+/// daemons, the fan-out front-end, tests and smoke scripts — derives the
+/// same owner for a key from nothing but `(key, shard_count)`, so shards
+/// need no coordination and the union over `0..count` covers every
+/// partition exactly once.
+pub fn shard_of(key: &PartKey, count: usize) -> usize {
+    if count <= 1 {
+        return 0;
+    }
+    let bytes = fnv128(key.label().as_bytes()).to_bytes();
+    let mut lo = [0u8; 8];
+    lo.copy_from_slice(&bytes[..8]);
+    (u64::from_le_bytes(lo) % count as u64) as usize
+}
+
+/// One shard's identity in an N-way partition split (`--shard i/N`).
+/// `index` is zero-based internally; the CLI form is one-based (`1/2`,
+/// `2/2`) because "shard 0 of 2" reads like an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total shard count, `>= 1`.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parse the CLI form `i/N` with one-based `i` in `1..=N`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard must look like i/N, got {s:?}"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("shard index must be an integer, got {i:?}"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("shard count must be an integer, got {n:?}"))?;
+        if count == 0 || index == 0 || index > count {
+            return Err(format!(
+                "shard index must be in 1..={count} (one-based), got {s:?}"
+            ));
+        }
+        Ok(ShardSpec {
+            index: index - 1,
+            count,
+        })
+    }
+
+    /// True when this shard owns `key` under the deterministic assignment.
+    pub fn owns(&self, key: &PartKey) -> bool {
+        shard_of(key, self.count) == self.index
+    }
+}
+
 /// The kinds of cached per-partition stages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PartStageKind {
@@ -227,6 +283,24 @@ pub struct PartitionSummary {
     pub executed: usize,
     /// Cache hits in this driver's lifetime.
     pub hits: usize,
+}
+
+/// One partition's per-run row extracts with global corpus indices and
+/// comparable flags — the serve snapshot's out-of-core row source.
+/// Sorting the union of all partitions' `(gidx, row)` pairs by `gidx`
+/// restores exact global corpus order, which is what makes scatter-gather
+/// responses byte-identical to a single-process daemon (float reduces are
+/// order-sensitive; the merge preserves the monolithic order).
+#[derive(Clone, Debug)]
+pub struct PartRows {
+    /// The partition.
+    pub key: PartKey,
+    /// Global corpus index of each valid run, aligned with `rows`.
+    pub gidx: Vec<u32>,
+    /// Stage-2 survivorship flag per valid run, aligned with `rows`.
+    pub comparable: Vec<bool>,
+    /// [`RunRow`] extract per valid run.
+    pub rows: Vec<RunRow>,
 }
 
 /// The merged (global-order) view the reduce stages consume.
@@ -380,6 +454,7 @@ pub struct PartitionedDriver {
     seed: u64,
     vfs: Arc<dyn Vfs>,
     cache: Option<ArtifactCache>,
+    shard: Option<ShardSpec>,
     stats: BTreeMap<(PartStageKind, PartKey), StageStats>,
     split_runs: usize,
     merge_runs: usize,
@@ -400,6 +475,7 @@ impl PartitionedDriver {
             seed,
             vfs: spec_vfs::default_vfs(),
             cache: None,
+            shard: None,
             stats: BTreeMap::new(),
             split_runs: 0,
             merge_runs: 0,
@@ -423,6 +499,16 @@ impl PartitionedDriver {
     #[must_use]
     pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> PartitionedDriver {
         self.vfs = vfs;
+        self
+    }
+
+    /// Restrict this driver to the partitions a shard owns (see
+    /// [`shard_of`]). Split still reads the whole corpus — global indices
+    /// must stay consistent across shards for the scatter-gather merge —
+    /// but only owned partitions are resolved, merged and reported.
+    #[must_use]
+    pub fn with_shard(mut self, shard: ShardSpec) -> PartitionedDriver {
+        self.shard = Some(shard);
         self
     }
 
@@ -485,6 +571,9 @@ impl PartitionedDriver {
             });
             part.gidx.push(g as u32);
             part.items.push((origin, input));
+        }
+        if let Some(shard) = self.shard {
+            map.retain(|key, _| shard.owns(key));
         }
         for part in map.values_mut() {
             part.hash = fnv128(&encode_to_vec(&part.items));
@@ -744,6 +833,38 @@ impl PartitionedDriver {
             .map_err(|e| spec_diag::TrendsError::io("export-data", &e))
     }
 
+    /// Per-partition row extracts with global indices and comparable
+    /// flags (the serve snapshot's out-of-core row source). The union of
+    /// all partitions' `(gidx, row)` pairs, sorted by `gidx`, is exactly
+    /// [`Self::merged`]'s `valid_rows`/`comparable_rows` — pinned by the
+    /// `partition_rows_reassemble_the_merged_rows` test below.
+    pub fn partition_rows(&mut self) -> spec_diag::Result<Vec<PartRows>> {
+        let parts = self.split()?;
+        let resolved = self.resolve_partitions()?;
+        Ok(parts
+            .iter()
+            .zip(resolved.iter())
+            .map(|((key, part), res)| {
+                let gidx: Vec<u32> = res
+                    .validate
+                    .item_index
+                    .iter()
+                    .map(|&item| part.gidx[item as usize])
+                    .collect();
+                let mut comparable = vec![false; res.rows.len()];
+                for &i in &res.comparable.indices {
+                    comparable[i as usize] = true;
+                }
+                PartRows {
+                    key: *key,
+                    gidx,
+                    comparable,
+                    rows: res.rows.clone(),
+                }
+            })
+            .collect())
+    }
+
     /// Per-partition cascade summary (reports/valid/comparable counts and
     /// this driver's invocation counters).
     pub fn partition_summary(&mut self) -> spec_diag::Result<Vec<PartitionSummary>> {
@@ -941,6 +1062,105 @@ mod tests {
         let mut sorted = years.clone();
         sorted.sort_unstable();
         assert_eq!(years, sorted);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_covers_every_partition() {
+        let keys: Vec<PartKey> = (2006..2024)
+            .flat_map(|year| {
+                [CpuVendor::Intel, CpuVendor::Amd, CpuVendor::Other]
+                    .into_iter()
+                    .map(move |vendor| PartKey { year, vendor })
+            })
+            .chain([PartKey::UNKNOWN])
+            .collect();
+        for count in [1usize, 2, 3, 4, 8] {
+            let mut owned = vec![0usize; count];
+            for key in &keys {
+                let shard = shard_of(key, count);
+                assert!(shard < count);
+                assert_eq!(shard, shard_of(key, count), "stable");
+                // Exactly one ShardSpec owns the key.
+                let owners = (0..count)
+                    .filter(|&i| ShardSpec { index: i, count }.owns(key))
+                    .count();
+                assert_eq!(owners, 1, "{} at count {count}", key.label());
+                owned[shard] += 1;
+            }
+            assert_eq!(owned.iter().sum::<usize>(), keys.len());
+            if count > 1 {
+                // The hash spreads: no shard owns everything.
+                assert!(owned.iter().all(|&n| n < keys.len()), "{owned:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_spec_parses_one_based_cli_form() {
+        assert_eq!(
+            ShardSpec::parse("1/2"),
+            Ok(ShardSpec { index: 0, count: 2 })
+        );
+        assert_eq!(
+            ShardSpec::parse("3/3"),
+            Ok(ShardSpec { index: 2, count: 3 })
+        );
+        for bad in ["0/2", "3/2", "2", "a/2", "2/b", "/", ""] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn partition_rows_reassemble_the_merged_rows() {
+        let items = corpus(24);
+        let mut d = PartitionedDriver::new(CorpusSource::Memory(items), Settings::fast(), 7);
+        let merged = d.merged().unwrap();
+        let parts = d.partition_rows().unwrap();
+        let mut tagged: Vec<(u32, bool, RunRow)> = Vec::new();
+        for part in &parts {
+            assert_eq!(part.gidx.len(), part.rows.len());
+            assert_eq!(part.comparable.len(), part.rows.len());
+            for ((&g, &c), &row) in part.gidx.iter().zip(&part.comparable).zip(&part.rows) {
+                // The key agrees with the row it owns (valid rows always
+                // carry the header-scanned year/vendor).
+                assert_eq!((part.key.year, part.key.vendor), (row.hw_year, row.vendor));
+                tagged.push((g, c, row));
+            }
+        }
+        tagged.sort_unstable_by_key(|t| t.0);
+        let valid: Vec<RunRow> = tagged.iter().map(|t| t.2).collect();
+        let comparable: Vec<RunRow> = tagged.iter().filter(|t| t.1).map(|t| t.2).collect();
+        assert_eq!(valid, merged.valid_rows);
+        assert_eq!(comparable, merged.comparable_rows);
+    }
+
+    #[test]
+    fn sharded_drivers_union_to_the_full_partition_set() {
+        let items = corpus(24);
+        let mut full =
+            PartitionedDriver::new(CorpusSource::Memory(items.clone()), Settings::fast(), 7);
+        let all: Vec<PartKey> = full
+            .partition_summary()
+            .unwrap()
+            .iter()
+            .map(|s| s.key)
+            .collect();
+        let count = 3;
+        let mut seen: Vec<PartKey> = Vec::new();
+        for index in 0..count {
+            let mut shard = PartitionedDriver::new(
+                CorpusSource::Memory(items.clone()),
+                Settings::fast(),
+                7,
+            )
+            .with_shard(ShardSpec { index, count });
+            for summary in shard.partition_summary().unwrap() {
+                assert!(ShardSpec { index, count }.owns(&summary.key));
+                seen.push(summary.key);
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, all, "shards partition the key set exactly");
     }
 
     #[test]

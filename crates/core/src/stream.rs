@@ -30,6 +30,7 @@ use spec_obs as obs;
 use tinyframe::{Frame, SegFrame, VfsSegmentStore, DEFAULT_SEGMENT_ROWS};
 
 use crate::features::runs_to_frame;
+use crate::figures::common::{extract_rows, RunRow};
 use crate::pipeline::{
     stage1_validate_inputs_indexed, stage2_split, FilterReport, RawInput, RawInputRef,
 };
@@ -298,6 +299,171 @@ impl StreamIngest {
     }
 }
 
+/// Per-shard output of the streaming row cascade: the shard's stage-1/2
+/// accounting, its routed `(key, batch-local input index, comparable,
+/// row)` tuples and its per-partition counts.
+type RowShard = (
+    FilterReport,
+    Vec<(PartKey, u32, bool, RunRow)>,
+    BTreeMap<PartKey, StreamPartitionCounts>,
+);
+
+fn shard_rows(
+    valid: Vec<RunResult>,
+    report: FilterReport,
+    keys: &[PartKey],
+    item_index: &[u32],
+    local_base: u32,
+) -> RowShard {
+    let (indices, stage2) = stage2_split(&valid);
+    let mut report = report;
+    report.comparable = indices.len();
+    report.stage2 = stage2;
+    let mut comparable = vec![false; valid.len()];
+    for &i in &indices {
+        comparable[i as usize] = true;
+    }
+    let mut partitions: BTreeMap<PartKey, StreamPartitionCounts> = BTreeMap::new();
+    for key in keys {
+        partitions.entry(*key).or_default().raw += 1;
+    }
+    let rows = extract_rows(&valid);
+    let routed: Vec<(PartKey, u32, bool, RunRow)> = rows
+        .into_iter()
+        .zip(&comparable)
+        .zip(item_index)
+        .map(|((row, &comp), &input)| {
+            let key = keys[input as usize];
+            let counts = partitions.entry(key).or_default();
+            counts.valid += 1;
+            if comp {
+                counts.comparable += 1;
+            }
+            (key, local_base + input, comp, row)
+        })
+        .collect();
+    (report, routed, partitions)
+}
+
+/// Streaming [`RunRow`] cascade: push batches of reports, receive every
+/// stage-1 survivor as a `(partition key, global corpus index, comparable,
+/// row)` tuple through a sink, and read off the accumulated
+/// [`FilterReport`] and per-partition counts at any point. This is how a
+/// serve snapshot ingests a `--scale 100` corpus without ever holding the
+/// texts, the parsed [`RunResult`]s or a merged row vector in memory —
+/// the sink appends straight into an out-of-core row store.
+///
+/// Same correctness contract as [`StreamIngest`]: any batch split at any
+/// thread count yields the identical report, and sorting the emitted
+/// tuples by global index reproduces the partitioned driver's merged row
+/// order exactly (pinned by tests below).
+#[derive(Debug, Default)]
+pub struct StreamRows {
+    report: FilterReport,
+    partitions: BTreeMap<PartKey, StreamPartitionCounts>,
+}
+
+impl StreamRows {
+    /// Fresh cascade state.
+    pub fn new() -> StreamRows {
+        StreamRows::default()
+    }
+
+    fn merge_row_shards<E>(
+        &mut self,
+        shards: Vec<RowShard>,
+        base: u32,
+        sink: &mut impl FnMut(PartKey, u32, bool, RunRow) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for (report, routed, partitions) in shards {
+            self.report.merge(&report);
+            for (key, counts) in &partitions {
+                self.partitions.entry(*key).or_default().merge(counts);
+            }
+            for (key, local, comp, row) in routed {
+                sink(key, base + local, comp, row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingest one batch of report texts, emitting each valid run's routed
+    /// row through `sink`. Batches are sharded over the worker pool and
+    /// merged in shard order, so emission order and global indices are
+    /// identical for any batch split and thread count.
+    pub fn push_batch<S, E>(
+        &mut self,
+        texts: &[S],
+        mut sink: impl FnMut(PartKey, u32, bool, RunRow) -> Result<(), E>,
+    ) -> Result<(), E>
+    where
+        S: AsRef<str> + Sync,
+    {
+        let base = self.report.raw as u32;
+        let mut sp = obs::span("stream-rows-batch");
+        let ranges = tinypool::run_chunks(texts.len(), |_| {});
+        let shards: Vec<RowShard> = tinypool::parallel_map(&ranges, |range| {
+            let slice = &texts[range.clone()];
+            let keys: Vec<PartKey> = slice.iter().map(|t| part_key_of_text(t.as_ref())).collect();
+            let (valid, report, item_index) = stage1_validate_inputs_indexed(
+                slice
+                    .iter()
+                    .map(|t| (None::<String>, RawInputRef::Text(t.as_ref()))),
+            );
+            shard_rows(valid, report, &keys, &item_index, range.start as u32)
+        });
+        self.merge_row_shards(shards, base, &mut sink)?;
+        if obs::enabled() {
+            sp.record("items", texts.len());
+            sp.observe_into("ingest.stream_batch_us");
+            obs::count("ingest.stream_row_batches", 1);
+        }
+        Ok(())
+    }
+
+    /// [`Self::push_batch`] over `(origin, input)` pairs — the directory
+    /// form, where unreadable files degrade to `io-error` parse failures.
+    pub fn push_input_batch<E>(
+        &mut self,
+        items: &[(Option<String>, RawInput)],
+        mut sink: impl FnMut(PartKey, u32, bool, RunRow) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let base = self.report.raw as u32;
+        let mut sp = obs::span("stream-rows-batch");
+        let ranges = tinypool::run_chunks(items.len(), |_| {});
+        let shards: Vec<RowShard> = tinypool::parallel_map(&ranges, |range| {
+            let slice = &items[range.clone()];
+            let keys: Vec<PartKey> = slice
+                .iter()
+                .map(|(_, input)| part_key_of_input(input))
+                .collect();
+            let (valid, report, item_index) = stage1_validate_inputs_indexed(
+                slice
+                    .iter()
+                    .map(|(origin, input)| (origin.clone(), input.as_ref())),
+            );
+            shard_rows(valid, report, &keys, &item_index, range.start as u32)
+        });
+        self.merge_row_shards(shards, base, &mut sink)?;
+        if obs::enabled() {
+            sp.record("items", items.len());
+            sp.observe_into("ingest.stream_batch_us");
+            obs::count("ingest.stream_row_batches", 1);
+        }
+        Ok(())
+    }
+
+    /// Accumulated filter accounting over every batch so far.
+    pub fn report(&self) -> &FilterReport {
+        &self.report
+    }
+
+    /// Accumulated per-(year, vendor) cascade counts.
+    pub fn partition_counts(&self) -> &BTreeMap<PartKey, StreamPartitionCounts> {
+        &self.partitions
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +628,66 @@ mod tests {
             assert_eq!(counts.valid, part.valid, "{}", part.key.label());
             assert_eq!(counts.comparable, part.comparable, "{}", part.key.label());
         }
+    }
+
+    #[test]
+    fn stream_rows_reproduce_the_merged_row_order_for_any_batch_split() {
+        let mut texts = corpus(40);
+        for (i, text) in texts.iter_mut().enumerate() {
+            if text.contains("Hardware Availability") {
+                let mut run = linear_test_run(i as u32, 1e6 + i as f64 * 1e3, 60.0, 300.0);
+                run.dates.hw_available =
+                    spec_model::YearMonth::new(2012 + (i as i32 % 4), 5).unwrap();
+                if i % 2 == 0 {
+                    run.system.cpu.name = format!("AMD EPYC {}", 7000 + i);
+                }
+                *text = write_run(&run);
+            }
+        }
+        let items: Vec<(Option<String>, String)> =
+            texts.iter().map(|t| (None, t.clone())).collect();
+        let mut driver = crate::stage::PartitionedDriver::new(
+            crate::stage::CorpusSource::Memory(items),
+            spec_ssj::Settings::fast(),
+            7,
+        );
+        let merged = driver.merged().unwrap();
+        let report = driver.filter_report().unwrap();
+
+        for batch in [1usize, 7, 40] {
+            let mut stream = StreamRows::new();
+            let mut tagged: Vec<(PartKey, u32, bool, RunRow)> = Vec::new();
+            for chunk in texts.chunks(batch) {
+                stream
+                    .push_batch::<_, std::convert::Infallible>(chunk, |key, gidx, comp, row| {
+                        tagged.push((key, gidx, comp, row));
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+            assert_eq!(stream.report(), &report, "batch={batch}");
+            tagged.sort_unstable_by_key(|t| t.1);
+            let valid: Vec<RunRow> = tagged.iter().map(|t| t.3).collect();
+            let comparable: Vec<RunRow> = tagged.iter().filter(|t| t.2).map(|t| t.3).collect();
+            assert_eq!(valid, merged.valid_rows, "batch={batch}");
+            assert_eq!(comparable, merged.comparable_rows, "batch={batch}");
+            // Routed keys agree with the partitioned split.
+            let sums = stream.partition_counts();
+            assert_eq!(
+                sums.values().map(|c| c.valid).sum::<usize>(),
+                merged.valid_rows.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_rows_sink_errors_propagate() {
+        let texts = corpus(10);
+        let mut stream = StreamRows::new();
+        let err = stream
+            .push_batch(&texts, |_, _, _, _| Err("sink full"))
+            .unwrap_err();
+        assert_eq!(err, "sink full");
     }
 
     #[test]

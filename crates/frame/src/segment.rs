@@ -161,6 +161,14 @@ impl SegFrame {
             .sum()
     }
 
+    /// Approximate heap bytes of the open (unsealed) tail segment. Not
+    /// part of [`Self::resident_bytes`] — the tail is never a spill
+    /// victim — but callers reporting total memory occupancy should add
+    /// it: a store whose appends all fit one tail would otherwise read 0.
+    pub fn tail_bytes(&self) -> usize {
+        self.tail.as_ref().map(frame_heap_bytes).unwrap_or(0)
+    }
+
     /// Cumulative encoded bytes this store has written to its spill store.
     pub fn spill_bytes_written(&self) -> u64 {
         self.spill_bytes_written
